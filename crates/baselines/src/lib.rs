@@ -1,0 +1,32 @@
+//! # vrr-baselines: the protocols the paper positions itself against
+//!
+//! Three comparators from the robust-storage literature, implemented over
+//! the same simulator and driver interface ([`vrr_core::RegisterProtocol`])
+//! as the paper's protocols:
+//!
+//! | protocol | objects | write rounds | read rounds | tolerates |
+//! |---|---|---|---|---|
+//! | [`AbdProtocol`] \[ABD95\] | `2t + 1` | 1 | 1 (2 atomic) | crashes only |
+//! | [`MaskingProtocol`] \[MR98\]-style | `2t + 2b + 1` | 1 | 1 | `b` Byzantine |
+//! | [`PassiveProtocol`] \[ACKM04\]-style | `2t + b + 1` | 2 | 1 … `b + 1` | `b` Byzantine |
+//! | paper's safe/regular (`vrr-core`) | `2t + b + 1` | 2 | 2 | `b` Byzantine |
+//!
+//! The comparison experiment (E-CMP) regenerates the paper's headline
+//! positioning from this table: at optimal resilience, passive readers pay
+//! `b + 1` rounds in the worst case while the paper's active readers always
+//! finish in 2; buying `b` extra objects buys 1-round reads (and below that
+//! object count, 1-round reads are impossible — the lower-bound harness).
+
+#![warn(missing_docs)]
+
+mod abd;
+mod attackers;
+mod lite;
+mod masking;
+mod passive;
+
+pub use abd::{AbdProtocol, AbdReader, AbdWriter};
+pub use attackers::{denier, restless_forger, serial_forger};
+pub use lite::{LiteMsg, LiteObject};
+pub use masking::{masking_object_count, MaskingProtocol, MaskingReader, MaskingWriter};
+pub use passive::{PassiveProtocol, PassiveReader, PassiveWriter};

@@ -1,0 +1,46 @@
+//! **B-HIST** — read cost versus history length (§5 vs §5.1).
+//!
+//! Pre-loads a regular storage with `W` writes, then benchmarks a single
+//! read. The full-history variant's read time grows with `W` (every ACK
+//! ships the whole history); the §5.1 suffix variant stays flat once the
+//! reader's cache is warm — the measured twin of the `sec51_histsize`
+//! table.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use vrr_core::{run_read, run_write, RegisterProtocol, RegularProtocol, StorageConfig};
+use vrr_sim::World;
+
+fn bench_history_growth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("history/read");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    for writes in [10u64, 100, 500] {
+        for optimized in [false, true] {
+            let protocol =
+                if optimized { RegularProtocol::optimized() } else { RegularProtocol::full() };
+            let cfg = StorageConfig::optimal(1, 1, 1);
+            let mut world: World<vrr_core::Msg<u64>> = World::new(9);
+            let dep = RegisterProtocol::<u64>::deploy(&protocol, cfg, &mut world);
+            world.start();
+            for k in 1..=writes {
+                run_write(&protocol, &dep, &mut world, k);
+            }
+            // Warm the cache so the optimized variant ships short suffixes.
+            run_read::<u64, _>(&protocol, &dep, &mut world, 0);
+
+            let label = if optimized { "suffix" } else { "full" };
+            group.bench_function(BenchmarkId::new(label, writes), |bch| {
+                bch.iter(|| {
+                    let rep = run_read::<u64, _>(&protocol, &dep, &mut world, 0);
+                    assert_eq!(rep.value, Some(writes));
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_history_growth);
+criterion_main!(benches);

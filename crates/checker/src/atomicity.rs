@@ -1,0 +1,115 @@
+//! The atomicity checker.
+//!
+//! Atomic (linearizable) register semantics "provide the illusion of
+//! instantaneous access" (§1). For a SWMR register, Lamport's
+//! characterization applies: a history is atomic iff it is regular and has
+//! no *new/old inversion* — whenever read `r1` precedes read `r2`, `r2`
+//! returns a write at least as new as `r1`'s.
+//!
+//! The paper's protocols are deliberately *not* atomic (regular is the
+//! target); this checker exists to demonstrate that gap experimentally and
+//! to support the atomic baselines.
+
+use std::fmt;
+
+use crate::history::{OpHistory, OpKind};
+use crate::regularity::check_regularity;
+use crate::report::{CheckResult, Collector, ViolationKind};
+
+/// Checks atomicity (SWMR linearizability) against a history.
+///
+/// # Errors
+///
+/// Returns regularity violations plus any new/old inversion between
+/// non-concurrent reads (including across different readers).
+pub fn check_atomicity<V: Clone + Eq + fmt::Debug>(history: &OpHistory<V>) -> CheckResult {
+    let mut out = Collector::new();
+    let regular = check_regularity(history);
+    if let Err(violations) = regular {
+        for v in violations {
+            out.push(v.kind, v.detail);
+        }
+    }
+
+    let reads = history.complete_reads();
+    for (i, r1) in reads.iter().enumerate() {
+        for (jdx, r2) in reads.iter().enumerate() {
+            if i == jdx || !r1.precedes(r2) {
+                continue;
+            }
+            let OpKind::Read { seq: s1, reader: rd1, .. } = &r1.kind else { unreachable!() };
+            let OpKind::Read { seq: s2, reader: rd2, .. } = &r2.kind else { unreachable!() };
+            if s2 < s1 {
+                out.push(
+                    ViolationKind::AtomicityInversion,
+                    format!(
+                        "read #{i} by r{rd1} returned seq {s1}, but the later read \
+                         #{jdx} by r{rd2} returned older seq {s2}"
+                    ),
+                );
+            }
+        }
+    }
+    out.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_reads_in_order_pass() {
+        let mut h = OpHistory::new();
+        h.push_write(1, 10u64, 0, Some(5));
+        h.push_write(2, 20, 10, Some(15));
+        h.push_read(0, 1, Some(10), 6, Some(8));
+        h.push_read(0, 2, Some(20), 16, Some(18));
+        assert!(check_atomicity(&h).is_ok());
+    }
+
+    #[test]
+    fn new_old_inversion_across_readers_is_flagged() {
+        let mut h = OpHistory::new();
+        h.push_write(1, 10u64, 0, Some(5));
+        h.push_write(2, 20, 10, Some(30));
+        // Both reads are concurrent with write 2 (regular allows either
+        // value), but r0's read precedes r1's and sees the NEWER value:
+        // the later read going back to write 1 is an inversion.
+        h.push_read(0, 2, Some(20), 12, Some(14));
+        h.push_read(1, 1, Some(10), 16, Some(18));
+        assert!(check_regularity(&h).is_ok(), "regular but not atomic");
+        let err = check_atomicity(&h).unwrap_err();
+        assert_eq!(err[0].kind, ViolationKind::AtomicityInversion);
+    }
+
+    #[test]
+    fn concurrent_reads_may_disagree() {
+        let mut h = OpHistory::new();
+        h.push_write(1, 10u64, 0, Some(5));
+        h.push_write(2, 20, 10, Some(30));
+        // Overlapping reads: no precedence, no inversion.
+        h.push_read(0, 2, Some(20), 12, Some(20));
+        h.push_read(1, 1, Some(10), 14, Some(22));
+        assert!(check_atomicity(&h).is_ok());
+    }
+
+    #[test]
+    fn regularity_violations_propagate() {
+        let mut h = OpHistory::new();
+        h.push_write(1, 10u64, 0, Some(5));
+        h.push_read(0, 7, Some(777), 6, Some(8));
+        let err = check_atomicity(&h).unwrap_err();
+        assert!(err.iter().any(|v| v.kind == ViolationKind::RegularityPhantomValue));
+    }
+
+    #[test]
+    fn same_reader_inversion_is_flagged() {
+        let mut h = OpHistory::new();
+        h.push_write(1, 10u64, 0, Some(5));
+        h.push_write(2, 20, 10, Some(40));
+        h.push_read(0, 2, Some(20), 12, Some(14));
+        h.push_read(0, 1, Some(10), 16, Some(18));
+        let err = check_atomicity(&h).unwrap_err();
+        assert!(err.iter().any(|v| v.kind == ViolationKind::AtomicityInversion));
+    }
+}

@@ -1,0 +1,189 @@
+//! The regularity checker (§2.2).
+//!
+//! "A partial run satisfies regularity if: (1) if a READ returns `x` then
+//! there is `k` such that `val_k = x`, (2) if a READ `rd` is complete and it
+//! succeeds some WRITE `wr_k` (`k ≥ 1`), then `rd` returns `val_l` such that
+//! `l ≥ k`, and (3) if a READ `rd` returns `val_k` (`k ≥ 1`), then `wr_k`
+//! either precedes `rd` or is concurrent with `rd`."
+
+use std::fmt;
+
+use crate::history::{OpHistory, OpKind};
+use crate::report::{CheckResult, Collector, ViolationKind};
+
+/// Checks the regularity property against a history.
+///
+/// # Errors
+///
+/// Returns every violated clause with the offending reads identified.
+pub fn check_regularity<V: Clone + Eq + fmt::Debug>(history: &OpHistory<V>) -> CheckResult {
+    let mut out = Collector::new();
+    if let Err(e) = history.validate() {
+        out.push(ViolationKind::MalformedHistory, e);
+        return out.finish();
+    }
+
+    let writes = history.writes();
+    for (ridx, rd) in history.complete_reads().iter().enumerate() {
+        let OpKind::Read { reader, seq, value } = &rd.kind else { unreachable!() };
+
+        // Clause 1: the returned value must have been written (or be ⊥,
+        // which is val_0 and always "written" by initialization).
+        if *seq > 0 {
+            match history.written_value(*seq) {
+                None => {
+                    out.push(
+                        ViolationKind::RegularityPhantomValue,
+                        format!(
+                            "read #{ridx} by r{reader} returned seq {seq}, \
+                             but only {} writes exist",
+                            writes.len()
+                        ),
+                    );
+                    continue;
+                }
+                Some(val_k) if value.as_ref() != Some(val_k) => {
+                    out.push(
+                        ViolationKind::RegularityPhantomValue,
+                        format!(
+                            "read #{ridx} by r{reader} returned {value:?} under seq {seq}, \
+                             but write #{seq} wrote {val_k:?}"
+                        ),
+                    );
+                    continue;
+                }
+                Some(_) => {}
+            }
+        } else if value.is_some() {
+            out.push(
+                ViolationKind::RegularityPhantomValue,
+                format!("read #{ridx} by r{reader} returned {value:?} under seq 0 (⊥)"),
+            );
+            continue;
+        }
+
+        // Clause 2: no stale reads past a completed write.
+        let newest_preceding = writes
+            .iter()
+            .filter(|wr| wr.precedes(rd))
+            .map(|wr| match &wr.kind {
+                OpKind::Write { seq, .. } => *seq,
+                OpKind::Read { .. } => unreachable!(),
+            })
+            .max()
+            .unwrap_or(0);
+        if *seq < newest_preceding {
+            out.push(
+                ViolationKind::RegularityStaleValue,
+                format!(
+                    "read #{ridx} by r{reader} returned seq {seq} \
+                     but write #{newest_preceding} precedes it"
+                ),
+            );
+        }
+
+        // Clause 3: the returned write precedes or is concurrent — i.e. the
+        // read must NOT precede it.
+        if *seq > 0 {
+            if let Some(wr_k) = writes.get((*seq - 1) as usize) {
+                if rd.precedes(wr_k) {
+                    out.push(
+                        ViolationKind::RegularityFutureValue,
+                        format!(
+                            "read #{ridx} by r{reader} returned seq {seq} \
+                             but completed before write #{seq} was invoked"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    out.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn interleaved() -> OpHistory<u64> {
+        let mut h = OpHistory::new();
+        h.push_write(1, 10, 0, Some(5));
+        h.push_write(2, 20, 10, Some(15));
+        h
+    }
+
+    #[test]
+    fn clean_history_passes() {
+        let mut h = interleaved();
+        h.push_read(0, 1, Some(10), 6, Some(8)); // between writes: val_1
+        h.push_read(0, 2, Some(20), 12, Some(18)); // concurrent with write 2: either ok
+        h.push_read(0, 2, Some(20), 20, Some(22));
+        assert!(check_regularity(&h).is_ok());
+    }
+
+    #[test]
+    fn concurrent_read_may_return_old_value() {
+        let mut h = interleaved();
+        // Concurrent with write 2: returning write 1 is regular (unlike atomic).
+        h.push_read(0, 1, Some(10), 12, Some(14));
+        assert!(check_regularity(&h).is_ok());
+    }
+
+    #[test]
+    fn phantom_value_is_flagged_even_under_concurrency() {
+        let mut h = interleaved();
+        // Concurrent with write 2, but 777 was never written: clause 1.
+        h.push_read(0, 7, Some(777), 12, Some(14));
+        let err = check_regularity(&h).unwrap_err();
+        assert_eq!(err[0].kind, ViolationKind::RegularityPhantomValue);
+    }
+
+    #[test]
+    fn wrong_value_for_seq_is_phantom() {
+        let mut h = interleaved();
+        h.push_read(0, 2, Some(10), 20, Some(22)); // seq 2 wrote 20, not 10
+        let err = check_regularity(&h).unwrap_err();
+        assert_eq!(err[0].kind, ViolationKind::RegularityPhantomValue);
+    }
+
+    #[test]
+    fn stale_read_is_flagged() {
+        let mut h = interleaved();
+        h.push_read(0, 1, Some(10), 20, Some(22)); // succeeds write 2, returns write 1
+        let err = check_regularity(&h).unwrap_err();
+        assert_eq!(err[0].kind, ViolationKind::RegularityStaleValue);
+    }
+
+    #[test]
+    fn future_read_is_flagged() {
+        let mut h = OpHistory::new();
+        h.push_read(0, 1, Some(10u64), 0, Some(2)); // completes before write 1 exists
+        h.push_write(1, 10, 5, Some(8));
+        let err = check_regularity(&h).unwrap_err();
+        assert!(err.iter().any(|v| v.kind == ViolationKind::RegularityFutureValue));
+    }
+
+    #[test]
+    fn bottom_after_writes_is_stale() {
+        let mut h = interleaved();
+        h.push_read(0, 0, None, 20, Some(22));
+        let err = check_regularity(&h).unwrap_err();
+        assert_eq!(err[0].kind, ViolationKind::RegularityStaleValue);
+    }
+
+    #[test]
+    fn bottom_with_value_is_phantom() {
+        let mut h = OpHistory::new();
+        h.push_read(0, 0, Some(5u64), 0, Some(2));
+        let err = check_regularity(&h).unwrap_err();
+        assert_eq!(err[0].kind, ViolationKind::RegularityPhantomValue);
+    }
+
+    #[test]
+    fn read_concurrent_with_its_write_is_fine() {
+        let mut h = OpHistory::new();
+        h.push_write(1, 10u64, 0, Some(20));
+        h.push_read(0, 1, Some(10), 5, Some(9)); // overlaps write 1
+        assert!(check_regularity(&h).is_ok());
+    }
+}

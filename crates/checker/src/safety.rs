@@ -1,0 +1,158 @@
+//! The safety checker (§2.2).
+//!
+//! "A partial run satisfies safety if every READ operation `rd` that is not
+//! concurrent with any WRITE operation returns `val_k` such that `wr_k`
+//! precedes `rd` and for no `l > k` does `wr_l` precede `rd`, or `val_0` in
+//! case there is no such value; a READ concurrent with a WRITE is allowed to
+//! return any value."
+
+use std::fmt;
+
+use crate::history::{OpHistory, OpKind};
+use crate::report::{CheckResult, Collector, ViolationKind};
+
+/// Checks the safety property against a history.
+///
+/// # Errors
+///
+/// Returns every violation found: reads that were isolated from all writes
+/// yet returned something other than the latest preceding written value.
+/// A malformed history yields a [`ViolationKind::MalformedHistory`] entry.
+pub fn check_safety<V: Clone + Eq + fmt::Debug>(history: &OpHistory<V>) -> CheckResult {
+    let mut out = Collector::new();
+    if let Err(e) = history.validate() {
+        out.push(ViolationKind::MalformedHistory, e);
+        return out.finish();
+    }
+
+    let writes = history.writes();
+    for (ridx, rd) in history.complete_reads().iter().enumerate() {
+        let OpKind::Read { reader, seq, value } = &rd.kind else { unreachable!() };
+
+        // Concurrent with any write? Then unconstrained.
+        if writes.iter().any(|wr| wr.concurrent_with(rd)) {
+            continue;
+        }
+
+        // The latest write preceding the read (writes are sequential, so
+        // "latest" by seq is well-defined).
+        let expected = writes
+            .iter()
+            .filter(|wr| wr.precedes(rd))
+            .map(|wr| match &wr.kind {
+                OpKind::Write { seq, value } => (*seq, value),
+                OpKind::Read { .. } => unreachable!(),
+            })
+            .max_by_key(|(seq, _)| *seq);
+
+        match expected {
+            None => {
+                // No preceding write: must return ⊥ (val_0).
+                if *seq != 0 || value.is_some() {
+                    out.push(
+                        ViolationKind::SafetyWrongValue,
+                        format!(
+                            "read #{ridx} by r{reader} returned seq {seq} ({value:?}) \
+                             but no write precedes it (expected ⊥)"
+                        ),
+                    );
+                }
+            }
+            Some((k, val_k)) => {
+                if *seq != k || value.as_ref() != Some(val_k) {
+                    out.push(
+                        ViolationKind::SafetyWrongValue,
+                        format!(
+                            "read #{ridx} by r{reader} returned seq {seq} ({value:?}) \
+                             but the latest preceding write is #{k} ({val_k:?})"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    out.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> OpHistory<u64> {
+        let mut h = OpHistory::new();
+        h.push_write(1, 10, 0, Some(5));
+        h.push_write(2, 20, 10, Some(15));
+        h
+    }
+
+    #[test]
+    fn correct_isolated_reads_pass() {
+        let mut h = base();
+        h.push_read(0, 2, Some(20), 20, Some(25));
+        h.push_read(1, 2, Some(20), 30, Some(35));
+        assert!(check_safety(&h).is_ok());
+    }
+
+    #[test]
+    fn read_before_all_writes_must_return_bottom() {
+        let mut h = OpHistory::new();
+        h.push_read(0, 0, Option::<u64>::None, 0, Some(2));
+        h.push_write(1, 10, 5, Some(8));
+        assert!(check_safety(&h).is_ok());
+
+        let mut h = OpHistory::new();
+        h.push_read(0, 1, Some(10u64), 0, Some(2)); // phantom: nothing written yet
+        h.push_write(1, 10, 5, Some(8));
+        let err = check_safety(&h).unwrap_err();
+        assert_eq!(err[0].kind, ViolationKind::SafetyWrongValue);
+    }
+
+    #[test]
+    fn stale_isolated_read_is_flagged() {
+        let mut h = base();
+        h.push_read(0, 1, Some(10), 20, Some(25)); // returns write 1 after write 2 completed
+        let err = check_safety(&h).unwrap_err();
+        assert_eq!(err.len(), 1);
+        assert_eq!(err[0].kind, ViolationKind::SafetyWrongValue);
+    }
+
+    #[test]
+    fn concurrent_read_may_return_garbage() {
+        let mut h = base();
+        // Overlaps write 2 ([10, 15]): any value allowed, even never-written.
+        h.push_read(0, 77, Some(777), 12, Some(14));
+        assert!(check_safety(&h).is_ok());
+    }
+
+    #[test]
+    fn read_overlapping_incomplete_write_is_unconstrained() {
+        let mut h = OpHistory::new();
+        h.push_write(1, 10u64, 0, Some(5));
+        h.push_write(2, 20, 10, None); // writer crashed mid-write
+        h.push_read(0, 2, Some(20), 50, Some(55));
+        assert!(check_safety(&h).is_ok(), "incomplete write is concurrent with later reads");
+    }
+
+    #[test]
+    fn value_seq_mismatch_is_flagged() {
+        let mut h = base();
+        // Claims seq 2 but carries write 1's value: inconsistent record.
+        h.push_read(0, 2, Some(10), 20, Some(25));
+        assert!(check_safety(&h).is_err());
+    }
+
+    #[test]
+    fn incomplete_reads_constrain_nothing() {
+        let mut h = base();
+        h.push_read(0, 77, Some(777), 20, None);
+        assert!(check_safety(&h).is_ok());
+    }
+
+    #[test]
+    fn malformed_history_is_reported_not_panicked() {
+        let mut h = OpHistory::new();
+        h.push_write(3, 30u64, 0, Some(5));
+        let err = check_safety(&h).unwrap_err();
+        assert_eq!(err[0].kind, ViolationKind::MalformedHistory);
+    }
+}

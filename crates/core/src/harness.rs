@@ -1,0 +1,522 @@
+//! A uniform driver interface over register protocols.
+//!
+//! Experiments (correctness sweeps, round counting, comparisons against the
+//! baselines crate) are written once against [`RegisterProtocol`] and run
+//! against any implementation: the paper's safe and regular protocols here,
+//! and the ABD / masking-quorum / passive-reader baselines in
+//! `vrr-baselines`.
+
+use vrr_sim::{Automaton, ProcessId, SimMessage, World};
+
+use crate::config::StorageConfig;
+use crate::msg::Msg;
+use crate::regular::{HistoryRetention, RegularObject, RegularReader, RegularTuning};
+use crate::safe::{SafeObject, SafeReader, SafeTuning};
+use crate::types::{Timestamp, Value};
+use crate::writer::{WriteId, Writer};
+
+/// Process ids of one deployed storage system.
+#[derive(Clone, Debug)]
+pub struct Deployment {
+    /// The sizing this deployment was built with.
+    pub cfg: StorageConfig,
+    /// The `S` base objects, in index order.
+    pub objects: Vec<ProcessId>,
+    /// The single writer.
+    pub writer: ProcessId,
+    /// The `R` readers, in index order.
+    pub readers: Vec<ProcessId>,
+}
+
+/// Report for a completed WRITE.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WriteReport {
+    /// Timestamp the write got.
+    pub ts: Timestamp,
+    /// Communication round-trips used.
+    pub rounds: u32,
+}
+
+/// Report for a completed READ.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReadReport<V> {
+    /// Returned value (`None` = the initial value `⊥`).
+    pub value: Option<V>,
+    /// Timestamp of the returned value.
+    pub ts: Timestamp,
+    /// Communication round-trips used.
+    pub rounds: u32,
+}
+
+/// A simulated register protocol: how to deploy it and drive operations.
+pub trait RegisterProtocol<V: Value> {
+    /// The wire message type of this protocol.
+    type Msg: SimMessage;
+
+    /// Short display name (`"safe"`, `"abd"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Spawns objects, the writer, and readers into `world`.
+    fn deploy(&self, cfg: StorageConfig, world: &mut World<Self::Msg>) -> Deployment;
+
+    /// Invokes `WRITE(value)`; returns an opaque op token.
+    fn invoke_write(&self, dep: &Deployment, world: &mut World<Self::Msg>, value: V) -> u64;
+
+    /// The write report, once the op with token `op` completed.
+    fn write_outcome(
+        &self,
+        dep: &Deployment,
+        world: &World<Self::Msg>,
+        op: u64,
+    ) -> Option<WriteReport>;
+
+    /// Invokes `READ()` at reader `reader`; returns an opaque op token.
+    fn invoke_read(&self, dep: &Deployment, world: &mut World<Self::Msg>, reader: usize) -> u64;
+
+    /// The read report, once the op with token `op` completed.
+    fn read_outcome(
+        &self,
+        dep: &Deployment,
+        world: &World<Self::Msg>,
+        reader: usize,
+        op: u64,
+    ) -> Option<ReadReport<V>>;
+}
+
+/// The paper's safe storage (§4) as a [`RegisterProtocol`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SafeProtocol;
+
+impl<V: Value> RegisterProtocol<V> for SafeProtocol {
+    type Msg = Msg<V>;
+
+    fn name(&self) -> &'static str {
+        "safe"
+    }
+
+    fn deploy(&self, cfg: StorageConfig, world: &mut World<Msg<V>>) -> Deployment {
+        let objects: Vec<ProcessId> = (0..cfg.s)
+            .map(|i| {
+                world.spawn_named(format!("s{i}"), Box::new(SafeObject::<V>::new()))
+            })
+            .collect();
+        let writer = world.spawn_named(
+            "writer",
+            Box::new(Writer::<V>::new(cfg, objects.clone())),
+        );
+        let readers: Vec<ProcessId> = (0..cfg.readers)
+            .map(|j| {
+                world.spawn_named(
+                    format!("r{j}"),
+                    Box::new(SafeReader::<V>::new(cfg, j, objects.clone())),
+                )
+            })
+            .collect();
+        Deployment { cfg, objects, writer, readers }
+    }
+
+    fn invoke_write(&self, dep: &Deployment, world: &mut World<Msg<V>>, value: V) -> u64 {
+        world.with_automaton_mut(dep.writer, |w: &mut Writer<V>, ctx| {
+            w.invoke_write(value, ctx).0
+        })
+    }
+
+    fn write_outcome(
+        &self,
+        dep: &Deployment,
+        world: &World<Msg<V>>,
+        op: u64,
+    ) -> Option<WriteReport> {
+        world.inspect(dep.writer, |w: &Writer<V>| {
+            w.outcome(WriteId(op)).map(|o| WriteReport { ts: o.ts, rounds: o.rounds })
+        })
+    }
+
+    fn invoke_read(&self, dep: &Deployment, world: &mut World<Msg<V>>, reader: usize) -> u64 {
+        world.with_automaton_mut(dep.readers[reader], |r: &mut SafeReader<V>, ctx| {
+            r.invoke_read(ctx).0
+        })
+    }
+
+    fn read_outcome(
+        &self,
+        dep: &Deployment,
+        world: &World<Msg<V>>,
+        reader: usize,
+        op: u64,
+    ) -> Option<ReadReport<V>> {
+        world.inspect(dep.readers[reader], |r: &SafeReader<V>| {
+            r.outcome(crate::safe::ReadId(op)).map(|o| ReadReport {
+                value: o.value.clone(),
+                ts: o.ts,
+                rounds: o.rounds,
+            })
+        })
+    }
+}
+
+/// The paper's regular storage (§5) as a [`RegisterProtocol`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RegularProtocol {
+    /// Run the §5.1 optimization (suffix histories + reader cache).
+    pub optimized: bool,
+    /// Object-side history retention (extension; default keep-all).
+    pub retention: HistoryRetention,
+}
+
+impl RegularProtocol {
+    /// The paper-faithful full-history variant.
+    pub fn full() -> Self {
+        RegularProtocol { optimized: false, retention: HistoryRetention::KeepAll }
+    }
+
+    /// The §5.1-optimized variant.
+    pub fn optimized() -> Self {
+        RegularProtocol { optimized: true, retention: HistoryRetention::KeepAll }
+    }
+}
+
+impl<V: Value> RegisterProtocol<V> for RegularProtocol {
+    type Msg = Msg<V>;
+
+    fn name(&self) -> &'static str {
+        if self.optimized {
+            "regular-opt"
+        } else {
+            "regular"
+        }
+    }
+
+    fn deploy(&self, cfg: StorageConfig, world: &mut World<Msg<V>>) -> Deployment {
+        let retention = self.retention;
+        let objects: Vec<ProcessId> = (0..cfg.s)
+            .map(|i| {
+                world.spawn_named(
+                    format!("s{i}"),
+                    Box::new(RegularObject::<V>::with_retention(retention)),
+                )
+            })
+            .collect();
+        let writer = world.spawn_named(
+            "writer",
+            Box::new(Writer::<V>::new(cfg, objects.clone())),
+        );
+        let readers: Vec<ProcessId> = (0..cfg.readers)
+            .map(|j| {
+                let r = if self.optimized {
+                    RegularReader::<V>::new_optimized(cfg, j, objects.clone())
+                } else {
+                    RegularReader::<V>::new(cfg, j, objects.clone())
+                };
+                world.spawn_named(format!("r{j}"), Box::new(r))
+            })
+            .collect();
+        Deployment { cfg, objects, writer, readers }
+    }
+
+    fn invoke_write(&self, dep: &Deployment, world: &mut World<Msg<V>>, value: V) -> u64 {
+        world.with_automaton_mut(dep.writer, |w: &mut Writer<V>, ctx| {
+            w.invoke_write(value, ctx).0
+        })
+    }
+
+    fn write_outcome(
+        &self,
+        dep: &Deployment,
+        world: &World<Msg<V>>,
+        op: u64,
+    ) -> Option<WriteReport> {
+        world.inspect(dep.writer, |w: &Writer<V>| {
+            w.outcome(WriteId(op)).map(|o| WriteReport { ts: o.ts, rounds: o.rounds })
+        })
+    }
+
+    fn invoke_read(&self, dep: &Deployment, world: &mut World<Msg<V>>, reader: usize) -> u64 {
+        world.with_automaton_mut(dep.readers[reader], |r: &mut RegularReader<V>, ctx| {
+            r.invoke_read(ctx).0
+        })
+    }
+
+    fn read_outcome(
+        &self,
+        dep: &Deployment,
+        world: &World<Msg<V>>,
+        reader: usize,
+        op: u64,
+    ) -> Option<ReadReport<V>> {
+        world.inspect(dep.readers[reader], |r: &RegularReader<V>| {
+            r.outcome(crate::safe::ReadId(op)).map(|o| ReadReport {
+                value: o.value.clone(),
+                ts: o.ts,
+                rounds: o.rounds,
+            })
+        })
+    }
+}
+
+/// A deliberately broken safe protocol for mutation experiments: deploys
+/// readers with non-default [`SafeTuning`]. The consistency checkers must
+/// catch the resulting violations — validating that green experiment
+/// results are meaningful.
+#[derive(Clone, Copy, Debug)]
+pub struct MutantSafeProtocol(pub SafeTuning);
+
+impl<V: Value> RegisterProtocol<V> for MutantSafeProtocol {
+    type Msg = Msg<V>;
+
+    fn name(&self) -> &'static str {
+        "safe-mutant"
+    }
+
+    fn deploy(&self, cfg: StorageConfig, world: &mut World<Msg<V>>) -> Deployment {
+        let tuning = self.0;
+        let objects: Vec<ProcessId> = (0..cfg.s)
+            .map(|i| world.spawn_named(format!("s{i}"), Box::new(SafeObject::<V>::new())))
+            .collect();
+        let writer =
+            world.spawn_named("writer", Box::new(Writer::<V>::new(cfg, objects.clone())));
+        let readers: Vec<ProcessId> = (0..cfg.readers)
+            .map(|j| {
+                world.spawn_named(
+                    format!("r{j}"),
+                    Box::new(SafeReader::<V>::with_tuning(cfg, j, objects.clone(), tuning)),
+                )
+            })
+            .collect();
+        Deployment { cfg, objects, writer, readers }
+    }
+
+    fn invoke_write(&self, dep: &Deployment, world: &mut World<Msg<V>>, value: V) -> u64 {
+        RegisterProtocol::<V>::invoke_write(&SafeProtocol, dep, world, value)
+    }
+
+    fn write_outcome(
+        &self,
+        dep: &Deployment,
+        world: &World<Msg<V>>,
+        op: u64,
+    ) -> Option<WriteReport> {
+        RegisterProtocol::<V>::write_outcome(&SafeProtocol, dep, world, op)
+    }
+
+    fn invoke_read(&self, dep: &Deployment, world: &mut World<Msg<V>>, reader: usize) -> u64 {
+        RegisterProtocol::<V>::invoke_read(&SafeProtocol, dep, world, reader)
+    }
+
+    fn read_outcome(
+        &self,
+        dep: &Deployment,
+        world: &World<Msg<V>>,
+        reader: usize,
+        op: u64,
+    ) -> Option<ReadReport<V>> {
+        RegisterProtocol::<V>::read_outcome(&SafeProtocol, dep, world, reader, op)
+    }
+}
+
+/// A deliberately broken regular protocol for mutation experiments
+/// (see [`MutantSafeProtocol`]).
+#[derive(Clone, Copy, Debug)]
+pub struct MutantRegularProtocol {
+    /// The broken knobs.
+    pub tuning: RegularTuning,
+    /// Deploy §5.1-optimized readers.
+    pub optimized: bool,
+}
+
+impl<V: Value> RegisterProtocol<V> for MutantRegularProtocol {
+    type Msg = Msg<V>;
+
+    fn name(&self) -> &'static str {
+        "regular-mutant"
+    }
+
+    fn deploy(&self, cfg: StorageConfig, world: &mut World<Msg<V>>) -> Deployment {
+        let objects: Vec<ProcessId> = (0..cfg.s)
+            .map(|i| world.spawn_named(format!("s{i}"), Box::new(RegularObject::<V>::new())))
+            .collect();
+        let writer =
+            world.spawn_named("writer", Box::new(Writer::<V>::new(cfg, objects.clone())));
+        let (tuning, optimized) = (self.tuning, self.optimized);
+        let readers: Vec<ProcessId> = (0..cfg.readers)
+            .map(|j| {
+                world.spawn_named(
+                    format!("r{j}"),
+                    Box::new(RegularReader::<V>::with_tuning(
+                        cfg,
+                        j,
+                        objects.clone(),
+                        optimized,
+                        tuning,
+                    )),
+                )
+            })
+            .collect();
+        Deployment { cfg, objects, writer, readers }
+    }
+
+    fn invoke_write(&self, dep: &Deployment, world: &mut World<Msg<V>>, value: V) -> u64 {
+        RegisterProtocol::<V>::invoke_write(&RegularProtocol::full(), dep, world, value)
+    }
+
+    fn write_outcome(
+        &self,
+        dep: &Deployment,
+        world: &World<Msg<V>>,
+        op: u64,
+    ) -> Option<WriteReport> {
+        RegisterProtocol::<V>::write_outcome(&RegularProtocol::full(), dep, world, op)
+    }
+
+    fn invoke_read(&self, dep: &Deployment, world: &mut World<Msg<V>>, reader: usize) -> u64 {
+        RegisterProtocol::<V>::invoke_read(&RegularProtocol::full(), dep, world, reader)
+    }
+
+    fn read_outcome(
+        &self,
+        dep: &Deployment,
+        world: &World<Msg<V>>,
+        reader: usize,
+        op: u64,
+    ) -> Option<ReadReport<V>> {
+        RegisterProtocol::<V>::read_outcome(&RegularProtocol::full(), dep, world, reader, op)
+    }
+}
+
+/// Step limit generous enough for any single operation in these protocols.
+pub const OP_STEP_LIMIT: u64 = 200_000;
+
+/// Invokes a write and drives the world until it completes.
+///
+/// # Panics
+///
+/// Panics if the write does not complete within [`OP_STEP_LIMIT`] simulator
+/// events — a wait-freedom violation in these protocols.
+pub fn run_write<V: Value, P: RegisterProtocol<V>>(
+    protocol: &P,
+    dep: &Deployment,
+    world: &mut World<P::Msg>,
+    value: V,
+) -> WriteReport {
+    let op = protocol.invoke_write(dep, world, value);
+    let done = world.run_until(
+        |w| protocol.write_outcome(dep, w, op).is_some(),
+        OP_STEP_LIMIT,
+    );
+    assert!(done, "WRITE failed to complete (wait-freedom violation?)");
+    protocol.write_outcome(dep, world, op).expect("just completed")
+}
+
+/// Invokes a read at `reader` and drives the world until it completes.
+///
+/// # Panics
+///
+/// Panics if the read does not complete within [`OP_STEP_LIMIT`] simulator
+/// events.
+pub fn run_read<V: Value, P: RegisterProtocol<V>>(
+    protocol: &P,
+    dep: &Deployment,
+    world: &mut World<P::Msg>,
+    reader: usize,
+) -> ReadReport<V> {
+    let op = protocol.invoke_read(dep, world, reader);
+    let done = world.run_until(
+        |w| protocol.read_outcome(dep, w, reader, op).is_some(),
+        OP_STEP_LIMIT,
+    );
+    assert!(done, "READ failed to complete (wait-freedom violation?)");
+    protocol.read_outcome(dep, world, reader, op).expect("just completed")
+}
+
+/// Replaces object `idx` of the deployment with a Byzantine automaton.
+pub fn corrupt_object<M: SimMessage>(
+    dep: &Deployment,
+    world: &mut World<M>,
+    idx: usize,
+    automaton: Box<dyn Automaton<M>>,
+) {
+    world.set_byzantine(dep.objects[idx], automaton);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> World<Msg<u64>> {
+        World::new(7)
+    }
+
+    #[test]
+    fn safe_protocol_end_to_end() {
+        let mut w = world();
+        let cfg = StorageConfig::optimal(1, 1, 2);
+        let dep = RegisterProtocol::<u64>::deploy(&SafeProtocol, cfg, &mut w);
+        w.start();
+
+        let wr = run_write(&SafeProtocol, &dep, &mut w, 42u64);
+        assert_eq!(wr.ts, Timestamp(1));
+        assert_eq!(wr.rounds, 2);
+
+        let rd = run_read::<u64, _>(&SafeProtocol, &dep, &mut w, 0);
+        assert_eq!(rd.value, Some(42));
+        assert_eq!(rd.rounds, 2);
+
+        // The second reader sees it too.
+        let rd = run_read::<u64, _>(&SafeProtocol, &dep, &mut w, 1);
+        assert_eq!(rd.value, Some(42));
+    }
+
+    #[test]
+    fn safe_protocol_reads_bottom_initially() {
+        let mut w = world();
+        let cfg = StorageConfig::optimal(2, 1, 1);
+        let dep = RegisterProtocol::<u64>::deploy(&SafeProtocol, cfg, &mut w);
+        w.start();
+        let rd = run_read::<u64, _>(&SafeProtocol, &dep, &mut w, 0);
+        assert_eq!(rd.value, None);
+    }
+
+    #[test]
+    fn regular_protocol_end_to_end() {
+        for protocol in [RegularProtocol::full(), RegularProtocol::optimized()] {
+            let mut w = world();
+            let cfg = StorageConfig::optimal(1, 1, 1);
+            let dep = RegisterProtocol::<u64>::deploy(&protocol, cfg, &mut w);
+            w.start();
+            for k in 1..=5u64 {
+                let wr = run_write(&protocol, &dep, &mut w, k * 11);
+                assert_eq!(wr.ts, Timestamp(k));
+                let rd = run_read::<u64, _>(&protocol, &dep, &mut w, 0);
+                assert_eq!(rd.value, Some(k * 11), "{}", protocol.optimized);
+                assert_eq!(rd.rounds, 2);
+            }
+        }
+    }
+
+    #[test]
+    fn safe_protocol_survives_crashes_up_to_t() {
+        let mut w = world();
+        let cfg = StorageConfig::optimal(2, 1, 1); // S = 6, t = 2
+        let dep = RegisterProtocol::<u64>::deploy(&SafeProtocol, cfg, &mut w);
+        w.start();
+        w.crash(dep.objects[0]);
+        w.crash(dep.objects[3]);
+        let wr = run_write(&SafeProtocol, &dep, &mut w, 9u64);
+        assert_eq!(wr.rounds, 2);
+        let rd = run_read::<u64, _>(&SafeProtocol, &dep, &mut w, 0);
+        assert_eq!(rd.value, Some(9));
+    }
+
+    #[test]
+    fn regular_protocol_survives_mute_byzantine_object() {
+        let protocol = RegularProtocol::full();
+        let mut w = world();
+        let cfg = StorageConfig::optimal(1, 1, 1);
+        let dep = RegisterProtocol::<u64>::deploy(&protocol, cfg, &mut w);
+        w.start();
+        corrupt_object(&dep, &mut w, 2, Box::new(vrr_sim::Mute));
+        run_write(&protocol, &dep, &mut w, 5u64);
+        let rd = run_read::<u64, _>(&protocol, &dep, &mut w, 0);
+        assert_eq!(rd.value, Some(5));
+    }
+}

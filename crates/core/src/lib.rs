@@ -1,0 +1,68 @@
+//! # vrr-core: robust reads at optimal resilience in two rounds
+//!
+//! A faithful implementation of the storage protocols of *Guerraoui &
+//! Vukolić, "How Fast Can a Very Robust Read Be?" (PODC 2006)*: wait-free
+//! single-writer multi-reader register emulations over `S = 2t + b + 1`
+//! failure-prone base objects (at most `t` faulty, of which at most `b`
+//! Byzantine), storing unauthenticated data, in which **both READ and WRITE
+//! complete in exactly two communication round-trips** — matching the
+//! paper's lower bound (Proposition 1: with `S ≤ 2t + 2b` objects no READ
+//! can be single-round).
+//!
+//! Two consistency levels:
+//!
+//! * [`safe`] — the §4 protocol (Figures 2–4): reads not concurrent with a
+//!   write return the last written value.
+//! * [`regular`] — the §5 protocol (Figures 2, 5, 6): additionally, reads
+//!   only ever return genuinely written values, and a read succeeding a
+//!   write returns it or something newer. Objects store full histories; the
+//!   §5.1 optimization ([`regular::RegularReader::new_optimized`]) ships
+//!   history suffixes against a reader-side cache.
+//!
+//! The automata are transport-agnostic ([`vrr_sim::Automaton`]) and run both
+//! under the deterministic simulator (`vrr-sim`) and the thread runtime
+//! (`vrr-runtime`).
+//!
+//! ## Quick example (simulated)
+//!
+//! ```
+//! use vrr_core::{StorageConfig, SafeProtocol, RegisterProtocol, run_read, run_write};
+//! use vrr_sim::World;
+//!
+//! let cfg = StorageConfig::optimal(1, 1, 1); // t = 1 fault, b = 1 Byzantine: S = 4
+//! let mut world = World::new(42);
+//! let dep = RegisterProtocol::<u64>::deploy(&SafeProtocol, cfg, &mut world);
+//! world.start();
+//!
+//! let w = run_write(&SafeProtocol, &dep, &mut world, 7u64);
+//! assert_eq!(w.rounds, 2);
+//! let r = run_read::<u64, _>(&SafeProtocol, &dep, &mut world, 0);
+//! assert_eq!(r.value, Some(7));
+//! assert_eq!(r.rounds, 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod atomic;
+pub mod attackers;
+mod config;
+mod harness;
+mod mis;
+mod msg;
+pub mod regular;
+pub mod safe;
+pub mod server_centric;
+mod types;
+mod writer;
+
+pub use config::StorageConfig;
+pub use harness::{
+    corrupt_object, run_read, run_write, Deployment, MutantRegularProtocol, MutantSafeProtocol,
+    ReadReport, RegisterProtocol, RegularProtocol, SafeProtocol, WriteReport, OP_STEP_LIMIT,
+};
+pub use mis::{conflict_free_of_size, max_conflict_free};
+pub use msg::{Msg, ReadRound};
+pub use types::{
+    HistEntry, History, ObjectIndex, ReaderIndex, Timestamp, TsrMatrix, TsVal, Value, WTuple,
+};
+pub use writer::{WriteId, WriteOutcome, Writer};

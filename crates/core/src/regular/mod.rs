@@ -1,0 +1,14 @@
+//! The optimally resilient SWMR **regular** storage of §5 (Figures 2, 5, 6).
+//!
+//! Same communication pattern and optimal 2-round complexity as the safe
+//! protocol, but objects store their full write history, which upgrades the
+//! guarantee from safety to regularity: reads never return phantom values,
+//! and a read succeeding a write returns it or something newer. The §5.1
+//! optimization (suffix histories + reader-side cache) is available through
+//! [`RegularReader::new_optimized`].
+
+mod object;
+mod reader;
+
+pub use object::{HistoryRetention, RegularObject};
+pub use reader::{RegularReader, RegularTuning};

@@ -1,0 +1,277 @@
+//! The regular-storage base object (Figure 5).
+//!
+//! Unlike the safe object, it "keeps track of all values received from the
+//! writer throughout the entire run" (§5): a history map from write
+//! timestamp to the `⟨pw, w⟩` recorded for that write. Read ACKs carry the
+//! history — the whole map in the paper-faithful mode, or the suffix from
+//! the reader's cached timestamp under the §5.1 optimization.
+
+use std::collections::BTreeMap;
+
+use vrr_sim::{Automaton, Context, ProcessId};
+
+use crate::msg::Msg;
+use crate::types::{HistEntry, History, Timestamp, Value};
+
+/// Garbage-collection policy for object histories.
+///
+/// `KeepAll` is the paper's model (§5 explicitly accepts the storage-
+/// exhaustion risk). `KeepLast(n)` is an *extension* for long-running
+/// deployments: it bounds history length at the cost of occasionally
+/// forcing the optimized reader onto its cached value.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum HistoryRetention {
+    /// Keep every entry (paper-faithful).
+    #[default]
+    KeepAll,
+    /// Keep only the `n` highest-timestamp entries (`n ≥ 1`).
+    KeepLast(usize),
+}
+
+/// A correct base object of the regular protocol.
+#[derive(Clone, Debug)]
+pub struct RegularObject<V> {
+    ts: Timestamp,
+    history: History<V>,
+    tsr: BTreeMap<usize, u64>,
+    retention: HistoryRetention,
+}
+
+impl<V: Value> RegularObject<V> {
+    /// A freshly initialized object (Figure 5 lines 1–3).
+    pub fn new() -> Self {
+        Self::with_retention(HistoryRetention::KeepAll)
+    }
+
+    /// An object with a history retention policy (extension; see
+    /// [`HistoryRetention`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is `KeepLast(0)`.
+    pub fn with_retention(retention: HistoryRetention) -> Self {
+        if let HistoryRetention::KeepLast(n) = retention {
+            assert!(n >= 1, "KeepLast must retain at least one entry");
+        }
+        RegularObject {
+            ts: Timestamp::ZERO,
+            history: History::initial(),
+            tsr: BTreeMap::new(),
+            retention,
+        }
+    }
+
+    /// The current write timestamp.
+    pub fn ts(&self) -> Timestamp {
+        self.ts
+    }
+
+    /// The stored history.
+    pub fn history(&self) -> &History<V> {
+        &self.history
+    }
+
+    /// The stored timestamp of reader `j` (0 if never contacted).
+    pub fn tsr(&self, j: usize) -> u64 {
+        self.tsr.get(&j).copied().unwrap_or(0)
+    }
+
+    fn apply_retention(&mut self) {
+        if let HistoryRetention::KeepLast(n) = self.retention {
+            if self.history.len() > n {
+                let keep_from = {
+                    let mut keys: Vec<Timestamp> =
+                        self.history.iter().map(|(ts, _)| ts).collect();
+                    keys.sort_unstable();
+                    keys[keys.len() - n]
+                };
+                self.history.retain_from(keep_from);
+            }
+        }
+    }
+}
+
+impl<V: Value> Default for RegularObject<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Value> Automaton<Msg<V>> for RegularObject<V> {
+    fn on_message(&mut self, from: ProcessId, msg: Msg<V>, ctx: &mut Context<'_, Msg<V>>) {
+        match msg {
+            // Figure 5 lines 4–9 (with the §5 prose indexing: history[ts'],
+            // history[ts'−1]; the figure's `history[ts]` is a typo — see
+            // DESIGN.md).
+            Msg::Pw { ts, pw, w } => {
+                if ts > self.ts {
+                    self.history.insert(ts, HistEntry { pw, w: None });
+                    // The PW of write ts carries write (ts−1)'s tuple:
+                    // objects that missed the previous W round backfill here.
+                    self.history.insert(ts.prev(), HistEntry { pw: w.tsval.clone(), w: Some(w) });
+                    self.ts = ts;
+                    self.apply_retention();
+                    ctx.send(from, Msg::PwAck { ts: self.ts, tsr: self.tsr.clone() });
+                }
+            }
+            // Figure 5 lines 10–14.
+            Msg::W { ts, pw, w } => {
+                if ts >= self.ts {
+                    self.ts = ts;
+                    self.history.insert(ts, HistEntry { pw, w: Some(w) });
+                    self.apply_retention();
+                    ctx.send(from, Msg::WAck { ts });
+                }
+            }
+            // Figure 5 lines 15–19, plus the §5.1 suffix optimization.
+            Msg::Read { round, reader, tsr, since } => {
+                if tsr > self.tsr(reader) {
+                    self.tsr.insert(reader, tsr);
+                    let history = match since {
+                        Some(s) => self.history.suffix(s),
+                        None => self.history.clone(),
+                    };
+                    ctx.send(from, Msg::ReadAckRegular { round, tsr, history });
+                }
+            }
+            Msg::PwAck { .. }
+            | Msg::WAck { .. }
+            | Msg::ReadAckSafe { .. }
+            | Msg::ReadAckRegular { .. } => {}
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "regular-object"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::ReadRound;
+    use crate::types::{TsVal, TsrMatrix, WTuple};
+
+    fn step(obj: &mut RegularObject<u64>, msg: Msg<u64>) -> Vec<(ProcessId, Msg<u64>)> {
+        let mut out = Vec::new();
+        let mut ctx = Context::new(ProcessId(0), &mut out);
+        obj.on_message(ProcessId(9), msg, &mut ctx);
+        out
+    }
+
+    fn tuple(ts: u64, v: u64) -> WTuple<u64> {
+        WTuple::new(TsVal::new(Timestamp(ts), v), TsrMatrix::empty())
+    }
+
+    fn pw_msg(ts: u64, v: u64, prev: WTuple<u64>) -> Msg<u64> {
+        Msg::Pw { ts: Timestamp(ts), pw: TsVal::new(Timestamp(ts), v), w: prev }
+    }
+
+    fn w_msg(ts: u64, v: u64) -> Msg<u64> {
+        Msg::W { ts: Timestamp(ts), pw: TsVal::new(Timestamp(ts), v), w: tuple(ts, v) }
+    }
+
+    #[test]
+    fn initial_history_has_entry_zero() {
+        let obj: RegularObject<u64> = RegularObject::new();
+        assert_eq!(obj.history().len(), 1);
+        assert!(obj.history().get(Timestamp::ZERO).is_some());
+    }
+
+    #[test]
+    fn pw_records_current_and_backfills_previous() {
+        let mut obj = RegularObject::new();
+        // Object missed write 1 entirely; PW of write 2 carries w1.
+        let out = step(&mut obj, pw_msg(2, 20, tuple(1, 10)));
+        assert_eq!(out.len(), 1);
+        assert_eq!(obj.ts(), Timestamp(2));
+        let e2 = obj.history().get(Timestamp(2)).expect("entry 2");
+        assert_eq!(e2.pw.value, Some(20));
+        assert!(e2.w.is_none(), "write 2's W round not yet seen");
+        let e1 = obj.history().get(Timestamp(1)).expect("backfilled entry 1");
+        assert_eq!(e1.pw.value, Some(10));
+        assert_eq!(e1.w.as_ref().map(|w| w.ts()), Some(Timestamp(1)));
+    }
+
+    #[test]
+    fn w_completes_the_entry() {
+        let mut obj = RegularObject::new();
+        step(&mut obj, pw_msg(1, 10, WTuple::initial()));
+        let out = step(&mut obj, w_msg(1, 10));
+        assert_eq!(out.len(), 1);
+        let e1 = obj.history().get(Timestamp(1)).expect("entry 1");
+        assert!(e1.w.is_some());
+    }
+
+    #[test]
+    fn stale_messages_do_not_ack_or_mutate() {
+        let mut obj = RegularObject::new();
+        step(&mut obj, pw_msg(3, 30, tuple(2, 20)));
+        assert!(step(&mut obj, pw_msg(2, 99, tuple(1, 98))).is_empty());
+        assert!(step(&mut obj, w_msg(2, 99)).is_empty());
+        assert_eq!(obj.history().get(Timestamp(2)).unwrap().pw.value, Some(20));
+    }
+
+    #[test]
+    fn read_returns_full_history_without_since() {
+        let mut obj = RegularObject::new();
+        step(&mut obj, pw_msg(1, 10, WTuple::initial()));
+        step(&mut obj, w_msg(1, 10));
+        let out = step(
+            &mut obj,
+            Msg::Read { round: ReadRound::R1, reader: 0, tsr: 1, since: None },
+        );
+        match &out[..] {
+            [(_, Msg::ReadAckRegular { history, .. })] => {
+                assert_eq!(history.len(), 2, "entries 0 and 1");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_with_since_returns_suffix() {
+        let mut obj = RegularObject::new();
+        for k in 1..=5u64 {
+            step(&mut obj, pw_msg(k, k * 10, tuple(k - 1, (k - 1) * 10)));
+            step(&mut obj, w_msg(k, k * 10));
+        }
+        let out = step(
+            &mut obj,
+            Msg::Read { round: ReadRound::R1, reader: 0, tsr: 1, since: Some(Timestamp(4)) },
+        );
+        match &out[..] {
+            [(_, Msg::ReadAckRegular { history, .. })] => {
+                assert_eq!(history.len(), 2, "entries 4 and 5 only");
+                assert!(history.get(Timestamp(3)).is_none());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stale_reader_timestamp_gets_no_reply() {
+        let mut obj: RegularObject<u64> = RegularObject::new();
+        step(&mut obj, Msg::Read { round: ReadRound::R1, reader: 0, tsr: 4, since: None });
+        let out =
+            step(&mut obj, Msg::Read { round: ReadRound::R1, reader: 0, tsr: 4, since: None });
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn keep_last_bounds_history() {
+        let mut obj = RegularObject::with_retention(HistoryRetention::KeepLast(3));
+        for k in 1..=10u64 {
+            step(&mut obj, pw_msg(k, k, tuple(k - 1, k - 1)));
+            step(&mut obj, w_msg(k, k));
+        }
+        assert!(obj.history().len() <= 3);
+        assert!(obj.history().get(Timestamp(10)).is_some(), "newest entry kept");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn keep_last_zero_rejected() {
+        let _ = RegularObject::<u64>::with_retention(HistoryRetention::KeepLast(0));
+    }
+}

@@ -1,0 +1,443 @@
+//! Core data types of the storage protocols.
+//!
+//! Nomenclature follows the paper: `pw` fields hold timestamp–value pairs
+//! ([`TsVal`]), `w` fields hold pairs of a timestamp–value pair and an array
+//! of reader-timestamp arrays ([`WTuple`] wrapping a [`TsrMatrix`]).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::hash::Hash;
+
+/// Values storable in the register.
+///
+/// The register is single-writer multi-reader over opaque unauthenticated
+/// data; any equality-comparable owned type works. `wire_size` feeds the
+/// bandwidth accounting of the §5.1 experiments.
+pub trait Value: Clone + Eq + Ord + Hash + fmt::Debug + Send + 'static {
+    /// Estimated serialized size of this value in bytes.
+    fn wire_size(&self) -> usize {
+        std::mem::size_of::<Self>()
+    }
+}
+
+impl Value for u64 {}
+impl Value for u32 {}
+impl Value for i64 {}
+impl Value for bool {}
+impl Value for () {}
+
+impl Value for String {
+    fn wire_size(&self) -> usize {
+        self.len()
+    }
+}
+
+impl Value for Vec<u8> {
+    fn wire_size(&self) -> usize {
+        self.len()
+    }
+}
+
+/// A write timestamp. The writer issues `1, 2, 3, …`; `0` is the initial
+/// timestamp of the special value `⊥`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The timestamp of the initial value `⊥`.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// The next timestamp (the paper's `inc(ts)`).
+    #[must_use]
+    pub fn next(self) -> Timestamp {
+        Timestamp(self.0 + 1)
+    }
+
+    /// The previous timestamp, saturating at zero.
+    #[must_use]
+    pub fn prev(self) -> Timestamp {
+        Timestamp(self.0.saturating_sub(1))
+    }
+}
+
+impl fmt::Debug for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ts{}", self.0)
+    }
+}
+
+impl From<u64> for Timestamp {
+    fn from(v: u64) -> Self {
+        Timestamp(v)
+    }
+}
+
+/// A timestamp–value pair `⟨ts, v⟩` (the content of `pw` fields).
+///
+/// `value == None` encodes the paper's initial value `⊥`, which "is not a
+/// valid input value for a WRITE" (§2.2).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TsVal<V> {
+    /// The write timestamp.
+    pub ts: Timestamp,
+    /// The written value, or `None` for `⊥`.
+    pub value: Option<V>,
+}
+
+impl<V: Value> TsVal<V> {
+    /// The initial pair `⟨0, ⊥⟩` (the paper's `pw0`).
+    pub fn bottom() -> Self {
+        TsVal { ts: Timestamp::ZERO, value: None }
+    }
+
+    /// A written pair `⟨ts, v⟩`.
+    pub fn new(ts: Timestamp, value: V) -> Self {
+        TsVal { ts, value: Some(value) }
+    }
+
+    /// Estimated wire size in bytes.
+    pub fn wire_size(&self) -> usize {
+        8 + self.value.as_ref().map_or(0, Value::wire_size)
+    }
+}
+
+impl<V: fmt::Debug> fmt::Debug for TsVal<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.value {
+            Some(v) => write!(f, "⟨{:?},{v:?}⟩", self.ts.0),
+            None => write!(f, "⟨{:?},⊥⟩", self.ts.0),
+        }
+    }
+}
+
+/// Identifies a reader: the index `j` in the paper's `tsr[j]` fields.
+pub type ReaderIndex = usize;
+
+/// Identifies a base object: the index `i` in the paper's `s_i`.
+pub type ObjectIndex = usize;
+
+/// The array of arrays of reader timestamps the writer collects during its
+/// `PW` round (the paper's `tsrarray[1..S][1..R]`).
+///
+/// `get(i, j)` is object `s_i`'s last-known timestamp of reader `r_j` as
+/// reported to the writer; an absent outer entry is the paper's `nil` (the
+/// object did not ack the `PW` round), and an absent inner entry means the
+/// object had not heard from that reader (equivalent to timestamp `0`).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TsrMatrix {
+    entries: BTreeMap<ObjectIndex, BTreeMap<ReaderIndex, u64>>,
+}
+
+impl TsrMatrix {
+    /// The all-`nil` matrix (the paper's `inittsrarray`).
+    pub fn empty() -> Self {
+        TsrMatrix::default()
+    }
+
+    /// Records object `i`'s reader-timestamp vector.
+    pub fn set_row(&mut self, i: ObjectIndex, row: BTreeMap<ReaderIndex, u64>) {
+        self.entries.insert(i, row);
+    }
+
+    /// `tsrarray[i][j]`, or `None` if object `i` never acked (`nil`).
+    ///
+    /// An acked object with no entry for `j` reads as `Some(0)`: the object
+    /// had initialized `tsr[j] := 0`.
+    pub fn get(&self, i: ObjectIndex, j: ReaderIndex) -> Option<u64> {
+        self.entries.get(&i).map(|row| row.get(&j).copied().unwrap_or(0))
+    }
+
+    /// Object indexes with non-`nil` rows.
+    pub fn acked_objects(&self) -> impl Iterator<Item = ObjectIndex> + '_ {
+        self.entries.keys().copied()
+    }
+
+    /// Number of non-`nil` rows.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no object acked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Estimated wire size in bytes.
+    pub fn wire_size(&self) -> usize {
+        self.entries.values().map(|row| 8 + row.len() * 16).sum()
+    }
+}
+
+impl fmt::Debug for TsrMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.entries.iter()).finish()
+    }
+}
+
+/// The tuple stored in `w` fields: `⟨tsval, tsrarray⟩`.
+///
+/// This is the unit the reader's candidate set `C` ranges over; two tuples
+/// with the same `tsval` but different matrices are distinct candidates
+/// (a fact Byzantine objects can exploit, and which the `conflict` predicate
+/// defends against).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WTuple<V> {
+    /// The timestamp–value pair of the write that produced this tuple.
+    pub tsval: TsVal<V>,
+    /// The reader timestamps collected in that write's `PW` round.
+    pub tsrarray: TsrMatrix,
+}
+
+impl<V: Value> WTuple<V> {
+    /// The initial tuple `w0 = ⟨⟨0,⊥⟩, inittsrarray⟩`.
+    pub fn initial() -> Self {
+        WTuple { tsval: TsVal::bottom(), tsrarray: TsrMatrix::empty() }
+    }
+
+    /// A tuple for a written pair.
+    pub fn new(tsval: TsVal<V>, tsrarray: TsrMatrix) -> Self {
+        WTuple { tsval, tsrarray }
+    }
+
+    /// The write timestamp of this tuple.
+    pub fn ts(&self) -> Timestamp {
+        self.tsval.ts
+    }
+
+    /// Estimated wire size in bytes.
+    pub fn wire_size(&self) -> usize {
+        self.tsval.wire_size() + self.tsrarray.wire_size()
+    }
+}
+
+impl<V: fmt::Debug> fmt::Debug for WTuple<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{:?}", self.tsval)
+    }
+}
+
+/// One entry of a regular-storage object's history: the `⟨pw, w⟩` recorded
+/// for a given write timestamp (Figure 5).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct HistEntry<V> {
+    /// The `pw` component (always known once the entry exists).
+    pub pw: TsVal<V>,
+    /// The `w` component; `None` is the paper's `nil` (only the `PW` round
+    /// of this write has been seen so far).
+    pub w: Option<WTuple<V>>,
+}
+
+impl<V: Value> HistEntry<V> {
+    /// Estimated wire size in bytes.
+    pub fn wire_size(&self) -> usize {
+        self.pw.wire_size() + self.w.as_ref().map_or(1, |w| 1 + w.wire_size())
+    }
+}
+
+impl<V: fmt::Debug> fmt::Debug for HistEntry<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:?},{:?})", self.pw, self.w)
+    }
+}
+
+/// A regular-storage object's history: write timestamp → [`HistEntry`].
+///
+/// The unoptimized protocol ships the whole map in every `READk_ACK`; the
+/// §5.1 optimization ships the suffix from the reader's cached timestamp.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct History<V> {
+    entries: BTreeMap<Timestamp, HistEntry<V>>,
+}
+
+impl<V> History<V> {
+    /// An empty history (used for suffix extraction).
+    pub fn empty() -> Self {
+        History { entries: BTreeMap::new() }
+    }
+
+    /// The entry at `ts`, or `None` ("no entry", which readers must treat
+    /// as `⟨nil, nil⟩`, Figure 6).
+    pub fn get(&self, ts: Timestamp) -> Option<&HistEntry<V>> {
+        self.entries.get(&ts)
+    }
+
+    /// Inserts or replaces the entry at `ts`.
+    pub fn insert(&mut self, ts: Timestamp, entry: HistEntry<V>) {
+        self.entries.insert(ts, entry);
+    }
+
+    /// All entries in timestamp order.
+    pub fn iter(&self) -> impl Iterator<Item = (Timestamp, &HistEntry<V>)> {
+        self.entries.iter().map(|(ts, e)| (*ts, e))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the history holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The highest timestamp with an entry.
+    pub fn max_ts(&self) -> Option<Timestamp> {
+        self.entries.keys().next_back().copied()
+    }
+}
+
+impl<V: Value> History<V> {
+    /// The initial history: `history[0] = ⟨pw0, ⟨pw0, inittsrarray⟩⟩`.
+    pub fn initial() -> Self {
+        let mut entries = BTreeMap::new();
+        entries.insert(
+            Timestamp::ZERO,
+            HistEntry { pw: TsVal::bottom(), w: Some(WTuple::initial()) },
+        );
+        History { entries }
+    }
+
+    /// The sub-history from `since` (inclusive) onwards — the §5.1
+    /// optimization's reply payload.
+    pub fn suffix(&self, since: Timestamp) -> History<V> {
+        History {
+            entries: self.entries.range(since..).map(|(k, v)| (*k, v.clone())).collect(),
+        }
+    }
+
+    /// Drops every entry strictly below `below`, keeping at least the
+    /// highest entry. An *extension* over the paper (garbage collection for
+    /// the storage-exhaustion caveat of §1); never enabled in the
+    /// paper-faithful configuration.
+    pub fn retain_from(&mut self, below: Timestamp) {
+        if let Some(max) = self.max_ts() {
+            let cut = below.min(max);
+            self.entries.retain(|ts, _| *ts >= cut);
+        }
+    }
+
+    /// Estimated wire size in bytes.
+    pub fn wire_size(&self) -> usize {
+        self.entries.values().map(|e| 8 + e.wire_size()).sum()
+    }
+}
+
+impl<V: fmt::Debug> fmt::Debug for History<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.entries.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_next_prev() {
+        assert_eq!(Timestamp::ZERO.next(), Timestamp(1));
+        assert_eq!(Timestamp(5).prev(), Timestamp(4));
+        assert_eq!(Timestamp::ZERO.prev(), Timestamp::ZERO);
+    }
+
+    #[test]
+    fn tsval_bottom_is_minimal() {
+        let bot: TsVal<u64> = TsVal::bottom();
+        assert_eq!(bot.ts, Timestamp::ZERO);
+        assert!(bot.value.is_none());
+        assert!(bot < TsVal::new(Timestamp(1), 0u64));
+    }
+
+    #[test]
+    fn tsval_wire_size_counts_value() {
+        assert_eq!(TsVal::<u64>::bottom().wire_size(), 8);
+        assert_eq!(TsVal::new(Timestamp(1), 7u64).wire_size(), 16);
+        assert_eq!(TsVal::new(Timestamp(1), vec![0u8; 100]).wire_size(), 108);
+    }
+
+    #[test]
+    fn tsr_matrix_nil_vs_zero() {
+        let mut m = TsrMatrix::empty();
+        assert_eq!(m.get(0, 0), None); // nil: object never acked
+        m.set_row(0, BTreeMap::from([(1, 5)]));
+        assert_eq!(m.get(0, 1), Some(5));
+        assert_eq!(m.get(0, 0), Some(0)); // acked object, unknown reader -> 0
+        assert_eq!(m.get(3, 0), None);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn tsr_matrix_equality_is_structural() {
+        let mut a = TsrMatrix::empty();
+        let mut b = TsrMatrix::empty();
+        a.set_row(2, BTreeMap::from([(0, 1)]));
+        b.set_row(2, BTreeMap::from([(0, 1)]));
+        assert_eq!(a, b);
+        b.set_row(3, BTreeMap::new());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn wtuple_initial_matches_paper_w0() {
+        let w0: WTuple<u64> = WTuple::initial();
+        assert_eq!(w0.ts(), Timestamp::ZERO);
+        assert!(w0.tsval.value.is_none());
+        assert!(w0.tsrarray.is_empty());
+    }
+
+    #[test]
+    fn distinct_matrices_make_distinct_tuples() {
+        let tsval = TsVal::new(Timestamp(1), 9u64);
+        let a = WTuple::new(tsval.clone(), TsrMatrix::empty());
+        let mut m = TsrMatrix::empty();
+        m.set_row(0, BTreeMap::from([(0, 3)]));
+        let b = WTuple::new(tsval, m);
+        assert_ne!(a, b, "same tsval, different matrix must be distinct candidates");
+    }
+
+    #[test]
+    fn history_initial_has_ts0() {
+        let h: History<u64> = History::initial();
+        assert_eq!(h.len(), 1);
+        let e = h.get(Timestamp::ZERO).expect("initial entry");
+        assert_eq!(e.pw, TsVal::bottom());
+        assert_eq!(e.w.as_ref().map(WTuple::ts), Some(Timestamp::ZERO));
+    }
+
+    #[test]
+    fn history_suffix_is_inclusive() {
+        let mut h: History<u64> = History::initial();
+        for k in 1..=5u64 {
+            h.insert(
+                Timestamp(k),
+                HistEntry { pw: TsVal::new(Timestamp(k), k), w: None },
+            );
+        }
+        let suf = h.suffix(Timestamp(3));
+        assert_eq!(suf.len(), 3);
+        assert!(suf.get(Timestamp(2)).is_none());
+        assert!(suf.get(Timestamp(3)).is_some());
+        assert_eq!(suf.max_ts(), Some(Timestamp(5)));
+    }
+
+    #[test]
+    fn history_retain_keeps_top_entry() {
+        let mut h: History<u64> = History::initial();
+        for k in 1..=5u64 {
+            h.insert(Timestamp(k), HistEntry { pw: TsVal::new(Timestamp(k), k), w: None });
+        }
+        h.retain_from(Timestamp(100)); // beyond max: keeps the max entry only
+        assert_eq!(h.len(), 1);
+        assert!(h.get(Timestamp(5)).is_some());
+    }
+
+    #[test]
+    fn history_wire_size_grows_with_entries() {
+        let mut h: History<u64> = History::initial();
+        let small = h.wire_size();
+        for k in 1..=10u64 {
+            h.insert(Timestamp(k), HistEntry { pw: TsVal::new(Timestamp(k), k), w: None });
+        }
+        assert!(h.wire_size() > small);
+    }
+}

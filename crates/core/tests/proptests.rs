@@ -1,0 +1,222 @@
+//! Property tests on the core data structures and the conflict-free
+//! subset solver.
+
+use proptest::prelude::*;
+
+use vrr_core::regular::RegularObject;
+use vrr_core::safe::SafeObject;
+use vrr_core::{
+    conflict_free_of_size, max_conflict_free, HistEntry, History, Msg, ReadRound, Timestamp,
+    TsrMatrix, TsVal, WTuple,
+};
+use vrr_sim::{Automaton, Context, ProcessId};
+
+// ---------------------------------------------------------------------------
+// History
+// ---------------------------------------------------------------------------
+
+fn entries_strategy() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((1u64..200, any::<u64>()), 0..40)
+}
+
+fn build_history(entries: &[(u64, u64)]) -> History<u64> {
+    let mut h = History::initial();
+    for (ts, v) in entries {
+        let tsval = TsVal::new(Timestamp(*ts), *v);
+        h.insert(
+            Timestamp(*ts),
+            HistEntry { pw: tsval.clone(), w: Some(WTuple::new(tsval, TsrMatrix::empty())) },
+        );
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn suffix_entries_are_exactly_those_at_or_after_since(
+        entries in entries_strategy(),
+        since in 0u64..250,
+    ) {
+        let h = build_history(&entries);
+        let suffix = h.suffix(Timestamp(since));
+        for (ts, _e) in h.iter() {
+            let in_suffix = suffix.get(ts).is_some();
+            prop_assert_eq!(in_suffix, ts.0 >= since, "ts {} since {}", ts.0, since);
+        }
+        // And nothing extra.
+        prop_assert!(suffix.len() <= h.len());
+        for (ts, e) in suffix.iter() {
+            prop_assert_eq!(Some(e), h.get(ts));
+        }
+    }
+
+    #[test]
+    fn retain_from_keeps_the_newest_entry(
+        entries in entries_strategy(),
+        below in 0u64..400,
+    ) {
+        let mut h = build_history(&entries);
+        let max_before = h.max_ts();
+        h.retain_from(Timestamp(below));
+        prop_assert_eq!(h.max_ts(), max_before, "GC must never lose the newest entry");
+        prop_assert!(h.len() >= 1);
+        for (ts, _) in h.iter() {
+            prop_assert!(ts.0 >= below.min(max_before.unwrap().0));
+        }
+    }
+
+    #[test]
+    fn wire_size_is_monotone_in_entries(entries in entries_strategy()) {
+        let mut h = History::<u64>::initial();
+        let mut last = h.wire_size();
+        for (ts, v) in entries {
+            let had = h.get(Timestamp(ts)).is_some();
+            let tsval = TsVal::new(Timestamp(ts), v);
+            h.insert(
+                Timestamp(ts),
+                HistEntry { pw: tsval.clone(), w: Some(WTuple::new(tsval, TsrMatrix::empty())) },
+            );
+            let now = h.wire_size();
+            if !had {
+                prop_assert!(now > last, "adding an entry must grow the wire size");
+            }
+            last = now;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Conflict-free subsets
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn returned_subset_is_conflict_free_and_within_members(
+        n in 1usize..16,
+        edges in proptest::collection::vec((0usize..16, 0usize..16), 0..40),
+    ) {
+        let members: Vec<usize> = (0..n).collect();
+        let conflict = |i: usize, k: usize| edges.iter().any(|&(a, b)| a % n == i && b % n == k);
+        let chosen = max_conflict_free(&members, conflict);
+        for &i in &chosen {
+            prop_assert!(members.contains(&i));
+            for &k in &chosen {
+                prop_assert!(
+                    !conflict(i, k),
+                    "chosen set contains conflicting pair ({i}, {k})"
+                );
+            }
+        }
+        // Threshold helper agrees with the maximum.
+        let need = chosen.len();
+        prop_assert!(conflict_free_of_size(&members, conflict, need).is_some());
+        prop_assert!(conflict_free_of_size(&members, conflict, need + 1).is_none()
+            || need == n);
+    }
+
+    #[test]
+    fn adding_conflicts_never_grows_the_maximum(
+        n in 2usize..12,
+        edges in proptest::collection::vec((0usize..12, 0usize..12), 1..25),
+    ) {
+        let members: Vec<usize> = (0..n).collect();
+        let all = |i: usize, k: usize| edges.iter().any(|&(a, b)| a % n == i && b % n == k);
+        let fewer = |i: usize, k: usize| {
+            edges[..edges.len() - 1].iter().any(|&(a, b)| a % n == i && b % n == k)
+        };
+        let with_all = max_conflict_free(&members, all).len();
+        let with_fewer = max_conflict_free(&members, fewer).len();
+        prop_assert!(with_all <= with_fewer);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Object monotonicity under arbitrary message sequences (Lemma 1's base).
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum ObjStimulus {
+    Pw { ts: u64, v: u64 },
+    W { ts: u64, v: u64 },
+    Read { round: bool, reader: usize, tsr: u64 },
+}
+
+fn obj_stimulus() -> impl Strategy<Value = ObjStimulus> {
+    prop_oneof![
+        (1u64..50, any::<u64>()).prop_map(|(ts, v)| ObjStimulus::Pw { ts, v }),
+        (1u64..50, any::<u64>()).prop_map(|(ts, v)| ObjStimulus::W { ts, v }),
+        (any::<bool>(), 0usize..3, 1u64..50)
+            .prop_map(|(round, reader, tsr)| ObjStimulus::Read { round, reader, tsr }),
+    ]
+}
+
+fn to_msg(s: &ObjStimulus) -> Msg<u64> {
+    match *s {
+        ObjStimulus::Pw { ts, v } => Msg::Pw {
+            ts: Timestamp(ts),
+            pw: TsVal::new(Timestamp(ts), v),
+            w: WTuple::initial(),
+        },
+        ObjStimulus::W { ts, v } => {
+            let tsval = TsVal::new(Timestamp(ts), v);
+            Msg::W {
+                ts: Timestamp(ts),
+                pw: tsval.clone(),
+                w: WTuple::new(tsval, TsrMatrix::empty()),
+            }
+        }
+        ObjStimulus::Read { round, reader, tsr } => Msg::Read {
+            round: if round { ReadRound::R2 } else { ReadRound::R1 },
+            reader,
+            tsr,
+            since: None,
+        },
+    }
+}
+
+proptest! {
+    #[test]
+    fn safe_object_state_is_monotone(
+        stimuli in proptest::collection::vec(obj_stimulus(), 0..60),
+    ) {
+        let mut obj: SafeObject<u64> = SafeObject::new();
+        let mut out = Vec::new();
+        let mut last_ts = Timestamp::ZERO;
+        let mut last_tsr = [0u64; 3];
+        for s in &stimuli {
+            {
+                let mut ctx = Context::new(ProcessId(0), &mut out);
+                obj.on_message(ProcessId(9), to_msg(s), &mut ctx);
+            }
+            out.clear();
+            prop_assert!(obj.ts() >= last_ts, "object timestamp regressed");
+            last_ts = obj.ts();
+            for j in 0..3 {
+                prop_assert!(obj.tsr(j) >= last_tsr[j], "reader timestamp regressed");
+                last_tsr[j] = obj.tsr(j);
+            }
+            // The pw/w fields always carry ts ≤ the object's ts.
+            prop_assert!(obj.pw().ts <= obj.ts());
+            prop_assert!(obj.w().ts() <= obj.ts());
+        }
+    }
+
+    #[test]
+    fn regular_object_history_only_grows_under_keepall(
+        stimuli in proptest::collection::vec(obj_stimulus(), 0..60),
+    ) {
+        let mut obj: RegularObject<u64> = RegularObject::new();
+        let mut out = Vec::new();
+        let mut last_len = obj.history().len();
+        for s in &stimuli {
+            {
+                let mut ctx = Context::new(ProcessId(0), &mut out);
+                obj.on_message(ProcessId(9), to_msg(s), &mut ctx);
+            }
+            out.clear();
+            prop_assert!(obj.history().len() >= last_len, "history shrank under KeepAll");
+            last_len = obj.history().len();
+            prop_assert!(obj.history().get(Timestamp::ZERO).is_some(), "entry 0 must persist");
+        }
+    }
+}

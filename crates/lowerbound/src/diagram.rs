@@ -1,0 +1,238 @@
+//! ASCII rendering of the Figure-1 block diagrams.
+//!
+//! The paper illustrates its proof with block diagrams: one column per
+//! round of each operation, one row per block (`T1`, `T2`, `B1`, `B2`), a
+//! rectangle where the block receives and answers the round's message, and
+//! `σ` annotations for the states the forgeries replay. This module
+//! regenerates those diagrams for any `(t, b)` — used by the
+//! `lower_bound_demo` example and the `fig1_lowerbound` experiment to make
+//! the construction legible next to the verdict.
+
+use std::fmt::Write as _;
+
+use crate::spec::BlockPartition;
+
+/// Which of the five runs to draw.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Run {
+    /// `run1`: the read's first round reaches only `B1`; reader crashes.
+    Run1,
+    /// `run2`: extends `run1` with a complete write that skips `T1`.
+    Run2,
+    /// `run3`: everyone correct; write concurrent; `T2` slow.
+    Run3,
+    /// `run4`: write first, `B1` malicious (forges `σ1`, then `σ0`).
+    Run4,
+    /// `run5`: nothing written, `B2` malicious (forges `σ2`).
+    Run5,
+}
+
+impl Run {
+    /// All runs in proof order.
+    pub const ALL: [Run; 5] = [Run::Run1, Run::Run2, Run::Run3, Run::Run4, Run::Run5];
+
+    fn title(self) -> &'static str {
+        match self {
+            Run::Run1 => "run1: rd1 round 1 reaches only B1 (reader crashes)",
+            Run::Run2 => "run2: wr1(v1) completes, skipping T1",
+            Run::Run3 => "run3: all correct; wr1 concurrent; T2 slow — rd1 returns vR",
+            Run::Run4 => "run4: wr1 precedes rd1; B1 malicious — safety demands vR = v1",
+            Run::Run5 => "run5: nothing written; B2 malicious — safety demands vR = ⊥",
+        }
+    }
+}
+
+/// Rows of the diagram, in the paper's order.
+const BLOCKS: [&str; 4] = ["T1", "T2", "B1", "B2"];
+
+struct Cell {
+    /// Rendered content, e.g. `[rd1:1 σ0→σ1]` or blanks.
+    text: String,
+}
+
+/// Renders one run's block diagram.
+///
+/// Columns: `rd1` round 1 and the write's rounds `1..k` (we draw the
+/// write's two rounds; the construction is insensitive to `k`). A filled
+/// cell means the block receives and answers that round; `σ` marks the
+/// state relevant to the proof; `@` marks a malicious block (paper legend).
+pub fn render_run(partition: &BlockPartition, run: Run) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", run.title());
+
+    // Column labels.
+    let cols: Vec<&str> = match run {
+        Run::Run1 => vec!["rd1.1"],
+        Run::Run2 => vec!["rd1.1", "wr1.PW", "wr1.W"],
+        Run::Run3 | Run::Run4 | Run::Run5 => vec!["rd1.1", "wr1.PW", "wr1.W"],
+    };
+
+    let cell = |block: &str, col: &str| -> Cell {
+        let filled: bool;
+        let mut note = String::new();
+        match (run, block, col) {
+            // --- read round 1 column.
+            (Run::Run1, "B1", "rd1.1") => {
+                filled = true;
+                note = "σ0→σ1".into();
+            }
+            (Run::Run1, _, "rd1.1") => filled = false,
+
+            (Run::Run2, "B1", "rd1.1") => {
+                filled = true;
+                note = "σ1".into();
+            }
+            (Run::Run2, _, "rd1.1") => filled = false,
+
+            (Run::Run3, b, "rd1.1") => {
+                // T2 slow: reader hears B1 (late, pre-write reply), B2, T1.
+                filled = b != "T2";
+                note = match b {
+                    "T1" => "σ0".into(),
+                    "B1" => "σ0→σ1 (late)".into(),
+                    "B2" => "σ2".into(),
+                    _ => String::new(),
+                };
+            }
+            (Run::Run4, b, "rd1.1") => {
+                filled = b != "T2";
+                note = match b {
+                    "T1" => "σ0".into(),
+                    "B1" => "@ forged σ0→σ1".into(),
+                    "B2" => "σ2".into(),
+                    _ => String::new(),
+                };
+            }
+            (Run::Run5, b, "rd1.1") => {
+                filled = b != "T2";
+                note = match b {
+                    "T1" => "σ0".into(),
+                    "B1" => "σ0→σ1".into(),
+                    "B2" => "@ forged σ2".into(),
+                    _ => String::new(),
+                };
+            }
+
+            // --- write columns: everyone except T1 participates; no write
+            // in run5.
+            (Run::Run5, _, _) => filled = false,
+            (_, "T1", _) => filled = false,
+            (_, b, "wr1.W") => {
+                filled = true;
+                if b == "B2" {
+                    note = "→σ2".into();
+                }
+            }
+            (_, _, _) => filled = true,
+        }
+        let text = if filled {
+            if note.is_empty() {
+                "[##]".to_string()
+            } else {
+                format!("[{note}]")
+            }
+        } else {
+            "  ·".to_string()
+        };
+        Cell { text }
+    };
+
+    // Compute column widths.
+    let mut grid: Vec<Vec<Cell>> = Vec::new();
+    for block in BLOCKS {
+        grid.push(cols.iter().map(|c| cell(block, c)).collect());
+    }
+    let mut widths: Vec<usize> = cols.iter().map(|c| c.chars().count()).collect();
+    for row in &grid {
+        for (i, c) in row.iter().enumerate() {
+            widths[i] = widths[i].max(c.text.chars().count());
+        }
+    }
+
+    // Header.
+    let _ = write!(out, "  {:>4} ", "");
+    for (i, c) in cols.iter().enumerate() {
+        let _ = write!(out, " {:<w$}", c, w = widths[i] + 1);
+    }
+    out.push('\n');
+    // Rows with block sizes.
+    for (bi, block) in BLOCKS.iter().enumerate() {
+        let size = match *block {
+            "T1" => partition.t1.len(),
+            "T2" => partition.t2.len(),
+            "B1" => partition.b1.len(),
+            _ => partition.b2.len(),
+        };
+        let _ = write!(out, "  {block}({size})");
+        for (i, c) in grid[bi].iter().enumerate() {
+            let _ = write!(out, " {:<w$}", c.text, w = widths[i] + 1);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders all five runs.
+pub fn render_all(partition: &BlockPartition) -> String {
+    let mut out = String::new();
+    for run in Run::ALL {
+        out.push_str(&render_run(partition, run));
+        out.push('\n');
+    }
+    out.push_str("legend: [##] block receives+answers the round · σ state · @ malicious · · skipped\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn partition() -> BlockPartition {
+        BlockPartition::new(6, 2, 1)
+    }
+
+    #[test]
+    fn run1_touches_only_b1() {
+        let d = render_run(&partition(), Run::Run1);
+        assert!(d.contains("σ0→σ1"));
+        // T1 and T2 rows show only skips in run1.
+        for line in d.lines().filter(|l| l.trim_start().starts_with('T')) {
+            assert!(!line.contains("[#"), "T rows must be empty in run1: {line}");
+        }
+    }
+
+    #[test]
+    fn run4_and_run5_mark_the_malicious_block() {
+        let d4 = render_run(&partition(), Run::Run4);
+        assert!(d4.contains("@ forged σ0→σ1"), "{d4}");
+        let d5 = render_run(&partition(), Run::Run5);
+        assert!(d5.contains("@ forged σ2"), "{d5}");
+        // run5 has no write columns filled.
+        for line in d5.lines().skip(2) {
+            let after_first_col: String =
+                line.split_whitespace().skip(2).collect::<Vec<_>>().join(" ");
+            assert!(!after_first_col.contains("[##]"), "no write activity in run5: {line}");
+        }
+    }
+
+    #[test]
+    fn t2_never_answers_the_read() {
+        for run in [Run::Run3, Run::Run4, Run::Run5] {
+            let d = render_run(&partition(), run);
+            let t2_line = d.lines().find(|l| l.trim_start().starts_with("T2")).unwrap();
+            let first_cell = t2_line.split_whitespace().nth(1).unwrap();
+            assert_eq!(first_cell, "·", "{run:?}: T2 must skip rd1 round 1");
+        }
+    }
+
+    #[test]
+    fn render_all_includes_every_run_and_legend() {
+        let d = render_all(&partition());
+        for run in Run::ALL {
+            assert!(d.contains(run.title()));
+        }
+        assert!(d.contains("legend"));
+        assert!(d.contains("T1(2)"), "block sizes shown");
+        assert!(d.contains("B1(1)"));
+    }
+}

@@ -1,0 +1,41 @@
+//! # vrr-lowerbound: Proposition 1 as an executable artifact
+//!
+//! The paper's first contribution is an impossibility: **no safe storage
+//! over at most `2t + 2b` base objects can make every READ fast (one
+//! communication round-trip)**. The proof (Figure 1) builds five runs in
+//! which forged object states make a post-write run (`run4`) and a
+//! nothing-written run (`run5`) byte-identical to a concurrent run
+//! (`run3`) from the reader's seat; one decision must serve all three, and
+//! safety demands contradictory answers.
+//!
+//! This crate executes that construction against any implementation of
+//! [`FastReadSpec`]:
+//!
+//! * [`execute_prop1`] assembles the common view at `S = 2t + 2b` and
+//!   reports which safety clause the implementation's decision breaks —
+//!   or that the implementation escapes by *not being fast*;
+//! * [`execute_control`] repeats the construction at `S = 2t + 2b + 1`,
+//!   where the extra correct object breaks indistinguishability and the
+//!   masking rule decides both runs correctly — locating the boundary of
+//!   Proposition 1 exactly.
+//!
+//! ```
+//! use vrr_lowerbound::{execute_prop1, LitePairSpec, ReadRule, Verdict};
+//!
+//! let (t, b) = (1, 1);
+//! let spec = LitePairSpec::new(2 * t + 2 * b, t, b, ReadRule::Masking);
+//! let report = execute_prop1(&spec, b, 42);
+//! assert!(report.verdict.is_violation());
+//! ```
+
+#![warn(missing_docs)]
+
+mod diagram;
+mod runs;
+mod spec;
+mod strawmen;
+
+pub use diagram::{render_all, render_run, Run};
+pub use runs::{execute_control, execute_prop1, ControlReport, Prop1Report, Verdict};
+pub use spec::{BlockPartition, FastReadSpec};
+pub use strawmen::{GossipPairSpec, LitePairSpec, ReadRule};

@@ -1,0 +1,325 @@
+//! Executing the Figure-1 run constructions.
+//!
+//! The engine materializes runs `run1` … `run5` of the Proposition-1 proof
+//! against any [`FastReadSpec`] and checks which safety clause the
+//! implementation's decision breaks. The pivotal fact: the reader's view —
+//! the multiset of `S − t` replies it decides from — is *identical* in
+//! `run3` (write concurrent, everyone correct), `run4` (write complete,
+//! `B1` malicious) and `run5` (nothing written, `B2` malicious), so one
+//! decision must serve all three; safety then forces it to be both `v1`
+//! (run4) and `⊥` (run5).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::spec::{BlockPartition, FastReadSpec};
+
+/// The reader timestamp used by the single-round read (`rd1`'s round 1).
+const RD1_TS: u64 = 1;
+
+/// What the harness concluded about one fast-read implementation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict<V> {
+    /// The implementation refused to decide from `S − t` replies: its reads
+    /// are not fast (or not wait-free) in this configuration — it escapes
+    /// the contradiction only by giving up fastness.
+    NotFast,
+    /// The implementation decided; at least one run's safety clause broke.
+    Violation {
+        /// The value `vR` returned in runs 3–5.
+        returned: Option<V>,
+        /// `run4` requires `vR = v1`; `true` if that failed.
+        run4_violated: bool,
+        /// `run5` requires `vR = ⊥`; `true` if that failed.
+        run5_violated: bool,
+    },
+}
+
+impl<V> Verdict<V> {
+    /// Whether the implementation was caught violating safety.
+    pub fn is_violation(&self) -> bool {
+        matches!(self, Verdict::Violation { .. })
+    }
+}
+
+impl<V: fmt::Debug> fmt::Display for Verdict<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::NotFast => write!(f, "not fast: reader blocked on S−t replies"),
+            Verdict::Violation { returned, run4_violated, run5_violated } => {
+                write!(f, "read returned {returned:?} in runs 3/4/5 ⇒ ")?;
+                match (run4_violated, run5_violated) {
+                    (true, true) => write!(f, "safety violated in BOTH run4 and run5"),
+                    (true, false) => write!(f, "safety violated in run4 (must return v1)"),
+                    (false, true) => write!(f, "safety violated in run5 (must return ⊥)"),
+                    (false, false) => write!(f, "no violation (impossible)"),
+                }
+            }
+        }
+    }
+}
+
+/// Artifacts of one harness execution, for reporting and tests.
+#[derive(Clone, Debug)]
+pub struct Prop1Report<S: FastReadSpec> {
+    /// The block partition used.
+    pub partition: BlockPartition,
+    /// The written value `v1`.
+    pub v1: S::Value,
+    /// Whether `wr1` completed in run2 (wait-freedom demands it).
+    pub write_completed: bool,
+    /// The reader's view: object index → reply (identical in runs 3–5).
+    pub view: BTreeMap<usize, S::Reply>,
+    /// The harness verdict.
+    pub verdict: Verdict<S::Value>,
+}
+
+/// Executes runs 1–5 at the impossibility boundary `S = 2t + 2b`.
+///
+/// # Panics
+///
+/// Panics if `spec.object_count() != 2t + 2b` with `t = spec.max_faulty()`
+/// (callers choose `b` via the partition), or if the write fails to
+/// complete in run2 with `S − t` reachable objects (a wait-freedom bug in
+/// the spec itself).
+pub fn execute_prop1<S: FastReadSpec>(spec: &S, b: usize, v1: S::Value) -> Prop1Report<S> {
+    let s = spec.object_count();
+    let t = spec.max_faulty();
+    assert_eq!(s, 2 * t + 2 * b, "Proposition 1 executes at the boundary S = 2t + 2b");
+    let partition = BlockPartition::new(s, t, b);
+    execute_runs(spec, partition, v1)
+}
+
+/// Executes the same construction in a configuration with extra objects
+/// (`S ≥ 2t + 2b + 1`). Returns the *two distinct* views of run4 and run5:
+/// above the boundary the extra correct objects break indistinguishability,
+/// and a sound fast read decides both views correctly.
+#[derive(Clone, Debug)]
+pub struct ControlReport<S: FastReadSpec> {
+    /// The block partition used.
+    pub partition: BlockPartition,
+    /// The written value.
+    pub v1: S::Value,
+    /// The reader's view in run4 (write completed; `B1` malicious).
+    pub view_run4: BTreeMap<usize, S::Reply>,
+    /// The reader's view in run5 (nothing written; `B2` malicious).
+    pub view_run5: BTreeMap<usize, S::Reply>,
+    /// What the implementation returned in run4 (`None` = blocked).
+    pub returned_run4: Option<Option<S::Value>>,
+    /// What the implementation returned in run5 (`None` = blocked).
+    pub returned_run5: Option<Option<S::Value>>,
+}
+
+impl<S: FastReadSpec> ControlReport<S> {
+    /// Whether the implementation survived: distinguishable views, decided
+    /// both, correctly.
+    pub fn is_safe(&self) -> bool {
+        self.view_run4 != self.view_run5
+            && self.returned_run4.as_ref() == Some(&Some(self.v1.clone()))
+            && self.returned_run5 == Some(None)
+    }
+}
+
+/// Runs the control experiment; see [`ControlReport`].
+///
+/// # Panics
+///
+/// Panics if `spec.object_count() < 2t + 2b + 1`.
+pub fn execute_control<S: FastReadSpec>(spec: &S, b: usize, v1: S::Value) -> ControlReport<S> {
+    let s = spec.object_count();
+    let t = spec.max_faulty();
+    assert!(s >= 2 * t + 2 * b + 1, "the control configuration needs S >= 2t + 2b + 1");
+    let partition = BlockPartition::new(s, t, b);
+
+    // run1 equivalent: B1 receives the read first (pre-write σ1 replies).
+    let mut b1_prewrite: Vec<S::ObjState> =
+        partition.b1.iter().map(|_| spec.initial_state()).collect();
+    let b1_replies: Vec<S::Reply> = partition
+        .b1
+        .iter()
+        .zip(b1_prewrite.iter_mut())
+        .map(|(&i, st)| spec.read_reply(i, st, RD1_TS))
+        .collect();
+
+    // run4 world: write completes over everyone except T1 (B1 participates
+    // from forged σ1 — its post-write state is irrelevant because it
+    // re-forges σ0 before replying, reproducing the pre-write reply).
+    let mut states4: Vec<S::ObjState> = (0..s).map(|_| spec.initial_state()).collect();
+    for (&i, st) in partition.b1.iter().zip(b1_prewrite.iter()) {
+        states4[i] = st.clone();
+    }
+    let ok = spec.run_write(v1.clone(), &mut states4, &partition.write_reach());
+    assert!(ok, "run_write must complete with S − t reachable objects (wait-freedom)");
+
+    let mut view_run4: BTreeMap<usize, S::Reply> = BTreeMap::new();
+    for (k, &i) in partition.b1.iter().enumerate() {
+        view_run4.insert(i, b1_replies[k].clone()); // malicious B1 replays σ0→σ1 reply
+    }
+    for &i in partition.b2.iter().chain(&partition.extra) {
+        let reply = spec.read_reply(i, &mut states4[i], RD1_TS);
+        view_run4.insert(i, reply);
+    }
+    for &i in &partition.t1 {
+        let mut st = spec.initial_state(); // T1 never saw the write
+        view_run4.insert(i, spec.read_reply(i, &mut st, RD1_TS));
+    }
+
+    // run5 world: nothing written; B2 forges the post-write state σ2 it
+    // would have had in run4.
+    let mut view_run5: BTreeMap<usize, S::Reply> = BTreeMap::new();
+    for &i in &partition.b1 {
+        let mut st = spec.initial_state(); // honest B1: first read contact
+        view_run5.insert(i, spec.read_reply(i, &mut st, RD1_TS));
+    }
+    for &i in &partition.b2 {
+        // Malicious B2 simulates run4's σ2 exactly: same reply as run4.
+        view_run5.insert(i, view_run4[&i].clone());
+    }
+    for &i in partition.t1.iter().chain(&partition.extra) {
+        let mut st = spec.initial_state();
+        view_run5.insert(i, spec.read_reply(i, &mut st, RD1_TS));
+    }
+
+    let returned_run4 = spec.decide(&view_run4);
+    let returned_run5 = spec.decide(&view_run5);
+    ControlReport { partition, v1, view_run4, view_run5, returned_run4, returned_run5 }
+}
+
+fn execute_runs<S: FastReadSpec>(
+    spec: &S,
+    partition: BlockPartition,
+    v1: S::Value,
+) -> Prop1Report<S> {
+    let s = spec.object_count();
+
+    // ---- run1: rd1's round-1 message reaches only B1; capture σ1 and the
+    // replies (which stay in transit until run3).
+    let mut states: Vec<S::ObjState> = (0..s).map(|_| spec.initial_state()).collect();
+    let mut b1_replies: BTreeMap<usize, S::Reply> = BTreeMap::new();
+    for &i in &partition.b1 {
+        let reply = spec.read_reply(i, &mut states[i], RD1_TS);
+        b1_replies.insert(i, reply);
+    }
+
+    // ---- run2 / run'2: the writer writes v1; all messages to T1 remain in
+    // transit. Wait-freedom forces completion from the S − t others.
+    let write_completed = spec.run_write(v1.clone(), &mut states, &partition.write_reach());
+
+    // ---- run3 = run''2 with T2 merely slow: the reader's view assembles
+    //  * B1's replies from run1 (sent pre-write, delivered late),
+    //  * B2's replies from its post-write state σ2,
+    //  * T1's replies from σ0 (its write messages are still in transit).
+    // run4 and run5 produce byte-identical views via the forgeries
+    // described in the paper, so this one view stands for all three runs.
+    let mut view: BTreeMap<usize, S::Reply> = b1_replies;
+    for &i in &partition.b2 {
+        let reply = spec.read_reply(i, &mut states[i], RD1_TS);
+        view.insert(i, reply);
+    }
+    for &i in &partition.t1 {
+        let reply = spec.read_reply(i, &mut states[i], RD1_TS);
+        view.insert(i, reply);
+    }
+    debug_assert_eq!(view.len(), s - partition.t);
+
+    // ---- the decision and the verdict.
+    let verdict = match spec.decide(&view) {
+        None => Verdict::NotFast,
+        Some(returned) => {
+            let run4_violated = returned != Some(v1.clone());
+            let run5_violated = returned.is_some();
+            Verdict::Violation { returned, run4_violated, run5_violated }
+        }
+    };
+
+    Prop1Report { partition, v1, write_completed, view, verdict }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strawmen::{LitePairSpec, ReadRule};
+
+    #[test]
+    fn masking_rule_at_boundary_violates_run4() {
+        // b+1-corroboration at S = 2t+2b: B2's b post-write replies cannot
+        // corroborate v1, so the reader returns ⊥ — wrong in run4.
+        for (t, b) in [(1, 1), (2, 1), (2, 2), (3, 2)] {
+            let spec = LitePairSpec::new(2 * t + 2 * b, t, b, ReadRule::Masking);
+            let report = execute_prop1(&spec, b, 42u64);
+            assert!(report.write_completed);
+            match report.verdict {
+                Verdict::Violation { returned, run4_violated, run5_violated } => {
+                    assert_eq!(returned, None, "t={t} b={b}");
+                    assert!(run4_violated, "t={t} b={b}: ⊥ breaks run4");
+                    assert!(!run5_violated);
+                }
+                other => panic!("t={t} b={b}: unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn trust_highest_rule_violates_run5() {
+        // Believing the highest timestamp without corroboration returns v1
+        // even when nothing was written.
+        let (t, b) = (1, 1);
+        let spec = LitePairSpec::new(2 * t + 2 * b, t, b, ReadRule::TrustHighest);
+        let report = execute_prop1(&spec, b, 42u64);
+        match report.verdict {
+            Verdict::Violation { returned, run4_violated, run5_violated } => {
+                assert_eq!(returned, Some(42));
+                assert!(!run4_violated);
+                assert!(run5_violated, "phantom v1 in run5");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_threshold_rule_violates_some_run() {
+        // The decision is a function of one fixed view: whatever it
+        // returns, run4 or run5 breaks. Sweep corroboration thresholds to
+        // see both failure modes.
+        let (t, b) = (2, 2);
+        for k in 1..=(2 * t + 2 * b) {
+            let spec = LitePairSpec::new(2 * t + 2 * b, t, b, ReadRule::Threshold(k));
+            let report = execute_prop1(&spec, b, 7u64);
+            match report.verdict {
+                Verdict::Violation { run4_violated, run5_violated, .. } => {
+                    assert!(
+                        run4_violated || run5_violated,
+                        "threshold {k} escaped both clauses"
+                    );
+                }
+                Verdict::NotFast => {
+                    panic!("threshold rules always decide; k={k}")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn control_configuration_is_safe_for_masking() {
+        // One extra object (S = 2t + 2b + 1) breaks indistinguishability:
+        // the masking rule then answers both runs correctly.
+        for (t, b) in [(1, 1), (2, 1), (2, 2)] {
+            let spec = LitePairSpec::new(2 * t + 2 * b + 1, t, b, ReadRule::Masking);
+            let report = execute_control(&spec, b, 42u64);
+            assert_ne!(report.view_run4, report.view_run5, "views must differ");
+            assert!(report.is_safe(), "t={t} b={b}: {:?} / {:?}",
+                report.returned_run4, report.returned_run5);
+        }
+    }
+
+    #[test]
+    fn control_trust_highest_is_still_unsafe() {
+        // Extra objects do not save a rule that ignores corroboration:
+        // B2's forged σ2 still sells a phantom v1 in run5.
+        let (t, b) = (1, 1);
+        let spec = LitePairSpec::new(2 * t + 2 * b + 1, t, b, ReadRule::TrustHighest);
+        let report = execute_control(&spec, b, 42u64);
+        assert!(!report.is_safe());
+        assert_eq!(report.returned_run5, Some(Some(42)), "phantom value believed");
+    }
+}

@@ -1,0 +1,353 @@
+//! A thread-per-process host for `vrr` automata.
+//!
+//! The same deterministic automata that run under the simulator run here on
+//! real OS threads with real (optionally delayed) message passing — the
+//! substrate for wall-clock benchmarks and the networked examples. One
+//! router thread moves messages; each process is a thread draining its
+//! mailbox.
+
+use std::any::Any;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use vrr_sim::{Automaton, Context, ProcessId};
+
+use crate::router::{spawn_router, LinkPolicy, RoutedMsg, RouterCmd};
+
+type InvokeFn<M> = Box<dyn FnOnce(&mut dyn Any, &mut Context<'_, M>) + Send>;
+type WatchFn = Box<dyn FnMut(&dyn Any) -> bool + Send>;
+
+enum NodeCmd<M> {
+    Deliver { from: ProcessId, msg: M },
+    Invoke(InvokeFn<M>),
+    Watch(WatchFn),
+    Crash,
+    Shutdown,
+}
+
+struct Node<M> {
+    tx: Sender<NodeCmd<M>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// A running cluster of automata on threads.
+///
+/// Spawn processes with [`Cluster::spawn`], connect the mailboxes by
+/// calling [`Cluster::seal`] once all processes exist, then drive clients
+/// with [`Cluster::invoke`] / [`Cluster::watch`]. Dropping the cluster
+/// shuts every thread down.
+///
+/// # Examples
+///
+/// ```
+/// use vrr_runtime::{Cluster, NoDelay};
+/// use vrr_sim::{from_fn, Context, ProcessId};
+///
+/// let mut cluster: Cluster<u64> = Cluster::new(Box::new(NoDelay));
+/// let echo = cluster.spawn(from_fn(|from, n: u64, ctx: &mut Context<'_, u64>| {
+///     ctx.send(from, n + 1);
+/// }));
+/// # let _ = echo;
+/// cluster.seal();
+/// ```
+pub struct Cluster<M: Send + 'static> {
+    nodes: Arc<Mutex<Vec<Node<M>>>>,
+    router_tx: Sender<RouterCmd<M>>,
+    router_handle: Option<JoinHandle<()>>,
+    sealed: bool,
+}
+
+impl<M: Send + 'static> Cluster<M> {
+    /// Creates a cluster whose links obey `policy`.
+    pub fn new(policy: Box<dyn LinkPolicy<M>>) -> Self {
+        let nodes: Arc<Mutex<Vec<Node<M>>>> = Arc::new(Mutex::new(Vec::new()));
+        let nodes_for_router = nodes.clone();
+        let (router_tx, router_handle) = spawn_router(policy, move |m: RoutedMsg<M>| {
+            let nodes = nodes_for_router.lock();
+            if let Some(node) = nodes.get(m.to.index()) {
+                let _ = node.tx.send(NodeCmd::Deliver { from: m.from, msg: m.msg });
+            }
+        });
+        Cluster { nodes, router_tx, router_handle: Some(router_handle), sealed: false }
+    }
+
+    /// Spawns a process thread running `automaton`; returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`Cluster::seal`].
+    pub fn spawn(&mut self, automaton: Box<dyn Automaton<M>>) -> ProcessId {
+        assert!(!self.sealed, "spawn all processes before sealing the cluster");
+        let mut nodes = self.nodes.lock();
+        let id = ProcessId(nodes.len());
+        let (tx, rx): (Sender<NodeCmd<M>>, Receiver<NodeCmd<M>>) = unbounded();
+        let router_tx = self.router_tx.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("vrr-node-{}", id.index()))
+            .spawn(move || node_main(id, automaton, rx, router_tx))
+            .expect("spawn node thread");
+        nodes.push(Node { tx, handle: Some(handle) });
+        id
+    }
+
+    /// Marks the topology complete. (Nodes discover each other lazily via
+    /// the router, so this only guards against racy late spawns.)
+    pub fn seal(&mut self) {
+        self.sealed = true;
+    }
+
+    /// Number of spawned processes.
+    pub fn len(&self) -> usize {
+        self.nodes.lock().len()
+    }
+
+    /// Whether no process was spawned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Runs `f` on the concrete automaton of `pid` inside its thread, with
+    /// a context whose sends go through the router. Blocks for the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid`'s automaton is not an `A` or the node is gone.
+    pub fn invoke<A: Automaton<M>, R: Send + 'static>(
+        &self,
+        pid: ProcessId,
+        f: impl FnOnce(&mut A, &mut Context<'_, M>) -> R + Send + 'static,
+    ) -> R {
+        let (tx, rx) = bounded(1);
+        let boxed: InvokeFn<M> = Box::new(move |any, ctx| {
+            let a = any
+                .downcast_mut::<A>()
+                .unwrap_or_else(|| panic!("node is not a {}", std::any::type_name::<A>()));
+            let _ = tx.send(f(a, ctx));
+        });
+        self.nodes.lock()[pid.index()]
+            .tx
+            .send(NodeCmd::Invoke(boxed))
+            .expect("node thread alive");
+        rx.recv().expect("node executed the invoke")
+    }
+
+    /// Registers a watcher on `pid`: after every step, `check` runs against
+    /// the automaton; the first `Some(r)` is delivered on the returned
+    /// channel. Used to await operation completion without polling.
+    pub fn watch<A: Automaton<M>, R: Send + 'static>(
+        &self,
+        pid: ProcessId,
+        mut check: impl FnMut(&A) -> Option<R> + Send + 'static,
+    ) -> Receiver<R> {
+        let (tx, rx) = bounded(1);
+        let boxed: WatchFn = Box::new(move |any| {
+            let a = any
+                .downcast_ref::<A>()
+                .unwrap_or_else(|| panic!("node is not a {}", std::any::type_name::<A>()));
+            match check(a) {
+                Some(r) => {
+                    let _ = tx.send(r);
+                    true
+                }
+                None => false,
+            }
+        });
+        self.nodes.lock()[pid.index()]
+            .tx
+            .send(NodeCmd::Watch(boxed))
+            .expect("node thread alive");
+        rx
+    }
+
+    /// Crashes `pid`: it stops processing deliveries (its thread idles).
+    pub fn crash(&self, pid: ProcessId) {
+        let _ = self.nodes.lock()[pid.index()].tx.send(NodeCmd::Crash);
+    }
+
+    /// Injects a message from `from` to `to` through the router (external
+    /// stimulus, like the simulator's `send_external`).
+    pub fn send_external(&self, from: ProcessId, to: ProcessId, msg: M) {
+        let _ = self.router_tx.send(RouterCmd::Send(RoutedMsg { from, to, msg }));
+    }
+}
+
+impl<M: Send + 'static> Drop for Cluster<M> {
+    fn drop(&mut self) {
+        {
+            let nodes = self.nodes.lock();
+            for node in nodes.iter() {
+                let _ = node.tx.send(NodeCmd::Shutdown);
+            }
+        }
+        let _ = self.router_tx.send(RouterCmd::Shutdown);
+        let mut nodes = self.nodes.lock();
+        for node in nodes.iter_mut() {
+            if let Some(h) = node.handle.take() {
+                let _ = h.join();
+            }
+        }
+        drop(nodes);
+        if let Some(h) = self.router_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<M: Send + 'static> std::fmt::Debug for Cluster<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster").field("nodes", &self.len()).finish()
+    }
+}
+
+fn node_main<M: Send + 'static>(
+    me: ProcessId,
+    mut automaton: Box<dyn Automaton<M>>,
+    rx: Receiver<NodeCmd<M>>,
+    router_tx: Sender<RouterCmd<M>>,
+) {
+    let mut crashed = false;
+    let mut watchers: Vec<WatchFn> = Vec::new();
+
+    // The paper's Init step.
+    let mut outbox: Vec<(ProcessId, M)> = Vec::new();
+    {
+        let mut ctx = Context::new(me, &mut outbox);
+        automaton.on_start(&mut ctx);
+    }
+    flush(me, &mut outbox, &router_tx);
+
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            NodeCmd::Deliver { from, msg } => {
+                if crashed {
+                    continue;
+                }
+                {
+                    let mut ctx = Context::new(me, &mut outbox);
+                    automaton.on_message(from, msg, &mut ctx);
+                }
+                flush(me, &mut outbox, &router_tx);
+                run_watchers(&mut watchers, &*automaton);
+            }
+            NodeCmd::Invoke(f) => {
+                if crashed {
+                    continue; // reply channel drops; caller sees a panic
+                }
+                {
+                    let mut ctx = Context::new(me, &mut outbox);
+                    let any: &mut dyn Any = &mut *automaton;
+                    f(any, &mut ctx);
+                }
+                flush(me, &mut outbox, &router_tx);
+                run_watchers(&mut watchers, &*automaton);
+            }
+            NodeCmd::Watch(mut w) => {
+                let any: &dyn Any = &*automaton;
+                if !w(any) {
+                    watchers.push(w);
+                }
+            }
+            NodeCmd::Crash => crashed = true,
+            NodeCmd::Shutdown => break,
+        }
+    }
+}
+
+fn flush<M: Send + 'static>(
+    me: ProcessId,
+    outbox: &mut Vec<(ProcessId, M)>,
+    router_tx: &Sender<RouterCmd<M>>,
+) {
+    for (to, msg) in outbox.drain(..) {
+        let _ = router_tx.send(RouterCmd::Send(RoutedMsg { from: me, to, msg }));
+    }
+}
+
+fn run_watchers<M>(watchers: &mut Vec<WatchFn>, automaton: &dyn Automaton<M>) {
+    let any: &dyn Any = automaton;
+    watchers.retain_mut(|w| !w(any));
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Duration;
+
+    use vrr_sim::from_fn;
+
+    use super::*;
+    use crate::router::NoDelay;
+
+    /// Counts the values it receives.
+    struct Counter {
+        total: u64,
+        seen: u32,
+    }
+
+    impl Automaton<u64> for Counter {
+        fn on_message(&mut self, _from: ProcessId, msg: u64, _ctx: &mut Context<'_, u64>) {
+            self.total += msg;
+            self.seen += 1;
+        }
+    }
+
+    #[test]
+    fn deliver_and_watch() {
+        let mut cluster: Cluster<u64> = Cluster::new(Box::new(NoDelay));
+        let counter = cluster.spawn(Box::new(Counter { total: 0, seen: 0 }));
+        let doubler = cluster.spawn(from_fn(move |from, n: u64, ctx: &mut Context<'_, u64>| {
+            ctx.send(from, n * 2);
+        }));
+        cluster.seal();
+
+        let done = cluster.watch(counter, |c: &Counter| (c.seen >= 3).then_some(c.total));
+        for i in 1..=3u64 {
+            cluster.send_external(counter, doubler, i);
+        }
+        let total = done.recv_timeout(Duration::from_secs(5)).expect("watch fires");
+        assert_eq!(total, 12, "2 + 4 + 6");
+    }
+
+    /// A client automaton driven purely by invoke.
+    struct Pinger {
+        target: ProcessId,
+        sent: u32,
+    }
+
+    impl Automaton<u64> for Pinger {
+        fn on_message(&mut self, _from: ProcessId, _msg: u64, _ctx: &mut Context<'_, u64>) {}
+    }
+
+    #[test]
+    fn invoke_runs_in_thread_and_sends() {
+        let mut cluster: Cluster<u64> = Cluster::new(Box::new(NoDelay));
+        let counter = cluster.spawn(Box::new(Counter { total: 0, seen: 0 }));
+        let pinger = cluster.spawn(Box::new(Pinger { target: counter, sent: 0 }));
+        cluster.seal();
+
+        let done = cluster.watch(counter, |c: &Counter| (c.seen >= 1).then_some(c.total));
+        let sent_count = cluster.invoke(pinger, |p: &mut Pinger, ctx| {
+            ctx.send(p.target, 41);
+            p.sent += 1;
+            p.sent
+        });
+        assert_eq!(sent_count, 1, "invoke returns the closure's result");
+        assert_eq!(done.recv_timeout(Duration::from_secs(5)).unwrap(), 41);
+    }
+
+    #[test]
+    fn crash_stops_processing() {
+        let mut cluster: Cluster<u64> = Cluster::new(Box::new(NoDelay));
+        let counter = cluster.spawn(Box::new(Counter { total: 0, seen: 0 }));
+        cluster.seal();
+        cluster.crash(counter);
+        cluster.send_external(counter, counter, 5);
+        std::thread::sleep(Duration::from_millis(50));
+        // The watcher registered after the crash still inspects state
+        // (crash stops *processing*, not introspection).
+        let rx = cluster.watch(counter, |c: &Counter| Some(c.seen));
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap(), 0);
+    }
+}

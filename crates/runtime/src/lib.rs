@@ -1,0 +1,32 @@
+//! # vrr-runtime: the storage protocols on real threads
+//!
+//! A thread-per-process message-passing runtime hosting the *same*
+//! automata that run under the deterministic simulator (`vrr-sim`). One
+//! router thread moves messages between mailboxes and can inject link
+//! delays or loss ([`LinkPolicy`]); each process drains its mailbox on its
+//! own OS thread.
+//!
+//! Use the simulator for correctness experiments (replayable adversarial
+//! schedules) and this runtime for wall-clock benchmarks and the networked
+//! examples — the protocol code is identical in both.
+//!
+//! ```
+//! use vrr_runtime::{StorageCluster, ProtocolKind, NoDelay};
+//! use vrr_core::StorageConfig;
+//!
+//! let cfg = StorageConfig::optimal(1, 1, 1); // S = 4 objects
+//! let storage: StorageCluster<String> =
+//!     StorageCluster::deploy(cfg, ProtocolKind::Regular, Box::new(NoDelay));
+//! storage.write("hello".to_string());
+//! assert_eq!(storage.read(0).value.as_deref(), Some("hello"));
+//! ```
+
+#![warn(missing_docs)]
+
+mod cluster;
+mod router;
+mod storage;
+
+pub use cluster::Cluster;
+pub use router::{FixedDelay, LinkAction, LinkPolicy, NoDelay};
+pub use storage::{ProtocolKind, StorageCluster};

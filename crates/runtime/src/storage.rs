@@ -1,0 +1,262 @@
+//! A blocking client API for the paper's storage protocols on the thread
+//! runtime: deploy a cluster of base-object threads, then `write`/`read`
+//! synchronously from test or benchmark code.
+
+use std::time::Duration;
+
+use vrr_sim::{Automaton, ProcessId};
+
+use vrr_core::regular::{RegularObject, RegularReader};
+use vrr_core::safe::{SafeObject, SafeReader};
+use vrr_core::{Msg, ReadReport, StorageConfig, Value, WriteReport, Writer};
+
+use crate::cluster::Cluster;
+use crate::router::LinkPolicy;
+
+/// Which of the paper's protocols a [`StorageCluster`] runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProtocolKind {
+    /// §4 safe storage (Figures 2–4).
+    Safe,
+    /// §5 regular storage, full histories (Figures 2, 5, 6).
+    Regular,
+    /// §5.1 optimized regular storage (suffix histories + reader cache).
+    RegularOptimized,
+}
+
+/// How long a blocking operation may take before the cluster is declared
+/// wedged. Generous: operations take milliseconds even under delay
+/// policies.
+const OP_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A storage deployment on OS threads with a blocking client API.
+///
+/// # Examples
+///
+/// ```
+/// use vrr_runtime::{StorageCluster, ProtocolKind, NoDelay};
+/// use vrr_core::StorageConfig;
+///
+/// let cfg = StorageConfig::optimal(1, 1, 1);
+/// let storage: StorageCluster<u64> =
+///     StorageCluster::deploy(cfg, ProtocolKind::Safe, Box::new(NoDelay));
+/// storage.write(7);
+/// assert_eq!(storage.read(0).value, Some(7));
+/// ```
+pub struct StorageCluster<V: Value> {
+    cluster: Cluster<Msg<V>>,
+    kind: ProtocolKind,
+    cfg: StorageConfig,
+    objects: Vec<ProcessId>,
+    writer: ProcessId,
+    readers: Vec<ProcessId>,
+}
+
+impl<V: Value> StorageCluster<V> {
+    /// Deploys `cfg.s` object threads, one writer thread and `cfg.readers`
+    /// reader threads running the chosen protocol, connected through a
+    /// router with the given link policy.
+    pub fn deploy(
+        cfg: StorageConfig,
+        kind: ProtocolKind,
+        policy: Box<dyn LinkPolicy<Msg<V>>>,
+    ) -> Self {
+        Self::deploy_with_objects(cfg, kind, policy, |_i| None)
+    }
+
+    /// Like [`StorageCluster::deploy`], but `factory` may substitute the
+    /// automaton of any object index — the hook for deploying Byzantine
+    /// objects (e.g. from [`vrr_core::attackers`]) on the thread runtime.
+    /// Returning `None` deploys the honest object for the protocol.
+    pub fn deploy_with_objects(
+        cfg: StorageConfig,
+        kind: ProtocolKind,
+        policy: Box<dyn LinkPolicy<Msg<V>>>,
+        mut factory: impl FnMut(usize) -> Option<Box<dyn Automaton<Msg<V>>>>,
+    ) -> Self {
+        let mut cluster: Cluster<Msg<V>> = Cluster::new(policy);
+        let objects: Vec<ProcessId> = (0..cfg.s)
+            .map(|i| -> ProcessId {
+                let automaton: Box<dyn Automaton<Msg<V>>> = match factory(i) {
+                    Some(byzantine) => byzantine,
+                    None => match kind {
+                        ProtocolKind::Safe => Box::new(SafeObject::<V>::new()),
+                        ProtocolKind::Regular | ProtocolKind::RegularOptimized => {
+                            Box::new(RegularObject::<V>::new())
+                        }
+                    },
+                };
+                cluster.spawn(automaton)
+            })
+            .collect();
+        let writer = cluster.spawn(Box::new(Writer::<V>::new(cfg, objects.clone())));
+        let readers: Vec<ProcessId> = (0..cfg.readers)
+            .map(|j| {
+                let automaton: Box<dyn Automaton<Msg<V>>> = match kind {
+                    ProtocolKind::Safe => {
+                        Box::new(SafeReader::<V>::new(cfg, j, objects.clone()))
+                    }
+                    ProtocolKind::Regular => {
+                        Box::new(RegularReader::<V>::new(cfg, j, objects.clone()))
+                    }
+                    ProtocolKind::RegularOptimized => {
+                        Box::new(RegularReader::<V>::new_optimized(cfg, j, objects.clone()))
+                    }
+                };
+                cluster.spawn(automaton)
+            })
+            .collect();
+        cluster.seal();
+        StorageCluster { cluster, kind, cfg, objects, writer, readers }
+    }
+
+    /// The deployment sizing.
+    pub fn config(&self) -> StorageConfig {
+        self.cfg
+    }
+
+    /// The protocol variant.
+    pub fn kind(&self) -> ProtocolKind {
+        self.kind
+    }
+
+    /// The object process ids (for fault injection).
+    pub fn objects(&self) -> &[ProcessId] {
+        &self.objects
+    }
+
+    /// Blocking `WRITE(value)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the write does not complete within the operation timeout —
+    /// with at most `t` injected faults that is a wait-freedom violation.
+    pub fn write(&self, value: V) -> WriteReport {
+        let id = self.cluster.invoke(self.writer, move |w: &mut Writer<V>, ctx| {
+            w.invoke_write(value, ctx)
+        });
+        let rx = self.cluster.watch(self.writer, move |w: &Writer<V>| {
+            w.outcome(id).map(|o| WriteReport { ts: o.ts, rounds: o.rounds })
+        });
+        rx.recv_timeout(OP_TIMEOUT).expect("WRITE must complete (wait-freedom)")
+    }
+
+    /// Blocking `READ()` at reader `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range or the read does not complete within
+    /// the operation timeout.
+    pub fn read(&self, j: usize) -> ReadReport<V> {
+        let reader = self.readers[j];
+        match self.kind {
+            ProtocolKind::Safe => {
+                let id = self
+                    .cluster
+                    .invoke(reader, |r: &mut SafeReader<V>, ctx| r.invoke_read(ctx));
+                let rx = self.cluster.watch(reader, move |r: &SafeReader<V>| {
+                    r.outcome(id).map(|o| ReadReport {
+                        value: o.value.clone(),
+                        ts: o.ts,
+                        rounds: o.rounds,
+                    })
+                });
+                rx.recv_timeout(OP_TIMEOUT).expect("READ must complete (wait-freedom)")
+            }
+            ProtocolKind::Regular | ProtocolKind::RegularOptimized => {
+                let id = self
+                    .cluster
+                    .invoke(reader, |r: &mut RegularReader<V>, ctx| r.invoke_read(ctx));
+                let rx = self.cluster.watch(reader, move |r: &RegularReader<V>| {
+                    r.outcome(id).map(|o| ReadReport {
+                        value: o.value.clone(),
+                        ts: o.ts,
+                        rounds: o.rounds,
+                    })
+                });
+                rx.recv_timeout(OP_TIMEOUT).expect("READ must complete (wait-freedom)")
+            }
+        }
+    }
+
+    /// Crashes object `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn crash_object(&self, idx: usize) {
+        self.cluster.crash(self.objects[idx]);
+    }
+
+    /// Access to the underlying cluster (fault injection, raw sends).
+    pub fn cluster(&self) -> &Cluster<Msg<V>> {
+        &self.cluster
+    }
+}
+
+impl<V: Value> std::fmt::Debug for StorageCluster<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StorageCluster")
+            .field("kind", &self.kind)
+            .field("cfg", &self.cfg)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Duration;
+
+    use super::*;
+    use crate::router::{FixedDelay, NoDelay};
+
+    #[test]
+    fn safe_storage_round_trip_on_threads() {
+        let cfg = StorageConfig::optimal(1, 1, 2);
+        let storage: StorageCluster<u64> =
+            StorageCluster::deploy(cfg, ProtocolKind::Safe, Box::new(NoDelay));
+        let w = storage.write(42);
+        assert_eq!(w.rounds, 2);
+        for j in 0..2 {
+            let r = storage.read(j);
+            assert_eq!(r.value, Some(42));
+            assert_eq!(r.rounds, 2);
+        }
+    }
+
+    #[test]
+    fn regular_storage_with_link_delay() {
+        let cfg = StorageConfig::optimal(1, 1, 1);
+        let storage: StorageCluster<u64> = StorageCluster::deploy(
+            cfg,
+            ProtocolKind::Regular,
+            Box::new(FixedDelay(Duration::from_millis(1))),
+        );
+        for k in 1..=3u64 {
+            storage.write(k * 10);
+            assert_eq!(storage.read(0).value, Some(k * 10));
+        }
+    }
+
+    #[test]
+    fn optimized_regular_on_threads() {
+        let cfg = StorageConfig::optimal(1, 1, 1);
+        let storage: StorageCluster<u64> =
+            StorageCluster::deploy(cfg, ProtocolKind::RegularOptimized, Box::new(NoDelay));
+        storage.write(5);
+        assert_eq!(storage.read(0).value, Some(5));
+        storage.write(6);
+        assert_eq!(storage.read(0).value, Some(6));
+    }
+
+    #[test]
+    fn survives_t_object_crashes() {
+        let cfg = StorageConfig::optimal(2, 1, 1); // S = 6, t = 2
+        let storage: StorageCluster<u64> =
+            StorageCluster::deploy(cfg, ProtocolKind::Safe, Box::new(NoDelay));
+        storage.crash_object(0);
+        storage.crash_object(4);
+        storage.write(9);
+        assert_eq!(storage.read(0).value, Some(9));
+    }
+}

@@ -1,0 +1,123 @@
+//! Fault plans: which objects crash or turn Byzantine, and when.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use vrr_core::attackers::AttackerKind;
+use vrr_core::StorageConfig;
+use vrr_sim::SimTime;
+
+/// A concrete fault assignment for one run, respecting the `(t, b)` budget.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// `(object index, crash time)` pairs.
+    pub crashes: Vec<(usize, SimTime)>,
+    /// `(object index, behaviour)` pairs, applied at the start of the run.
+    pub byzantine: Vec<(usize, AttackerKind)>,
+}
+
+impl FaultPlan {
+    /// The empty plan: all objects correct.
+    pub fn none() -> Self {
+        FaultPlan { crashes: Vec::new(), byzantine: Vec::new() }
+    }
+
+    /// Total faulty objects.
+    pub fn fault_count(&self) -> usize {
+        self.crashes.len() + self.byzantine.len()
+    }
+
+    /// Checks the plan against a configuration's budget.
+    pub fn fits(&self, cfg: &StorageConfig) -> bool {
+        self.byzantine.len() <= cfg.b
+            && self.fault_count() <= cfg.t
+            && self
+                .crashes
+                .iter()
+                .map(|(i, _)| i)
+                .chain(self.byzantine.iter().map(|(i, _)| i))
+                .all(|&i| i < cfg.s)
+    }
+
+    /// A maximal adversary: `b` Byzantine objects of the given kind plus
+    /// `t − b` crashes at the given times, on deterministically chosen
+    /// objects.
+    pub fn maximal(cfg: &StorageConfig, kind: AttackerKind, crash_at: SimTime) -> Self {
+        let byzantine = (0..cfg.b).map(|i| (i, kind)).collect();
+        let crashes = (cfg.b..cfg.t).map(|i| (i, crash_at)).collect();
+        FaultPlan { crashes, byzantine }
+    }
+
+    /// A random plan within budget: a random number of Byzantine objects
+    /// (each a random attacker) and random crashes at random times in
+    /// `[0, horizon)`, on distinct random objects.
+    pub fn random(cfg: &StorageConfig, horizon: u64, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xFA0175);
+        let mut objects: Vec<usize> = (0..cfg.s).collect();
+        objects.shuffle(&mut rng);
+        let n_byz = rng.gen_range(0..=cfg.b);
+        let n_crash = rng.gen_range(0..=(cfg.t - n_byz));
+        let byzantine = objects
+            .iter()
+            .take(n_byz)
+            .map(|&i| {
+                let kind = *AttackerKind::ALL
+                    .as_slice()
+                    .choose(&mut rng)
+                    .expect("non-empty attacker list");
+                (i, kind)
+            })
+            .collect();
+        let crashes = objects
+            .iter()
+            .skip(n_byz)
+            .take(n_crash)
+            .map(|&i| (i, SimTime::from_ticks(rng.gen_range(0..horizon.max(1)))))
+            .collect();
+        FaultPlan { crashes, byzantine }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> StorageConfig {
+        StorageConfig::optimal(3, 2, 2) // S = 9
+    }
+
+    #[test]
+    fn maximal_plan_saturates_budget() {
+        let plan = FaultPlan::maximal(&cfg(), AttackerKind::Inflator, SimTime::from_ticks(5));
+        assert_eq!(plan.byzantine.len(), 2);
+        assert_eq!(plan.crashes.len(), 1);
+        assert!(plan.fits(&cfg()));
+    }
+
+    #[test]
+    fn random_plans_always_fit() {
+        for seed in 0..200 {
+            let plan = FaultPlan::random(&cfg(), 1_000, seed);
+            assert!(plan.fits(&cfg()), "seed {seed}: {plan:?}");
+        }
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_and_varied() {
+        let a = FaultPlan::random(&cfg(), 1_000, 7);
+        let b = FaultPlan::random(&cfg(), 1_000, 7);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        let distinct: std::collections::BTreeSet<String> =
+            (0..50).map(|s| format!("{:?}", FaultPlan::random(&cfg(), 1_000, s))).collect();
+        assert!(distinct.len() > 10, "plans should vary across seeds");
+    }
+
+    #[test]
+    fn oversized_plan_does_not_fit() {
+        let plan = FaultPlan {
+            crashes: vec![(0, SimTime::ZERO), (1, SimTime::ZERO)],
+            byzantine: vec![(2, AttackerKind::Mute), (3, AttackerKind::Mute), (4, AttackerKind::Mute)],
+        };
+        assert!(!plan.fits(&cfg()), "3 byz > b = 2");
+    }
+}

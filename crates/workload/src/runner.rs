@@ -1,0 +1,342 @@
+//! The scenario runner: executes a [`Schedule`] against any register
+//! protocol under a [`FaultPlan`], producing a checkable operation history
+//! and round-count statistics.
+
+use vrr_checker::OpHistory;
+use vrr_core::attackers::AttackerKind;
+use vrr_core::{Msg, RegisterProtocol, StorageConfig};
+use vrr_sim::{Automaton, LongTail, NetStats, SimTime, Uniform, World};
+
+use crate::faults::FaultPlan;
+use crate::schedule::{PlannedOp, Schedule};
+
+/// Which latency model a run uses.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LatencyKind {
+    /// Every message takes one tick (synchronous-looking).
+    Unit,
+    /// Uniform random delay in `[min, max]`.
+    Uniform(u64, u64),
+    /// Mostly-fast with a heavy tail (asynchrony stress).
+    LongTail,
+}
+
+impl LatencyKind {
+    fn install<M: vrr_sim::SimMessage>(self, world: &mut World<M>) {
+        match self {
+            LatencyKind::Unit => world.set_latency(vrr_sim::Fixed::UNIT),
+            LatencyKind::Uniform(min, max) => world.set_latency(Uniform::new(min, max)),
+            LatencyKind::LongTail => world.set_latency(LongTail::new(1, 0.2, 50)),
+        }
+    }
+}
+
+/// Everything a run produced.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// The operation history (checker input). Stalled operations appear
+    /// with `completed_at = None`.
+    pub history: OpHistory<u64>,
+    /// Rounds used by each completed write, in completion order.
+    pub write_rounds: Vec<u32>,
+    /// Rounds used by each completed read, in completion order.
+    pub read_rounds: Vec<u32>,
+    /// Operations that never completed (wait-freedom violations when the
+    /// fault plan is within budget).
+    pub stalled_ops: usize,
+    /// Network counters.
+    pub net: NetStats,
+}
+
+impl RunOutcome {
+    /// Largest read round count (0 if no reads completed).
+    pub fn max_read_rounds(&self) -> u32 {
+        self.read_rounds.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Largest write round count (0 if no writes completed).
+    pub fn max_write_rounds(&self) -> u32 {
+        self.write_rounds.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Whether every invoked operation completed.
+    pub fn all_live(&self) -> bool {
+        self.stalled_ops == 0
+    }
+}
+
+/// Builds an attacker automaton for a protocol's message type.
+pub type Corruptor<M> = dyn Fn(usize, AttackerKind, StorageConfig) -> Box<dyn Automaton<M>>;
+
+/// The standard corruptor for the paper's safe protocol.
+pub fn safe_corruptor(idx: usize, kind: AttackerKind, cfg: StorageConfig) -> Box<dyn Automaton<Msg<u64>>> {
+    let _ = idx;
+    kind.build_safe(cfg, 0xDEAD_u64)
+}
+
+/// The standard corruptor for the paper's regular protocols.
+pub fn regular_corruptor(
+    idx: usize,
+    kind: AttackerKind,
+    cfg: StorageConfig,
+) -> Box<dyn Automaton<Msg<u64>>> {
+    let _ = idx;
+    kind.build_regular(cfg, 0xDEAD_u64)
+}
+
+/// Hard cap on simulator events per run (far above anything these
+/// protocols generate; a breach indicates runaway traffic).
+const RUN_STEP_LIMIT: u64 = 5_000_000;
+
+#[derive(Debug)]
+struct ClientState {
+    next: usize,
+    active: Option<ActiveOp>,
+}
+
+#[derive(Debug)]
+struct ActiveOp {
+    token: u64,
+    invoked_at: u64,
+    /// Write sequence number for writes; reader index for reads.
+    seq_or_reader: u64,
+    is_write: bool,
+}
+
+/// Runs `schedule` against `protocol` under `faults`.
+///
+/// Clients invoke each planned operation at its target time or as soon as
+/// their previous operation completes, whichever is later. Returns the
+/// recorded history and statistics.
+///
+/// # Panics
+///
+/// Panics if the fault plan exceeds the configuration's budget, or the run
+/// exceeds the internal step limit.
+pub fn run_schedule<P: RegisterProtocol<u64>>(
+    protocol: &P,
+    cfg: StorageConfig,
+    schedule: &Schedule,
+    faults: &FaultPlan,
+    latency: LatencyKind,
+    seed: u64,
+    corrupt: &Corruptor<P::Msg>,
+) -> RunOutcome {
+    assert!(faults.fits(&cfg), "fault plan exceeds the (t, b) budget: {faults:?}");
+    assert_eq!(schedule.readers.len(), cfg.readers, "schedule/readers mismatch");
+
+    let mut world: World<P::Msg> = World::new(seed);
+    latency.install(&mut world);
+    let dep = protocol.deploy(cfg, &mut world);
+    world.start();
+
+    for &(idx, kind) in &faults.byzantine {
+        let automaton = corrupt(idx, kind, cfg);
+        world.set_byzantine(dep.objects[idx], automaton);
+    }
+    for &(idx, at) in &faults.crashes {
+        world.schedule_crash(dep.objects[idx], at);
+    }
+
+    let mut history: OpHistory<u64> = OpHistory::new();
+    let mut write_rounds = Vec::new();
+    let mut read_rounds = Vec::new();
+
+    // Client index 0 = writer, 1.. = readers.
+    let mut clients: Vec<ClientState> = (0..=cfg.readers)
+        .map(|_| ClientState { next: 0, active: None })
+        .collect();
+    let mut write_seq = 0u64;
+    let mut steps_used = 0u64;
+
+    loop {
+        // Poll completions first (a step may have completed several ops).
+        for c in 0..clients.len() {
+            let Some(active) = clients[c].active.take() else { continue };
+            let done = if active.is_write {
+                protocol.write_outcome(&dep, &world, active.token).map(|rep| {
+                    write_rounds.push(rep.rounds);
+                    history.push_write(
+                        active.seq_or_reader,
+                        Schedule::value_of_write(active.seq_or_reader),
+                        active.invoked_at,
+                        Some(world.now().ticks()),
+                    );
+                })
+            } else {
+                let reader = active.seq_or_reader as usize;
+                protocol.read_outcome(&dep, &world, reader, active.token).map(|rep| {
+                    read_rounds.push(rep.rounds);
+                    history.push_read(
+                        reader,
+                        rep.ts.0,
+                        rep.value,
+                        active.invoked_at,
+                        Some(world.now().ticks()),
+                    );
+                })
+            };
+            if done.is_none() {
+                clients[c].active = Some(active);
+            }
+        }
+
+        // Invoke due operations on idle clients.
+        let now = world.now();
+        for (c, client) in clients.iter_mut().enumerate() {
+            if client.active.is_some() {
+                continue;
+            }
+            let plan = if c == 0 { &schedule.writer } else { &schedule.readers[c - 1] };
+            let Some(&(due, op)) = plan.ops.get(client.next) else { continue };
+            if due > now {
+                continue;
+            }
+            client.next += 1;
+            let active = match op {
+                PlannedOp::Write { value } => {
+                    write_seq += 1;
+                    debug_assert_eq!(value, Schedule::value_of_write(write_seq));
+                    let token = protocol.invoke_write(&dep, &mut world, value);
+                    ActiveOp {
+                        token,
+                        invoked_at: now.ticks(),
+                        seq_or_reader: write_seq,
+                        is_write: true,
+                    }
+                }
+                PlannedOp::Read { reader } => {
+                    let token = protocol.invoke_read(&dep, &mut world, reader);
+                    ActiveOp {
+                        token,
+                        invoked_at: now.ticks(),
+                        seq_or_reader: reader as u64,
+                        is_write: false,
+                    }
+                }
+            };
+            client.active = Some(active);
+        }
+
+        let any_active = clients.iter().any(|c| c.active.is_some());
+        let next_due: Option<SimTime> = clients
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.active.is_none())
+            .filter_map(|(c, client)| {
+                let plan = if c == 0 { &schedule.writer } else { &schedule.readers[c - 1] };
+                plan.ops.get(client.next).map(|&(due, _)| due)
+            })
+            .min();
+
+        if any_active {
+            // Drive one event; if the network is drained while ops are
+            // still active, they are stalled (liveness violation) — unless
+            // a future planned op could unblock... it cannot: clients are
+            // independent. Record and stop.
+            if !world.step() {
+                break;
+            }
+            steps_used += 1;
+            assert!(steps_used < RUN_STEP_LIMIT, "runaway run: step limit exceeded");
+        } else if let Some(due) = next_due {
+            world.run_until_time(due);
+        } else {
+            break; // no active ops, nothing left to invoke
+        }
+    }
+
+    // Anything still active is stalled; record as incomplete.
+    let mut stalled_ops = 0;
+    for (c, client) in clients.iter_mut().enumerate() {
+        if let Some(active) = client.active.take() {
+            stalled_ops += 1;
+            if active.is_write {
+                history.push_write(
+                    active.seq_or_reader,
+                    Schedule::value_of_write(active.seq_or_reader),
+                    active.invoked_at,
+                    None,
+                );
+            } else {
+                history.push_read(c - 1, 0, None, active.invoked_at, None);
+            }
+        }
+    }
+
+    RunOutcome { history, write_rounds, read_rounds, stalled_ops, net: world.stats() }
+}
+
+#[cfg(test)]
+mod tests {
+    use vrr_checker::{check_regularity, check_safety};
+    use vrr_core::{RegularProtocol, SafeProtocol};
+
+    use super::*;
+    use crate::schedule::{generate, ScheduleParams};
+
+    #[test]
+    fn sequential_run_is_safe_and_live() {
+        let cfg = StorageConfig::optimal(1, 1, 2);
+        let schedule = generate(ScheduleParams::sequential(5, 5, 2, 3));
+        let out = run_schedule(
+            &SafeProtocol,
+            cfg,
+            &schedule,
+            &FaultPlan::none(),
+            LatencyKind::Unit,
+            3,
+            &safe_corruptor,
+        );
+        assert!(out.all_live());
+        assert_eq!(out.write_rounds.len(), 5);
+        assert_eq!(out.read_rounds.len(), 10);
+        assert_eq!(out.max_read_rounds(), 2);
+        assert!(check_safety(&out.history).is_ok(), "{:?}", out.history);
+    }
+
+    #[test]
+    fn contended_run_with_max_faults_is_regular() {
+        let cfg = StorageConfig::optimal(2, 1, 2);
+        let schedule = generate(ScheduleParams::contended(8, 8, 2, 11));
+        let faults =
+            FaultPlan::maximal(&cfg, AttackerKind::Inflator, SimTime::from_ticks(40));
+        let out = run_schedule(
+            &RegularProtocol::full(),
+            cfg,
+            &schedule,
+            &faults,
+            LatencyKind::Uniform(1, 10),
+            11,
+            &regular_corruptor,
+        );
+        assert!(out.all_live(), "stalled: {}", out.stalled_ops);
+        assert!(check_regularity(&out.history).is_ok());
+        assert_eq!(out.max_read_rounds(), 2);
+        assert_eq!(out.max_write_rounds(), 2);
+    }
+
+    #[test]
+    fn random_fault_sweep_stays_consistent() {
+        for seed in 0..10 {
+            let cfg = StorageConfig::optimal(2, 2, 1);
+            let schedule = generate(ScheduleParams::contended(4, 6, 1, seed));
+            let faults = FaultPlan::random(&cfg, 200, seed);
+            let out = run_schedule(
+                &SafeProtocol,
+                cfg,
+                &schedule,
+                &faults,
+                LatencyKind::LongTail,
+                seed,
+                &safe_corruptor,
+            );
+            assert!(out.all_live(), "seed {seed} stalled {}", out.stalled_ops);
+            assert!(
+                check_safety(&out.history).is_ok(),
+                "seed {seed}: {:?}",
+                check_safety(&out.history)
+            );
+        }
+    }
+}

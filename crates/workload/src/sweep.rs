@@ -1,0 +1,64 @@
+//! Parameter sweeps for experiments.
+
+use vrr_core::attackers::AttackerKind;
+use vrr_core::StorageConfig;
+
+/// One point of a `(t, b, attacker, seed)` sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepPoint {
+    /// Fault budget `t`.
+    pub t: usize,
+    /// Byzantine budget `b`.
+    pub b: usize,
+    /// The attacker behaviour, or `None` for a fault-free point.
+    pub attacker: Option<AttackerKind>,
+    /// Run seed.
+    pub seed: u64,
+}
+
+impl SweepPoint {
+    /// The optimally resilient configuration of this point.
+    pub fn config(&self, readers: usize) -> StorageConfig {
+        StorageConfig::optimal(self.t, self.b, readers)
+    }
+}
+
+/// The full cross product of budgets × attackers (plus the fault-free
+/// case) × seeds. `(t, b)` pairs with `b > t` are skipped.
+pub fn grid(ts: &[usize], bs: &[usize], seeds: std::ops::Range<u64>) -> Vec<SweepPoint> {
+    let mut out = Vec::new();
+    for &t in ts {
+        for &b in bs {
+            if b > t || b == 0 {
+                continue;
+            }
+            for seed in seeds.clone() {
+                out.push(SweepPoint { t, b, attacker: None, seed });
+                for kind in AttackerKind::ALL {
+                    out.push(SweepPoint { t, b, attacker: Some(kind), seed });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_respects_b_le_t() {
+        let points = grid(&[1, 2], &[1, 2], 0..3);
+        assert!(points.iter().all(|p| p.b <= p.t && p.b >= 1));
+        // (1,1), (2,1), (2,2) = 3 combos × 3 seeds × (1 + 5 attackers).
+        assert_eq!(points.len(), 3 * 3 * 6);
+    }
+
+    #[test]
+    fn config_is_optimal() {
+        let p = SweepPoint { t: 2, b: 1, attacker: None, seed: 0 };
+        assert!(p.config(1).is_optimal());
+        assert_eq!(p.config(1).s, 6);
+    }
+}

@@ -1,0 +1,81 @@
+//! # vrr — How Fast Can a Very Robust Read Be?
+//!
+//! A comprehensive Rust implementation of *Guerraoui & Vukolić, "How Fast
+//! Can a Very Robust Read Be?" (PODC 2006)*: wait-free single-writer
+//! multi-reader register emulations over `S = 2t + b + 1` failure-prone
+//! base objects (at most `t` faulty, of which at most `b` Byzantine),
+//! storing unauthenticated data, in which both READ and WRITE complete in
+//! exactly **two communication round-trips** — provably optimal, since with
+//! `S ≤ 2t + 2b` objects no read can be single-round (Proposition 1,
+//! executable here as [`lowerbound`]).
+//!
+//! This crate is the façade over the workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `vrr-core` | the paper's safe (§4) and regular (§5, §5.1) protocols |
+//! | [`sim`] | `vrr-sim` | deterministic discrete-event simulator with a programmable adversary |
+//! | [`runtime`] | `vrr-runtime` | the same automata on OS threads with real message passing |
+//! | [`baselines`] | `vrr-baselines` | ABD, masking-quorum fast reads, passive `b+1`-round reads |
+//! | [`checker`] | `vrr-checker` | safety / regularity / atomicity history oracles |
+//! | [`lowerbound`] | `vrr-lowerbound` | the Figure-1 impossibility as an executable harness |
+//! | [`workload`] | `vrr-workload` | schedules, fault plans and the experiment runner |
+//!
+//! ## Five-minute tour
+//!
+//! ```
+//! use vrr::core::{SafeProtocol, RegisterProtocol, StorageConfig, run_read, run_write};
+//! use vrr::sim::World;
+//!
+//! // Tolerate t = 1 faulty object, of which b = 1 Byzantine: S = 4 objects.
+//! let cfg = StorageConfig::optimal(1, 1, 1);
+//! let mut world = World::new(42);
+//! let dep = RegisterProtocol::<u64>::deploy(&SafeProtocol, cfg, &mut world);
+//! world.start();
+//!
+//! run_write(&SafeProtocol, &dep, &mut world, 7u64);
+//! let read = run_read::<u64, _>(&SafeProtocol, &dep, &mut world, 0);
+//! assert_eq!(read.value, Some(7));
+//! assert_eq!(read.rounds, 2); // the optimal worst case — never more
+//! ```
+//!
+//! See `examples/` for a quickstart, a Byzantine-attack study, the
+//! lower-bound demo, and a networked key-value service on threads; see
+//! `EXPERIMENTS.md` for the full paper-versus-measured index.
+
+#![warn(missing_docs)]
+
+/// The paper's protocols (re-export of `vrr-core`).
+pub mod core {
+    pub use vrr_core::*;
+}
+
+/// Deterministic simulation substrate (re-export of `vrr-sim`).
+pub mod sim {
+    pub use vrr_sim::*;
+}
+
+/// Thread-based runtime (re-export of `vrr-runtime`).
+pub mod runtime {
+    pub use vrr_runtime::*;
+}
+
+/// Baseline protocols (re-export of `vrr-baselines`).
+pub mod baselines {
+    pub use vrr_baselines::*;
+}
+
+/// Consistency checkers (re-export of `vrr-checker`).
+pub mod checker {
+    pub use vrr_checker::*;
+}
+
+/// The executable Proposition 1 (re-export of `vrr-lowerbound`).
+pub mod lowerbound {
+    pub use vrr_lowerbound::*;
+}
+
+/// Workload and scenario tooling (re-export of `vrr-workload`).
+pub mod workload {
+    pub use vrr_workload::*;
+}

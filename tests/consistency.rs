@@ -1,0 +1,243 @@
+//! Consistency sweeps: compressed versions of the E-T1/E-T3 experiments as
+//! regression tests (the binaries run the full-size sweeps).
+
+use vrr::checker::{check_regularity, check_safety};
+use vrr::core::safe::SafeTuning;
+use vrr::core::{MutantSafeProtocol, RegularProtocol, SafeProtocol, StorageConfig};
+use vrr::sim::SimTime;
+use vrr::workload::{
+    generate, regular_corruptor, run_schedule, safe_corruptor, FaultPlan, LatencyKind,
+    ScheduleParams,
+};
+
+#[test]
+fn contended_run_holds_state_invariants_online() {
+    // Beyond the end-of-run history checks: the Lemma-1 monotonicity
+    // invariants hold at every single event of a contended run.
+    use vrr::workload::{run_monitored, safe_object_monotonicity, InvariantMonitor};
+
+    let cfg = StorageConfig::optimal(2, 1, 2);
+    let mut world: vrr::sim::World<vrr::core::Msg<u64>> = vrr::sim::World::new(31);
+    let dep =
+        vrr::core::RegisterProtocol::<u64>::deploy(&SafeProtocol, cfg, &mut world);
+    world.start();
+
+    let mut monitor = InvariantMonitor::new();
+    monitor.add(
+        "safe-object monotonicity",
+        safe_object_monotonicity::<u64>(dep.objects.clone(), cfg.readers),
+    );
+
+    use vrr::core::RegisterProtocol as RP;
+    for k in 1..=5u64 {
+        let w = RP::<u64>::invoke_write(&SafeProtocol, &dep, &mut world, k);
+        let r0 = RP::<u64>::invoke_read(&SafeProtocol, &dep, &mut world, 0);
+        let r1 = RP::<u64>::invoke_read(&SafeProtocol, &dep, &mut world, 1);
+        run_monitored(&mut world, &mut monitor, 200_000)
+            .unwrap_or_else(|v| panic!("k={k}: {v}"));
+        assert!(RP::<u64>::write_outcome(&SafeProtocol, &dep, &world, w).is_some());
+        assert!(RP::<u64>::read_outcome(&SafeProtocol, &dep, &world, 0, r0).is_some());
+        assert!(RP::<u64>::read_outcome(&SafeProtocol, &dep, &world, 1, r1).is_some());
+    }
+}
+
+#[test]
+fn large_configuration_smoke() {
+    // t = 5, b = 3: S = 14 objects, 4 readers — well beyond the usual test
+    // sizes, exercising the conflict-free search and quorum machinery at
+    // scale.
+    let cfg = StorageConfig::optimal(5, 3, 4);
+    let schedule = generate(ScheduleParams::contended(4, 3, 4, 77));
+    let faults = FaultPlan::maximal(
+        &cfg,
+        vrr::core::attackers::AttackerKind::Conflicter,
+        SimTime::from_ticks(25),
+    );
+    let out = run_schedule(
+        &SafeProtocol,
+        cfg,
+        &schedule,
+        &faults,
+        LatencyKind::Uniform(1, 6),
+        77,
+        &safe_corruptor,
+    );
+    assert!(out.all_live());
+    assert!(check_safety(&out.history).is_ok());
+    assert_eq!(out.max_read_rounds(), 2);
+}
+
+#[test]
+fn safe_storage_is_safe_across_seeds_and_attackers() {
+    for seed in 0..6u64 {
+        for kind in vrr::core::attackers::AttackerKind::ALL {
+            let cfg = StorageConfig::optimal(2, 1, 2);
+            let schedule = generate(ScheduleParams::contended(5, 5, 2, seed));
+            let faults = FaultPlan::maximal(&cfg, kind, SimTime::from_ticks(30));
+            let out = run_schedule(
+                &SafeProtocol,
+                cfg,
+                &schedule,
+                &faults,
+                LatencyKind::LongTail,
+                seed,
+                &safe_corruptor,
+            );
+            assert!(out.all_live(), "{kind:?}/{seed}: stalled {}", out.stalled_ops);
+            assert!(check_safety(&out.history).is_ok(), "{kind:?}/{seed}");
+            assert_eq!(out.max_read_rounds(), 2, "{kind:?}/{seed}");
+        }
+    }
+}
+
+#[test]
+fn regular_storage_is_regular_across_seeds_and_attackers() {
+    for optimized in [false, true] {
+        let protocol =
+            if optimized { RegularProtocol::optimized() } else { RegularProtocol::full() };
+        for seed in 0..6u64 {
+            for kind in vrr::core::attackers::AttackerKind::ALL {
+                let cfg = StorageConfig::optimal(2, 2, 2);
+                let schedule = generate(ScheduleParams::contended(5, 5, 2, seed));
+                let faults = FaultPlan::maximal(&cfg, kind, SimTime::from_ticks(30));
+                let out = run_schedule(
+                    &protocol,
+                    cfg,
+                    &schedule,
+                    &faults,
+                    LatencyKind::Uniform(1, 12),
+                    seed,
+                    &regular_corruptor,
+                );
+                assert!(out.all_live(), "{kind:?}/{seed}/opt={optimized}");
+                assert!(
+                    check_regularity(&out.history).is_ok(),
+                    "{kind:?}/{seed}/opt={optimized}: {:?}",
+                    check_regularity(&out.history)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn random_fault_plans_cannot_break_safety() {
+    for seed in 0..20u64 {
+        let cfg = StorageConfig::optimal(3, 2, 2);
+        let schedule = generate(ScheduleParams::contended(6, 5, 2, seed));
+        let faults = FaultPlan::random(&cfg, 250, seed);
+        let out = run_schedule(
+            &SafeProtocol,
+            cfg,
+            &schedule,
+            &faults,
+            LatencyKind::LongTail,
+            seed,
+            &safe_corruptor,
+        );
+        assert!(out.all_live(), "seed {seed}");
+        assert!(check_safety(&out.history).is_ok(), "seed {seed}");
+    }
+}
+
+/// The oracle-validation regression: a known-broken reader must be caught.
+#[test]
+fn mutated_reader_is_caught_by_the_checker() {
+    let tuning = SafeTuning { safe_threshold: Some(1), ..SafeTuning::default() };
+    let mut caught = false;
+    'outer: for seed in 0..40u64 {
+        let cfg = StorageConfig::optimal(2, 2, 2);
+        let schedule = generate(ScheduleParams::contended(5, 6, 2, seed));
+        let faults = FaultPlan::maximal(
+            &cfg,
+            vrr::core::attackers::AttackerKind::Inflator,
+            SimTime::from_ticks(40),
+        );
+        let out = run_schedule(
+            &MutantSafeProtocol(tuning),
+            cfg,
+            &schedule,
+            &faults,
+            LatencyKind::LongTail,
+            seed,
+            &safe_corruptor,
+        );
+        if check_safety(&out.history).is_err() {
+            caught = true;
+            break 'outer;
+        }
+    }
+    assert!(caught, "a reader that trusts single confirmations must be catchable");
+}
+
+/// Atomicity is deliberately NOT provided: construct the new/old inversion
+/// that separates regular from atomic (the paper's protocols target
+/// regular, and this is the schedule that shows why that is weaker).
+///
+/// While a write's second round is still in flight, only one object holds
+/// the new tuple in its `w` field. A first read that hears that object
+/// returns the new value; a second read whose quorum misses it (the
+/// adversary delays that one link) has no new candidate at all and returns
+/// the previous value — new, then old.
+#[test]
+fn regular_storage_admits_new_old_inversions() {
+    use vrr::core::{Msg, RegisterProtocol, Writer};
+    use vrr::sim::World;
+
+    let cfg = StorageConfig::optimal(1, 1, 2); // S = 4
+    let protocol = RegularProtocol::full();
+    let mut world: World<Msg<u64>> = World::new(4);
+    let dep = RegisterProtocol::<u64>::deploy(&protocol, cfg, &mut world);
+    world.start();
+
+    // Write 1 completes everywhere.
+    vrr::core::run_write(&protocol, &dep, &mut world, 10u64);
+    world.run_to_quiescence(100_000);
+
+    // Write 2: the PW broadcast is already in flight when we install the
+    // holds, so PW reaches everyone; the W round (sent later, when the PW
+    // acks arrive) reaches only object 0.
+    let w2 = RegisterProtocol::<u64>::invoke_write(&protocol, &dep, &mut world, 20u64);
+    for i in 1..4 {
+        world.adversary_mut().hold_link(dep.writer, dep.objects[i]);
+    }
+    world.run_to_quiescence(100_000);
+    assert!(
+        world.inspect(dep.objects[0], |o: &vrr::core::regular::RegularObject<u64>| {
+            o.history().get(vrr::core::Timestamp(2)).is_some_and(|e| e.w.is_some())
+        }),
+        "object 0 must hold write 2's w-tuple"
+    );
+    assert!(
+        world.inspect(dep.writer, |w: &Writer<u64>| !w.is_idle())
+            && RegisterProtocol::<u64>::write_outcome(&protocol, &dep, &world, w2).is_none(),
+        "write 2 must still be in flight"
+    );
+
+    // Read 1 (reader 0): quorum {0, 1, 2} (the link to object 3 is slow).
+    // Object 0 nominates w2; objects 1 and 2 corroborate via their pw
+    // fields (they saw the PW round): safe(w2) holds, and with only two
+    // non-confirmers invalid(w2) never fires — r1 returns 20.
+    world.adversary_mut().hold_link(dep.readers[0], dep.objects[3]);
+    let r1 = vrr::core::run_read::<u64, _>(&protocol, &dep, &mut world, 0);
+    assert_eq!(r1.value, Some(20), "r1 must observe the in-flight write");
+
+    // Read 2 (reader 1): quorum {1, 2, 3} (the link to object 0 is slow).
+    // Nobody in the quorum has w2 in a w field — write 2 is not even a
+    // candidate — so the highest candidate is w1: r2 returns 10.
+    world.adversary_mut().hold_link(dep.readers[1], dep.objects[0]);
+    let r2 = vrr::core::run_read::<u64, _>(&protocol, &dep, &mut world, 1);
+    assert_eq!(r2.value, Some(10), "r2 misses the in-flight write: old value");
+
+    // The checker view: regular accepts this, atomic rejects it.
+    let mut h = vrr::checker::OpHistory::new();
+    h.push_write(1, 10u64, 0, Some(10));
+    h.push_write(2, 20, 20, None); // still incomplete
+    h.push_read(0, 2, Some(20), 30, Some(40)); // r1: new value
+    h.push_read(1, 1, Some(10), 50, Some(60)); // r2 (after r1): old value
+    assert!(check_regularity(&h).is_ok(), "regular semantics allow the inversion");
+    assert!(
+        vrr::checker::check_atomicity(&h).is_err(),
+        "atomicity must reject the new/old inversion"
+    );
+}

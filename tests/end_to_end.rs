@@ -1,0 +1,136 @@
+//! End-to-end integration: every protocol in the workspace performs the
+//! same workloads through the shared driver interface.
+
+use vrr::baselines::{masking_object_count, AbdProtocol, MaskingProtocol, PassiveProtocol};
+use vrr::core::{
+    run_read, run_write, RegisterProtocol, RegularProtocol, SafeProtocol, StorageConfig, Value,
+};
+use vrr::sim::World;
+
+/// Writes 1..=n and reads after each write; checks freshness and rounds.
+fn write_read_cycle<V, P>(protocol: &P, cfg: StorageConfig, max_read_rounds: u32)
+where
+    V: Value + From<u64>,
+    P: RegisterProtocol<V>,
+{
+    let mut world: World<P::Msg> = World::new(99);
+    let dep = protocol.deploy(cfg, &mut world);
+    world.start();
+
+    // Fresh register reads ⊥.
+    let r = run_read::<V, _>(protocol, &dep, &mut world, 0);
+    assert_eq!(r.value, None, "{}: fresh register must read ⊥", protocol.name());
+
+    for k in 1..=5u64 {
+        run_write(protocol, &dep, &mut world, V::from(k));
+        for reader in 0..cfg.readers {
+            let r = run_read::<V, _>(protocol, &dep, &mut world, reader);
+            assert_eq!(r.value, Some(V::from(k)), "{}: stale read", protocol.name());
+            assert!(
+                r.rounds <= max_read_rounds,
+                "{}: read took {} rounds (cap {max_read_rounds})",
+                protocol.name(),
+                r.rounds
+            );
+        }
+    }
+}
+
+#[test]
+fn safe_protocol_cycles() {
+    for (t, b) in [(1, 1), (2, 1), (2, 2), (3, 3)] {
+        write_read_cycle::<u64, _>(&SafeProtocol, StorageConfig::optimal(t, b, 2), 2);
+    }
+}
+
+#[test]
+fn regular_protocol_cycles() {
+    for protocol in [RegularProtocol::full(), RegularProtocol::optimized()] {
+        for (t, b) in [(1, 1), (2, 2)] {
+            write_read_cycle::<u64, _>(&protocol, StorageConfig::optimal(t, b, 2), 2);
+        }
+    }
+}
+
+#[test]
+fn abd_cycles() {
+    for t in [1, 2, 3] {
+        write_read_cycle::<u64, _>(&AbdProtocol::default(), StorageConfig::crash_only(t, 2), 1);
+        write_read_cycle::<u64, _>(
+            &AbdProtocol { atomic: true },
+            StorageConfig::crash_only(t, 2),
+            2,
+        );
+    }
+}
+
+#[test]
+fn masking_cycles() {
+    for (t, b) in [(1, 1), (2, 2)] {
+        let cfg = StorageConfig::with_objects(masking_object_count(t, b), t, b, 2);
+        write_read_cycle::<u64, _>(&MaskingProtocol, cfg, 1);
+    }
+}
+
+#[test]
+fn passive_cycles() {
+    for (t, b) in [(1, 1), (2, 1), (2, 2)] {
+        write_read_cycle::<u64, _>(&PassiveProtocol, StorageConfig::optimal(t, b, 2), (b + 1) as u32);
+    }
+}
+
+#[test]
+fn string_values_work_end_to_end() {
+    // The register is generic over value types; strings exercise owned data.
+    let cfg = StorageConfig::optimal(1, 1, 1);
+    let mut world: World<vrr::core::Msg<String>> = World::new(3);
+    let dep = RegisterProtocol::<String>::deploy(&RegularProtocol::optimized(), cfg, &mut world);
+    world.start();
+    run_write(&RegularProtocol::optimized(), &dep, &mut world, "αβγ".to_string());
+    let r = run_read::<String, _>(&RegularProtocol::optimized(), &dep, &mut world, 0);
+    assert_eq!(r.value.as_deref(), Some("αβγ"));
+}
+
+#[test]
+fn crash_budget_is_honoured_by_all_byzantine_tolerant_protocols() {
+    // Crash exactly t objects; every protocol must stay live and fresh.
+    let (t, b) = (2usize, 1usize);
+    let cfg = StorageConfig::optimal(t, b, 1);
+
+    let mut world: World<vrr::core::Msg<u64>> = World::new(5);
+    let dep = RegisterProtocol::<u64>::deploy(&SafeProtocol, cfg, &mut world);
+    world.start();
+    for i in 0..t {
+        world.crash(dep.objects[i]);
+    }
+    run_write(&SafeProtocol, &dep, &mut world, 11u64);
+    assert_eq!(run_read::<u64, _>(&SafeProtocol, &dep, &mut world, 0).value, Some(11));
+
+    let mut world: World<vrr::baselines::LiteMsg<u64>> = World::new(5);
+    let dep = RegisterProtocol::<u64>::deploy(&PassiveProtocol, cfg, &mut world);
+    world.start();
+    for i in 0..t {
+        world.crash(dep.objects[i]);
+    }
+    run_write(&PassiveProtocol, &dep, &mut world, 11u64);
+    assert_eq!(run_read::<u64, _>(&PassiveProtocol, &dep, &mut world, 0).value, Some(11));
+}
+
+#[test]
+fn interleaved_readers_observe_monotone_timestamps() {
+    // Reads by different readers, interleaved with writes, must never see
+    // the register "go backwards" when each read is isolated from writes.
+    let cfg = StorageConfig::optimal(2, 1, 3);
+    let mut world: World<vrr::core::Msg<u64>> = World::new(8);
+    let dep = RegisterProtocol::<u64>::deploy(&RegularProtocol::full(), cfg, &mut world);
+    world.start();
+
+    let mut last_ts = vrr::core::Timestamp::ZERO;
+    for k in 1..=6u64 {
+        run_write(&RegularProtocol::full(), &dep, &mut world, k);
+        let reader = (k % 3) as usize;
+        let r = run_read::<u64, _>(&RegularProtocol::full(), &dep, &mut world, reader);
+        assert!(r.ts >= last_ts, "timestamp regressed: {:?} < {last_ts:?}", r.ts);
+        last_ts = r.ts;
+    }
+}

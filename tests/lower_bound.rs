@@ -1,0 +1,97 @@
+//! Integration tests for the executable Proposition 1 and its boundary.
+
+use vrr::lowerbound::{
+    execute_control, execute_prop1, GossipPairSpec, LitePairSpec, ReadRule, Verdict,
+};
+
+#[test]
+fn every_fast_read_rule_is_convicted_at_the_boundary() {
+    for (t, b) in [(1, 1), (2, 1), (2, 2), (3, 2), (3, 3), (4, 2)] {
+        let s = 2 * t + 2 * b;
+        let mut rules = vec![ReadRule::Masking, ReadRule::TrustHighest];
+        for k in 1..=s {
+            rules.push(ReadRule::Threshold(k));
+        }
+        for rule in rules {
+            let spec = LitePairSpec::new(s, t, b, rule);
+            let report = execute_prop1(&spec, b, 7u64);
+            assert!(report.write_completed);
+            assert!(
+                report.verdict.is_violation(),
+                "t={t} b={b} {rule:?}: escaped the construction"
+            );
+        }
+    }
+}
+
+#[test]
+fn violations_split_exactly_between_run4_and_run5() {
+    // A rule either misses the write (run4) or believes a phantom (run5) —
+    // never neither; both only if it invents a third value (our rules
+    // cannot).
+    for (t, b) in [(1, 1), (2, 2)] {
+        let s = 2 * t + 2 * b;
+        for k in 1..=s {
+            let spec = LitePairSpec::new(s, t, b, ReadRule::Threshold(k));
+            match execute_prop1(&spec, b, 7u64).verdict {
+                Verdict::Violation { run4_violated, run5_violated, .. } => {
+                    assert!(run4_violated ^ run5_violated, "k={k}: exactly one side breaks");
+                }
+                Verdict::NotFast => panic!("threshold rules always decide"),
+            }
+        }
+    }
+}
+
+#[test]
+fn one_extra_object_restores_safety_for_masking() {
+    for (t, b) in [(1, 1), (2, 1), (2, 2), (3, 3)] {
+        let spec = LitePairSpec::new(2 * t + 2 * b + 1, t, b, ReadRule::Masking);
+        let report = execute_control(&spec, b, 7u64);
+        assert!(report.is_safe(), "t={t} b={b}");
+    }
+}
+
+#[test]
+fn extra_objects_do_not_save_uncorroborated_rules() {
+    let (t, b) = (2, 1);
+    let spec = LitePairSpec::new(2 * t + 2 * b + 1, t, b, ReadRule::TrustHighest);
+    let report = execute_control(&spec, b, 7u64);
+    assert!(!report.is_safe(), "trusting timestamps blindly is never safe with b > 0");
+}
+
+#[test]
+fn server_centric_gossip_does_not_evade_the_bound() {
+    for gossip in [0, 1, 5] {
+        for (t, b) in [(1, 1), (2, 2)] {
+            let s = 2 * t + 2 * b;
+            let spec =
+                GossipPairSpec::new(LitePairSpec::new(s, t, b, ReadRule::Masking), gossip);
+            let report = execute_prop1(&spec, b, 7u64);
+            assert!(report.verdict.is_violation(), "gossip={gossip} t={t} b={b}");
+        }
+    }
+}
+
+#[test]
+fn the_view_is_what_makes_it_inescapable() {
+    // The decision function sees ONE view standing for three runs: assert
+    // the harness really hands the same view content that run3 would
+    // produce — S − t replies, none from T2.
+    let (t, b) = (2, 1);
+    let spec = LitePairSpec::new(2 * t + 2 * b, t, b, ReadRule::Masking);
+    let report = execute_prop1(&spec, b, 7u64);
+    assert_eq!(report.view.len(), 2 * t + 2 * b - t);
+    for obj in report.partition.t2.iter() {
+        assert!(!report.view.contains_key(obj), "T2 must be invisible to the reader");
+    }
+    // B2 is the only block that saw the write; its replies carry v1.
+    for obj in &report.partition.b2 {
+        let (_pw, w) = &report.view[obj];
+        assert_eq!(w.value, Some(7), "B2 replies from σ2");
+    }
+    for obj in report.partition.b1.iter().chain(&report.partition.t1) {
+        let (_pw, w) = &report.view[obj];
+        assert_eq!(w.value, None, "B1/T1 reply from pre-write states");
+    }
+}
