@@ -73,15 +73,27 @@ impl<V: Value> AbdWriter<V> {
 
 impl<V: Value> Automaton<LiteMsg<V>> for AbdWriter<V> {
     fn on_message(&mut self, from: ProcessId, msg: LiteMsg<V>, _ctx: &mut Context<'_, LiteMsg<V>>) {
-        let Some(&obj) = self.object_index.get(&from) else { return };
-        let LiteMsg::WriteAck { ts } = msg else { return };
+        let Some(&obj) = self.object_index.get(&from) else {
+            return;
+        };
+        let LiteMsg::WriteAck { ts } = msg else {
+            return;
+        };
         if ts != self.ts {
             return;
         }
-        let Some((op, ref mut acks)) = self.in_flight else { return };
+        let Some((op, ref mut acks)) = self.in_flight else {
+            return;
+        };
         acks.insert(obj);
         if acks.len() >= self.cfg.quorum() {
-            self.outcomes.insert(op, WriteReport { ts: self.ts, rounds: 1 });
+            self.outcomes.insert(
+                op,
+                WriteReport {
+                    ts: self.ts,
+                    rounds: 1,
+                },
+            );
             self.in_flight = None;
         }
     }
@@ -93,8 +105,14 @@ impl<V: Value> Automaton<LiteMsg<V>> for AbdWriter<V> {
 
 #[derive(Clone, Debug)]
 enum ReadPhase<V> {
-    Collect { acks: BTreeSet<usize>, best: TsVal<V> },
-    WriteBack { acks: BTreeSet<usize>, best: TsVal<V> },
+    Collect {
+        acks: BTreeSet<usize>,
+        best: TsVal<V>,
+    },
+    WriteBack {
+        acks: BTreeSet<usize>,
+        best: TsVal<V>,
+    },
 }
 
 /// The ABD reader.
@@ -145,10 +163,16 @@ impl<V: Value> AbdReader<V> {
         let op = self.next_op;
         self.next_op += 1;
         self.nonce += 1;
-        ctx.broadcast(self.objects.iter().copied(), LiteMsg::Read { nonce: self.nonce });
+        ctx.broadcast(
+            self.objects.iter().copied(),
+            LiteMsg::Read { nonce: self.nonce },
+        );
         self.op = Some((
             op,
-            ReadPhase::Collect { acks: BTreeSet::new(), best: TsVal::bottom() },
+            ReadPhase::Collect {
+                acks: BTreeSet::new(),
+                best: TsVal::bottom(),
+            },
         ));
         op
     }
@@ -159,8 +183,14 @@ impl<V: Value> AbdReader<V> {
     }
 
     fn finish(&mut self, op: u64, best: TsVal<V>, rounds: u32) {
-        self.outcomes
-            .insert(op, ReadReport { value: best.value, ts: best.ts, rounds });
+        self.outcomes.insert(
+            op,
+            ReadReport {
+                value: best.value,
+                ts: best.ts,
+                rounds,
+            },
+        );
         self.op = None;
     }
 }
@@ -173,12 +203,16 @@ enum Step<V> {
 
 impl<V: Value> Automaton<LiteMsg<V>> for AbdReader<V> {
     fn on_message(&mut self, from: ProcessId, msg: LiteMsg<V>, ctx: &mut Context<'_, LiteMsg<V>>) {
-        let Some(&obj) = self.object_index.get(&from) else { return };
+        let Some(&obj) = self.object_index.get(&from) else {
+            return;
+        };
         let quorum = self.cfg.quorum();
         let nonce_now = self.nonce;
         let atomic = self.atomic;
 
-        let Some((op, phase)) = self.op.as_mut() else { return };
+        let Some((op, phase)) = self.op.as_mut() else {
+            return;
+        };
         let op = *op;
         let step = match (phase, msg) {
             (ReadPhase::Collect { acks, best }, LiteMsg::ReadAck { nonce, w, .. }) => {
@@ -193,7 +227,10 @@ impl<V: Value> Automaton<LiteMsg<V>> for AbdReader<V> {
                 } else if atomic && best.ts > Timestamp::ZERO {
                     Step::WriteBack { best: best.clone() }
                 } else {
-                    Step::Finish { best: best.clone(), rounds: 1 }
+                    Step::Finish {
+                        best: best.clone(),
+                        rounds: 1,
+                    }
                 }
             }
             (ReadPhase::WriteBack { acks, best }, LiteMsg::WriteAck { ts }) => {
@@ -203,7 +240,10 @@ impl<V: Value> Automaton<LiteMsg<V>> for AbdReader<V> {
                 if acks.len() < quorum {
                     Step::Wait
                 } else {
-                    Step::Finish { best: best.clone(), rounds: 2 }
+                    Step::Finish {
+                        best: best.clone(),
+                        rounds: 2,
+                    }
                 }
             }
             _ => return,
@@ -217,7 +257,13 @@ impl<V: Value> Automaton<LiteMsg<V>> for AbdReader<V> {
                     self.objects.iter().copied(),
                     LiteMsg::Write { pair: best.clone() },
                 );
-                self.op = Some((op, ReadPhase::WriteBack { acks: BTreeSet::new(), best }));
+                self.op = Some((
+                    op,
+                    ReadPhase::WriteBack {
+                        acks: BTreeSet::new(),
+                        best,
+                    },
+                ));
             }
         }
     }
@@ -249,8 +295,10 @@ impl<V: Value> RegisterProtocol<V> for AbdProtocol {
         let objects: Vec<ProcessId> = (0..cfg.s)
             .map(|i| world.spawn_named(format!("s{i}"), Box::new(LiteObject::<V>::new())))
             .collect();
-        let writer =
-            world.spawn_named("writer", Box::new(AbdWriter::<V>::new(cfg, objects.clone())));
+        let writer = world.spawn_named(
+            "writer",
+            Box::new(AbdWriter::<V>::new(cfg, objects.clone())),
+        );
         let atomic = self.atomic;
         let readers: Vec<ProcessId> = (0..cfg.readers)
             .map(|j| {
@@ -260,7 +308,12 @@ impl<V: Value> RegisterProtocol<V> for AbdProtocol {
                 )
             })
             .collect();
-        Deployment { cfg, objects, writer, readers }
+        Deployment {
+            cfg,
+            objects,
+            writer,
+            readers,
+        }
     }
 
     fn invoke_write(&self, dep: &Deployment, world: &mut World<LiteMsg<V>>, value: V) -> u64 {
@@ -291,7 +344,9 @@ impl<V: Value> RegisterProtocol<V> for AbdProtocol {
         reader: usize,
         op: u64,
     ) -> Option<ReadReport<V>> {
-        world.inspect(dep.readers[reader], |r: &AbdReader<V>| r.outcome(op).cloned())
+        world.inspect(dep.readers[reader], |r: &AbdReader<V>| {
+            r.outcome(op).cloned()
+        })
     }
 }
 
@@ -368,6 +423,10 @@ mod tests {
         );
         run_write(&p, &dep, &mut w, 7u64);
         let rd = run_read::<u64, _>(&p, &dep, &mut w, 0);
-        assert_eq!(rd.value, Some(666), "ABD believes the liar — by design it may not");
+        assert_eq!(
+            rd.value,
+            Some(666),
+            "ABD believes the liar — by design it may not"
+        );
     }
 }

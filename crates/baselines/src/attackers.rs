@@ -27,7 +27,14 @@ pub fn serial_forger<V: Value>(lie_from_nonce: u64, fake: V) -> Box<dyn Automato
             LiteMsg::ReadAck { nonce, .. } => {
                 if nonce >= lie_from_nonce {
                     let pair = TsVal::new(Timestamp(FORGE_BASE + lie_from_nonce), fake.clone());
-                    vec![(to, LiteMsg::ReadAck { nonce, pw: pair.clone(), w: pair })]
+                    vec![(
+                        to,
+                        LiteMsg::ReadAck {
+                            nonce,
+                            pw: pair.clone(),
+                            w: pair,
+                        },
+                    )]
                 } else {
                     vec![] // lurk: indistinguishable from a slow object
                 }
@@ -61,9 +68,11 @@ pub fn restless_forger<V: Value>(fake: V) -> Box<dyn Automaton<LiteMsg<V>>> {
 pub fn denier<V: Value>() -> Box<dyn Automaton<LiteMsg<V>>> {
     Box::new(Tamper::new(LiteObject::<V>::new(), move |to, msg| {
         let msg = match msg {
-            LiteMsg::ReadAck { nonce, .. } => {
-                LiteMsg::ReadAck { nonce, pw: TsVal::bottom(), w: TsVal::bottom() }
-            }
+            LiteMsg::ReadAck { nonce, .. } => LiteMsg::ReadAck {
+                nonce,
+                pw: TsVal::bottom(),
+                w: TsVal::bottom(),
+            },
             other => other,
         };
         vec![(to, msg)]
@@ -102,7 +111,11 @@ mod tests {
         w.set_byzantine(dep.objects[0], restless_forger(666u64));
         run_write(&p, &dep, &mut w, 5u64);
         let rd = run_read::<u64, _>(&p, &dep, &mut w, 0);
-        assert_eq!(rd.value, Some(5), "fresh fakes each reply never gather support");
+        assert_eq!(
+            rd.value,
+            Some(5),
+            "fresh fakes each reply never gather support"
+        );
         assert!(rd.rounds <= 3, "restless forging is self-defeating");
     }
 }

@@ -71,7 +71,10 @@ pub struct LiteObject<V> {
 impl<V: Value> LiteObject<V> {
     /// A fresh object holding `⟨0, ⊥⟩` in both fields.
     pub fn new() -> Self {
-        LiteObject { pw: TsVal::bottom(), w: TsVal::bottom() }
+        LiteObject {
+            pw: TsVal::bottom(),
+            w: TsVal::bottom(),
+        }
     }
 
     /// The staged pair.
@@ -114,7 +117,11 @@ impl<V: Value> Automaton<LiteMsg<V>> for LiteObject<V> {
             LiteMsg::Read { nonce } => {
                 ctx.send(
                     from,
-                    LiteMsg::ReadAck { nonce, pw: self.pw.clone(), w: self.w.clone() },
+                    LiteMsg::ReadAck {
+                        nonce,
+                        pw: self.pw.clone(),
+                        w: self.w.clone(),
+                    },
                 );
             }
             LiteMsg::PreWriteAck { .. } | LiteMsg::WriteAck { .. } | LiteMsg::ReadAck { .. } => {}
@@ -144,17 +151,32 @@ mod tests {
     #[test]
     fn writes_are_monotone_and_always_acked() {
         let mut obj = LiteObject::new();
-        assert_eq!(step(&mut obj, LiteMsg::Write { pair: pair(2, 20) }).len(), 1);
+        assert_eq!(
+            step(&mut obj, LiteMsg::Write { pair: pair(2, 20) }).len(),
+            1
+        );
         let out = step(&mut obj, LiteMsg::Write { pair: pair(1, 10) });
-        assert_eq!(out.len(), 1, "stale writes still acked (idempotent protocol)");
-        assert_eq!(obj.w().value, Some(20), "stale write must not regress state");
+        assert_eq!(
+            out.len(),
+            1,
+            "stale writes still acked (idempotent protocol)"
+        );
+        assert_eq!(
+            obj.w().value,
+            Some(20),
+            "stale write must not regress state"
+        );
     }
 
     #[test]
     fn write_also_advances_pw() {
         let mut obj = LiteObject::new();
         step(&mut obj, LiteMsg::Write { pair: pair(3, 30) });
-        assert_eq!(obj.pw().ts, Timestamp(3), "w-write implies the pair was pre-written");
+        assert_eq!(
+            obj.pw().ts,
+            Timestamp(3),
+            "w-write implies the pair was pre-written"
+        );
     }
 
     #[test]

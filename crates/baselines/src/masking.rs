@@ -92,15 +92,27 @@ impl<V: Value> MaskingWriter<V> {
 
 impl<V: Value> Automaton<LiteMsg<V>> for MaskingWriter<V> {
     fn on_message(&mut self, from: ProcessId, msg: LiteMsg<V>, _ctx: &mut Context<'_, LiteMsg<V>>) {
-        let Some(&obj) = self.object_index.get(&from) else { return };
-        let LiteMsg::WriteAck { ts } = msg else { return };
+        let Some(&obj) = self.object_index.get(&from) else {
+            return;
+        };
+        let LiteMsg::WriteAck { ts } = msg else {
+            return;
+        };
         if ts != self.ts {
             return;
         }
-        let Some((op, ref mut acks)) = self.in_flight else { return };
+        let Some((op, ref mut acks)) = self.in_flight else {
+            return;
+        };
         acks.insert(obj);
         if acks.len() >= self.cfg.quorum() {
-            self.outcomes.insert(op, WriteReport { ts: self.ts, rounds: 1 });
+            self.outcomes.insert(
+                op,
+                WriteReport {
+                    ts: self.ts,
+                    rounds: 1,
+                },
+            );
             self.in_flight = None;
         }
     }
@@ -153,7 +165,10 @@ impl<V: Value> MaskingReader<V> {
         let op = self.next_op;
         self.next_op += 1;
         self.nonce += 1;
-        ctx.broadcast(self.objects.iter().copied(), LiteMsg::Read { nonce: self.nonce });
+        ctx.broadcast(
+            self.objects.iter().copied(),
+            LiteMsg::Read { nonce: self.nonce },
+        );
         self.op = Some((op, BTreeMap::new()));
         op
     }
@@ -173,7 +188,7 @@ impl<V: Value> MaskingReader<V> {
         }
         counts
             .into_iter()
-            .filter(|(_, n)| *n >= b + 1)
+            .filter(|(_, n)| *n > b)
             .map(|(pair, _)| pair)
             .max_by_key(|pair| pair.ts)
             .cloned()
@@ -182,19 +197,31 @@ impl<V: Value> MaskingReader<V> {
 
 impl<V: Value> Automaton<LiteMsg<V>> for MaskingReader<V> {
     fn on_message(&mut self, from: ProcessId, msg: LiteMsg<V>, _ctx: &mut Context<'_, LiteMsg<V>>) {
-        let Some(&obj) = self.object_index.get(&from) else { return };
-        let LiteMsg::ReadAck { nonce, w, .. } = msg else { return };
+        let Some(&obj) = self.object_index.get(&from) else {
+            return;
+        };
+        let LiteMsg::ReadAck { nonce, w, .. } = msg else {
+            return;
+        };
         if nonce != self.nonce {
             return;
         }
         let quorum = self.cfg.quorum();
         let b = self.cfg.b;
-        let Some((op, ref mut replies)) = self.op else { return };
+        let Some((op, ref mut replies)) = self.op else {
+            return;
+        };
         replies.entry(obj).or_insert(w);
         if replies.len() >= quorum {
             if let Some(best) = Self::decide(replies, b) {
-                self.outcomes
-                    .insert(op, ReadReport { value: best.value, ts: best.ts, rounds: 1 });
+                self.outcomes.insert(
+                    op,
+                    ReadReport {
+                        value: best.value,
+                        ts: best.ts,
+                        rounds: 1,
+                    },
+                );
                 self.op = None;
             }
             // No corroborated pair yet: keep collecting replies of the same
@@ -227,8 +254,10 @@ impl<V: Value> RegisterProtocol<V> for MaskingProtocol {
         let objects: Vec<ProcessId> = (0..cfg.s)
             .map(|i| world.spawn_named(format!("s{i}"), Box::new(LiteObject::<V>::new())))
             .collect();
-        let writer = world
-            .spawn_named("writer", Box::new(MaskingWriter::<V>::new(cfg, objects.clone())));
+        let writer = world.spawn_named(
+            "writer",
+            Box::new(MaskingWriter::<V>::new(cfg, objects.clone())),
+        );
         let readers: Vec<ProcessId> = (0..cfg.readers)
             .map(|j| {
                 world.spawn_named(
@@ -237,7 +266,12 @@ impl<V: Value> RegisterProtocol<V> for MaskingProtocol {
                 )
             })
             .collect();
-        Deployment { cfg, objects, writer, readers }
+        Deployment {
+            cfg,
+            objects,
+            writer,
+            readers,
+        }
     }
 
     fn invoke_write(&self, dep: &Deployment, world: &mut World<LiteMsg<V>>, value: V) -> u64 {
@@ -268,7 +302,9 @@ impl<V: Value> RegisterProtocol<V> for MaskingProtocol {
         reader: usize,
         op: u64,
     ) -> Option<ReadReport<V>> {
-        world.inspect(dep.readers[reader], |r: &MaskingReader<V>| r.outcome(op).cloned())
+        world.inspect(dep.readers[reader], |r: &MaskingReader<V>| {
+            r.outcome(op).cloned()
+        })
     }
 }
 

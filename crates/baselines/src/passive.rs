@@ -62,8 +62,15 @@ pub struct PassiveWriter<V> {
 #[derive(Clone, Debug)]
 enum PassiveWritePhase<V> {
     Idle,
-    Pre { op: u64, pair: TsVal<V>, acks: BTreeSet<usize> },
-    Commit { op: u64, acks: BTreeSet<usize> },
+    Pre {
+        op: u64,
+        pair: TsVal<V>,
+        acks: BTreeSet<usize>,
+    },
+    Commit {
+        op: u64,
+        acks: BTreeSet<usize>,
+    },
 }
 
 impl<V: Value> PassiveWriter<V> {
@@ -100,8 +107,15 @@ impl<V: Value> PassiveWriter<V> {
         self.next_op += 1;
         self.ts = self.ts.next();
         let pair = TsVal::new(self.ts, value);
-        ctx.broadcast(self.objects.iter().copied(), LiteMsg::PreWrite { pair: pair.clone() });
-        self.phase = PassiveWritePhase::Pre { op, pair, acks: BTreeSet::new() };
+        ctx.broadcast(
+            self.objects.iter().copied(),
+            LiteMsg::PreWrite { pair: pair.clone() },
+        );
+        self.phase = PassiveWritePhase::Pre {
+            op,
+            pair,
+            acks: BTreeSet::new(),
+        };
         op
     }
 
@@ -113,7 +127,9 @@ impl<V: Value> PassiveWriter<V> {
 
 impl<V: Value> Automaton<LiteMsg<V>> for PassiveWriter<V> {
     fn on_message(&mut self, from: ProcessId, msg: LiteMsg<V>, ctx: &mut Context<'_, LiteMsg<V>>) {
-        let Some(&obj) = self.object_index.get(&from) else { return };
+        let Some(&obj) = self.object_index.get(&from) else {
+            return;
+        };
         let quorum = self.cfg.quorum();
         match (&mut self.phase, msg) {
             (PassiveWritePhase::Pre { op, pair, acks }, LiteMsg::PreWriteAck { ts })
@@ -122,20 +138,24 @@ impl<V: Value> Automaton<LiteMsg<V>> for PassiveWriter<V> {
                 acks.insert(obj);
                 if acks.len() >= quorum {
                     let (op, pair) = (*op, pair.clone());
-                    ctx.broadcast(
-                        self.objects.iter().copied(),
-                        LiteMsg::Write { pair },
-                    );
-                    self.phase = PassiveWritePhase::Commit { op, acks: BTreeSet::new() };
+                    ctx.broadcast(self.objects.iter().copied(), LiteMsg::Write { pair });
+                    self.phase = PassiveWritePhase::Commit {
+                        op,
+                        acks: BTreeSet::new(),
+                    };
                 }
             }
-            (PassiveWritePhase::Commit { op, acks }, LiteMsg::WriteAck { ts })
-                if ts == self.ts =>
-            {
+            (PassiveWritePhase::Commit { op, acks }, LiteMsg::WriteAck { ts }) if ts == self.ts => {
                 acks.insert(obj);
                 if acks.len() >= quorum {
                     let op = *op;
-                    self.outcomes.insert(op, WriteReport { ts: self.ts, rounds: 2 });
+                    self.outcomes.insert(
+                        op,
+                        WriteReport {
+                            ts: self.ts,
+                            rounds: 2,
+                        },
+                    );
                     self.phase = PassiveWritePhase::Idle;
                 }
             }
@@ -213,7 +233,10 @@ impl<V: Value> PassiveReader<V> {
         let op = self.next_op;
         self.next_op += 1;
         self.nonce += 1;
-        ctx.broadcast(self.objects.iter().copied(), LiteMsg::Read { nonce: self.nonce });
+        ctx.broadcast(
+            self.objects.iter().copied(),
+            LiteMsg::Read { nonce: self.nonce },
+        );
         self.op = Some(PassiveReadOp {
             op,
             round: 1,
@@ -285,8 +308,12 @@ impl<V: Value> PassiveReader<V> {
 
 impl<V: Value> Automaton<LiteMsg<V>> for PassiveReader<V> {
     fn on_message(&mut self, from: ProcessId, msg: LiteMsg<V>, ctx: &mut Context<'_, LiteMsg<V>>) {
-        let Some(&obj) = self.object_index.get(&from) else { return };
-        let LiteMsg::ReadAck { nonce, pw, w } = msg else { return };
+        let Some(&obj) = self.object_index.get(&from) else {
+            return;
+        };
+        let LiteMsg::ReadAck { nonce, pw, w } = msg else {
+            return;
+        };
         if nonce != self.nonce {
             return;
         }
@@ -312,13 +339,19 @@ impl<V: Value> Automaton<LiteMsg<V>> for PassiveReader<V> {
         // The w pair is a claim; both fields are support.
         op.claims
             .entry(w.clone())
-            .or_insert_with(|| ClaimInfo { support: BTreeSet::new(), first_round: round })
+            .or_insert_with(|| ClaimInfo {
+                support: BTreeSet::new(),
+                first_round: round,
+            })
             .support
             .insert(obj);
         if pw != w {
             op.claims
                 .entry(pw)
-                .or_insert_with(|| ClaimInfo { support: BTreeSet::new(), first_round: round })
+                .or_insert_with(|| ClaimInfo {
+                    support: BTreeSet::new(),
+                    first_round: round,
+                })
                 .support
                 .insert(obj);
         }
@@ -329,8 +362,14 @@ impl<V: Value> Automaton<LiteMsg<V>> for PassiveReader<V> {
         match Self::evaluate(op, b1) {
             Some((pair, rounds)) => {
                 let opid = op.op;
-                self.outcomes
-                    .insert(opid, ReadReport { value: pair.value, ts: pair.ts, rounds });
+                self.outcomes.insert(
+                    opid,
+                    ReadReport {
+                        value: pair.value,
+                        ts: pair.ts,
+                        rounds,
+                    },
+                );
                 self.op = None;
             }
             None => {
@@ -367,8 +406,10 @@ impl<V: Value> RegisterProtocol<V> for PassiveProtocol {
         let objects: Vec<ProcessId> = (0..cfg.s)
             .map(|i| world.spawn_named(format!("s{i}"), Box::new(LiteObject::<V>::new())))
             .collect();
-        let writer = world
-            .spawn_named("writer", Box::new(PassiveWriter::<V>::new(cfg, objects.clone())));
+        let writer = world.spawn_named(
+            "writer",
+            Box::new(PassiveWriter::<V>::new(cfg, objects.clone())),
+        );
         let readers: Vec<ProcessId> = (0..cfg.readers)
             .map(|j| {
                 world.spawn_named(
@@ -377,7 +418,12 @@ impl<V: Value> RegisterProtocol<V> for PassiveProtocol {
                 )
             })
             .collect();
-        Deployment { cfg, objects, writer, readers }
+        Deployment {
+            cfg,
+            objects,
+            writer,
+            readers,
+        }
     }
 
     fn invoke_write(&self, dep: &Deployment, world: &mut World<LiteMsg<V>>, value: V) -> u64 {
@@ -408,7 +454,9 @@ impl<V: Value> RegisterProtocol<V> for PassiveProtocol {
         reader: usize,
         op: u64,
     ) -> Option<ReadReport<V>> {
-        world.inspect(dep.readers[reader], |r: &PassiveReader<V>| r.outcome(op).cloned())
+        world.inspect(dep.readers[reader], |r: &PassiveReader<V>| {
+            r.outcome(op).cloned()
+        })
     }
 }
 
@@ -431,7 +479,10 @@ mod tests {
     fn failure_free_read_is_one_round() {
         let (mut w, p, dep) = deploy(1, 1);
         let wr = run_write(&p, &dep, &mut w, 42u64);
-        assert_eq!(wr.rounds, 2, "passive writes are two-phase at optimal resilience");
+        assert_eq!(
+            wr.rounds, 2,
+            "passive writes are two-phase at optimal resilience"
+        );
         let rd = run_read::<u64, _>(&p, &dep, &mut w, 0);
         assert_eq!(rd.value, Some(42));
         assert_eq!(rd.rounds, 1, "no liars: first round confirms");

@@ -3,9 +3,7 @@
 use proptest::prelude::*;
 
 use vrr_baselines::{serial_forger, AbdProtocol, MaskingProtocol, PassiveProtocol};
-use vrr_core::{
-    corrupt_object, run_read, run_write, RegisterProtocol, StorageConfig,
-};
+use vrr_core::{corrupt_object, run_read, run_write, RegisterProtocol, StorageConfig};
 use vrr_sim::World;
 
 proptest! {

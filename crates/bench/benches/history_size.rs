@@ -15,11 +15,16 @@ use vrr_sim::World;
 
 fn bench_history_growth(c: &mut Criterion) {
     let mut group = c.benchmark_group("history/read");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     for writes in [10u64, 100, 500] {
         for optimized in [false, true] {
-            let protocol =
-                if optimized { RegularProtocol::optimized() } else { RegularProtocol::full() };
+            let protocol = if optimized {
+                RegularProtocol::optimized()
+            } else {
+                RegularProtocol::full()
+            };
             let cfg = StorageConfig::optimal(1, 1, 1);
             let mut world: World<vrr_core::Msg<u64>> = World::new(9);
             let dep = RegisterProtocol::<u64>::deploy(&protocol, cfg, &mut world);

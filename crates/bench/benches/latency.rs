@@ -18,7 +18,9 @@ use vrr_runtime::{NoDelay, ProtocolKind, StorageCluster};
 
 fn bench_protocol_variants(c: &mut Criterion) {
     let mut group = c.benchmark_group("latency/variant");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     for (name, kind) in [
         ("safe", ProtocolKind::Safe),
         ("regular", ProtocolKind::Regular),
@@ -43,7 +45,9 @@ fn bench_protocol_variants(c: &mut Criterion) {
 
 fn bench_object_count(c: &mut Criterion) {
     let mut group = c.benchmark_group("latency/objects");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     for t in [1usize, 2, 3, 5] {
         let cfg = StorageConfig::optimal(t, 1, 1); // S = 2t + 2
         let storage: StorageCluster<u64> =
@@ -58,7 +62,9 @@ fn bench_object_count(c: &mut Criterion) {
 
 fn bench_under_attack(c: &mut Criterion) {
     let mut group = c.benchmark_group("latency/attacker");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     let cfg = StorageConfig::optimal(2, 2, 1); // S = 7, b = 2
     for (name, attacker) in [
         ("none", None),
@@ -66,14 +72,10 @@ fn bench_under_attack(c: &mut Criterion) {
         ("conflicter", Some(AttackerKind::Conflicter)),
         ("mute", Some(AttackerKind::Mute)),
     ] {
-        let storage: StorageCluster<u64> = StorageCluster::deploy_with_objects(
-            cfg,
-            ProtocolKind::Safe,
-            Box::new(NoDelay),
-            |i| {
+        let storage: StorageCluster<u64> =
+            StorageCluster::deploy_with_objects(cfg, ProtocolKind::Safe, Box::new(NoDelay), |i| {
                 attacker.and_then(|kind| (i < cfg.b).then(|| kind.build_safe(cfg, 0xDEADu64)))
-            },
-        );
+            });
         storage.write(1);
         group.bench_function(BenchmarkId::new("read", name), |b| {
             b.iter(|| storage.read(0));
@@ -82,5 +84,10 @@ fn bench_under_attack(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_protocol_variants, bench_object_count, bench_under_attack);
+criterion_group!(
+    benches,
+    bench_protocol_variants,
+    bench_object_count,
+    bench_under_attack
+);
 criterion_main!(benches);

@@ -27,7 +27,9 @@ fn cycle<V: Value + From<u64>, P: RegisterProtocol<V>>(protocol: &P, cfg: Storag
 
 fn bench_write_read_cycle(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim/cycle");
-    group.sample_size(30).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(3));
     let (t, b) = (2usize, 1usize);
     let opt = StorageConfig::optimal(t, b, 1);
 
@@ -56,7 +58,9 @@ fn bench_write_read_cycle(c: &mut Criterion) {
 
 fn bench_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim/scaling");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     for t in [1usize, 2, 4, 8] {
         let cfg = StorageConfig::optimal(t, 1, 1);
         group.bench_function(BenchmarkId::new("safe-S", cfg.s), |bch| {

@@ -36,7 +36,12 @@ fn probe_mutant(tuning: SafeTuning, attacked: bool) -> (bool, u32, bool) {
     world.start();
     if attacked {
         for i in 0..cfg.b {
-            corrupt_object(&dep, &mut world, i, AttackerKind::Inflator.build_safe(cfg, 0xBAD));
+            corrupt_object(
+                &dep,
+                &mut world,
+                i,
+                AttackerKind::Inflator.build_safe(cfg, 0xBAD),
+            );
         }
     }
     run_write(&protocol, &dep, &mut world, 5u64);
@@ -48,8 +53,7 @@ fn probe_mutant(tuning: SafeTuning, attacked: bool) -> (bool, u32, bool) {
     if !done {
         return (false, 0, false);
     }
-    let rep =
-        RegisterProtocol::<u64>::read_outcome(&protocol, &dep, &world, 0, op).expect("done");
+    let rep = RegisterProtocol::<u64>::read_outcome(&protocol, &dep, &world, 0, op).expect("done");
     (rep.value == Some(5), rep.rounds, true)
 }
 
@@ -67,19 +71,31 @@ fn main() {
         ("full protocol (Figure 4)", SafeTuning::default()),
         (
             "no second round",
-            SafeTuning { skip_round2: true, ..SafeTuning::default() },
+            SafeTuning {
+                skip_round2: true,
+                ..SafeTuning::default()
+            },
         ),
         (
             "safe(c) at 1 confirmation",
-            SafeTuning { safe_threshold: Some(1), ..SafeTuning::default() },
+            SafeTuning {
+                safe_threshold: Some(1),
+                ..SafeTuning::default()
+            },
         ),
         (
             "eliminate at 2 reports",
-            SafeTuning { elim_threshold: Some(2), ..SafeTuning::default() },
+            SafeTuning {
+                elim_threshold: Some(2),
+                ..SafeTuning::default()
+            },
         ),
         (
             "no conflict filter",
-            SafeTuning { conflict_check: false, ..SafeTuning::default() },
+            SafeTuning {
+                conflict_check: false,
+                ..SafeTuning::default()
+            },
         ),
     ];
     let mut a = Table::new(&["reader variant", "benign run", "b=2 inflators"]);
@@ -88,7 +104,10 @@ fn main() {
         let attacked = probe_mutant(tuning, true);
         a.row_owned(vec![name.into(), fmt_probe(benign), fmt_probe(attacked)]);
         if name.starts_with("full") {
-            assert!(benign.0 && attacked.0, "the real protocol is always correct");
+            assert!(
+                benign.0 && attacked.0,
+                "the real protocol is always correct"
+            );
         }
     }
     a.print("Ablation A: every mechanism is pure insurance (benign runs don't need it)");
@@ -156,14 +175,21 @@ fn main() {
 
     // ---- Part C: the history-GC extension.
     let mut c = Table::new(&[
-        "retention", "writes", "object history len", "read ok", "read rounds",
+        "retention",
+        "writes",
+        "object history len",
+        "read ok",
+        "read rounds",
     ]);
     for retention in [
         HistoryRetention::KeepAll,
         HistoryRetention::KeepLast(8),
         HistoryRetention::KeepLast(2),
     ] {
-        let protocol = RegularProtocol { optimized: true, retention };
+        let protocol = RegularProtocol {
+            optimized: true,
+            retention,
+        };
         let cfg = StorageConfig::optimal(1, 1, 1);
         let mut world: World<vrr_core::Msg<u64>> = World::new(5);
         let dep = RegisterProtocol::<u64>::deploy(&protocol, cfg, &mut world);
@@ -181,7 +207,11 @@ fn main() {
             (rep.value == Some(writes)).to_string(),
             rep.rounds.to_string(),
         ]);
-        assert_eq!(rep.value, Some(writes), "{retention:?}: GC must not lose the tip");
+        assert_eq!(
+            rep.value,
+            Some(writes),
+            "{retention:?}: GC must not lose the tip"
+        );
         assert_eq!(rep.rounds, 2);
     }
     c.print("Ablation C: bounding object memory (extension) keeps reads intact");

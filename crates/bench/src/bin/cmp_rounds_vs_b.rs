@@ -40,14 +40,24 @@ where
     attack(&dep, &mut world);
     run_write(protocol, &dep, &mut world, V::from(7u64));
     let rep = run_read::<V, _>(protocol, &dep, &mut world, 0);
-    assert_eq!(rep.value, Some(V::from(7u64)), "{}: wrong value", protocol.name());
+    assert_eq!(
+        rep.value,
+        Some(V::from(7u64)),
+        "{}: wrong value",
+        protocol.name()
+    );
     rep.rounds
 }
 
 fn lite_serial_attack(b: usize) -> impl Fn(&vrr_core::Deployment, &mut World<LiteMsg<u64>>) {
     move |dep, world| {
         for rank in 1..=b {
-            corrupt_object(dep, world, rank - 1, serial_forger(rank as u64, 900 + rank as u64));
+            corrupt_object(
+                dep,
+                world,
+                rank - 1,
+                serial_forger(rank as u64, 900 + rank as u64),
+            );
         }
     }
 }
@@ -57,7 +67,12 @@ fn safe_inflator_attack(
 ) -> impl Fn(&vrr_core::Deployment, &mut World<vrr_core::Msg<u64>>) {
     move |dep, world| {
         for i in 0..cfg.b {
-            corrupt_object(dep, world, i, AttackerKind::Inflator.build_safe(cfg, 0xDEADu64));
+            corrupt_object(
+                dep,
+                world,
+                i,
+                AttackerKind::Inflator.build_safe(cfg, 0xDEADu64),
+            );
         }
     }
 }
@@ -77,7 +92,11 @@ fn lite_inflator_attack(b: usize) -> impl Fn(&vrr_core::Deployment, &mut World<L
 
 fn main() {
     let mut table = Table::new(&[
-        "b", "protocol", "objects S", "write rounds", "read rounds (no attack)",
+        "b",
+        "protocol",
+        "objects S",
+        "write rounds",
+        "read rounds (no attack)",
         "read rounds (worst attack)",
     ]);
 

@@ -44,7 +44,11 @@ fn main() {
             assert!(report.write_completed, "wait-freedom of the write");
             let (returned, violated) = match &report.verdict {
                 Verdict::NotFast => ("—".to_string(), "escapes by not being fast".to_string()),
-                Verdict::Violation { returned, run4_violated, run5_violated } => {
+                Verdict::Violation {
+                    returned,
+                    run4_violated,
+                    run5_violated,
+                } => {
                     let r = match returned {
                         Some(v) => format!("{v}"),
                         None => "⊥".to_string(),
@@ -70,7 +74,15 @@ fn main() {
     }
     boundary.print("Proposition 1 @ S = 2t+2b: every fast read breaks safety");
 
-    let mut control = Table::new(&["t", "b", "S=2t+2b+1", "read rule", "run4 → ", "run5 → ", "verdict"]);
+    let mut control = Table::new(&[
+        "t",
+        "b",
+        "S=2t+2b+1",
+        "read rule",
+        "run4 → ",
+        "run5 → ",
+        "verdict",
+    ]);
     for &(t, b) in &budgets {
         let s = 2 * t + 2 * b + 1;
         for rule in [ReadRule::Masking, ReadRule::TrustHighest] {
@@ -88,7 +100,11 @@ fn main() {
                 rule_name(rule),
                 fmt(&report.returned_run4),
                 fmt(&report.returned_run5),
-                if report.is_safe() { "SAFE (bound is tight)".into() } else { "unsafe".into() },
+                if report.is_safe() {
+                    "SAFE (bound is tight)".into()
+                } else {
+                    "unsafe".into()
+                },
             ]);
         }
     }

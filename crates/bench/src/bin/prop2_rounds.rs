@@ -21,18 +21,33 @@ use vrr_workload::{
 fn main() {
     let seeds = 0..25u64;
     let points = grid(&[1, 2, 3], &[1, 2, 3], seeds);
-    println!("sweep points: {} (budgets × attackers × seeds)", points.len());
+    println!(
+        "sweep points: {} (budgets × attackers × seeds)",
+        points.len()
+    );
 
     let mut table = Table::new(&[
-        "protocol", "t", "b", "S", "attacker", "runs", "reads", "max rd rounds",
-        "avg rd rounds", "max wr rounds", "stalled",
+        "protocol",
+        "t",
+        "b",
+        "S",
+        "attacker",
+        "runs",
+        "reads",
+        "max rd rounds",
+        "avg rd rounds",
+        "max wr rounds",
+        "stalled",
     ]);
 
+    // Aggregate per (t, b, attacker) over seeds:
+    // (runs, reads, max read rounds, read-round sum, max write rounds, stalled ops).
+    type AggKey = (usize, usize, String);
+    type AggStats = (u64, u64, u32, u64, u32, u64);
+
     for protocol_name in ["safe", "regular"] {
-        // Aggregate per (t, b, attacker) over seeds.
         use std::collections::BTreeMap;
-        let mut agg: BTreeMap<(usize, usize, String), (u64, u64, u32, u64, u32, u64)> =
-            BTreeMap::new();
+        let mut agg: BTreeMap<AggKey, AggStats> = BTreeMap::new();
         for p in &points {
             let cfg = StorageConfig::optimal(p.t, p.b, 2);
             let schedule = generate(ScheduleParams::contended(6, 6, 2, p.seed));

@@ -88,12 +88,23 @@ fn run_boundary_attack(s: usize, t: usize, b: usize) -> Outcome {
     } else {
         "safe + live"
     };
-    Outcome { before_release, after_release, verdict }
+    Outcome {
+        before_release,
+        after_release,
+        verdict,
+    }
 }
 
 fn main() {
-    let mut table =
-        Table::new(&["t", "b", "S", "sizing", "read (async in force)", "read (async over)", "verdict"]);
+    let mut table = Table::new(&[
+        "t",
+        "b",
+        "S",
+        "sizing",
+        "read (async in force)",
+        "read (async over)",
+        "verdict",
+    ]);
     for (t, b) in [(1usize, 1usize), (2, 1), (2, 2), (3, 2)] {
         for delta in [0isize, 1, 2] {
             let s = (2 * t + b) as isize + delta;
@@ -114,7 +125,10 @@ fn main() {
                 out.verdict.to_string(),
             ]);
             if delta == 0 {
-                assert_eq!(out.verdict, "SAFETY VIOLATED", "t={t} b={b}: below the bound");
+                assert_eq!(
+                    out.verdict, "SAFETY VIOLATED",
+                    "t={t} b={b}: below the bound"
+                );
             } else {
                 assert_eq!(out.verdict, "safe + live", "t={t} b={b} S={s}");
             }

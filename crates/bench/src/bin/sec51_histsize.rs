@@ -25,8 +25,11 @@ struct Probe {
 
 /// Runs `writes` writes, a cache-warming read, then measures one read.
 fn probe(optimized: bool, writes: u64) -> Probe {
-    let protocol =
-        if optimized { RegularProtocol::optimized() } else { RegularProtocol::full() };
+    let protocol = if optimized {
+        RegularProtocol::optimized()
+    } else {
+        RegularProtocol::full()
+    };
     let cfg = StorageConfig::optimal(1, 1, 1); // S = 4
     let mut world: World<Msg<u64>> = World::new(7);
     let dep = RegisterProtocol::<u64>::deploy(&protocol, cfg, &mut world);
@@ -68,7 +71,12 @@ fn probe(optimized: bool, writes: u64) -> Probe {
 
 fn main() {
     let mut table = Table::new(&[
-        "W (writes)", "variant", "read rounds", "read bytes", "msgs", "avg bytes/msg",
+        "W (writes)",
+        "variant",
+        "read rounds",
+        "read bytes",
+        "msgs",
+        "avg bytes/msg",
         "object history len",
     ]);
     for writes in [1u64, 10, 100, 1000] {
@@ -77,7 +85,11 @@ fn main() {
             assert_eq!(p.rounds, 2, "optimization must not cost rounds");
             table.row_owned(vec![
                 writes.to_string(),
-                if optimized { "regular-opt".into() } else { "regular".to_string() },
+                if optimized {
+                    "regular-opt".into()
+                } else {
+                    "regular".to_string()
+                },
                 p.rounds.to_string(),
                 p.read_bytes.to_string(),
                 p.read_acks.to_string(),

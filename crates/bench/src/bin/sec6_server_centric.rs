@@ -20,19 +20,28 @@ use vrr_lowerbound::{
 fn main() {
     let v1 = 42u64;
     let mut table = Table::new(&[
-        "t", "b", "S", "gossip rounds", "read rule", "returned", "verdict",
+        "t",
+        "b",
+        "S",
+        "gossip rounds",
+        "read rule",
+        "returned",
+        "verdict",
     ]);
 
     for (t, b) in [(1usize, 1usize), (2, 1), (2, 2)] {
         let s = 2 * t + 2 * b;
         for gossip in [0usize, 1, 3, 10] {
             for rule in [ReadRule::Masking, ReadRule::TrustHighest] {
-                let spec =
-                    GossipPairSpec::new(LitePairSpec::new(s, t, b, rule), gossip);
+                let spec = GossipPairSpec::new(LitePairSpec::new(s, t, b, rule), gossip);
                 let report = execute_prop1(&spec, b, v1);
                 let (returned, verdict) = match &report.verdict {
                     Verdict::NotFast => ("—".into(), "not fast".to_string()),
-                    Verdict::Violation { returned, run4_violated, run5_violated } => (
+                    Verdict::Violation {
+                        returned,
+                        run4_violated,
+                        run5_violated,
+                    } => (
                         match returned {
                             Some(v) => format!("{v}"),
                             None => "⊥".into(),
@@ -67,10 +76,7 @@ fn main() {
     for (t, b) in [(1usize, 1usize), (2, 2)] {
         let s = 2 * t + 2 * b + 1;
         for gossip in [0usize, 3] {
-            let spec = GossipPairSpec::new(
-                LitePairSpec::new(s, t, b, ReadRule::Masking),
-                gossip,
-            );
+            let spec = GossipPairSpec::new(LitePairSpec::new(s, t, b, ReadRule::Masking), gossip);
             let report = execute_control(&spec, b, v1);
             assert!(report.is_safe(), "t={t} b={b} gossip={gossip}");
             control.row_owned(vec![

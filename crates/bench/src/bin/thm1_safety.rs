@@ -49,10 +49,18 @@ fn main() {
         stalls += out.stalled_ops as u64;
         if check_safety(&out.history).is_err() {
             violations += 1;
-            eprintln!("UNEXPECTED violation at {p:?}: {:?}", check_safety(&out.history));
+            eprintln!(
+                "UNEXPECTED violation at {p:?}: {:?}",
+                check_safety(&out.history)
+            );
         }
     }
-    let mut sweep = Table::new(&["runs", "completed reads", "safety violations", "stalled ops"]);
+    let mut sweep = Table::new(&[
+        "runs",
+        "completed reads",
+        "safety violations",
+        "stalled ops",
+    ]);
     sweep.row_owned(vec![
         runs.to_string(),
         reads.to_string(),
@@ -60,8 +68,14 @@ fn main() {
         stalls.to_string(),
     ]);
     sweep.print("Theorem 1 sweep: safe storage under adversarial schedules");
-    assert_eq!(violations, 0, "Theorem 1: the safe storage must never violate safety");
-    assert_eq!(stalls, 0, "Theorem 2 side-effect: no stalled ops in the sweep");
+    assert_eq!(
+        violations, 0,
+        "Theorem 1: the safe storage must never violate safety"
+    );
+    assert_eq!(
+        stalls, 0,
+        "Theorem 2 side-effect: no stalled ops in the sweep"
+    );
 
     // ---- Part 2: mutation testing.
     //
@@ -76,32 +90,52 @@ fn main() {
     let mutations: Vec<(&str, SafeTuning, bool)> = vec![
         (
             "safe threshold b (not b+1)",
-            SafeTuning { safe_threshold: Some(1), ..SafeTuning::default() },
+            SafeTuning {
+                safe_threshold: Some(1),
+                ..SafeTuning::default()
+            },
             true,
         ),
         (
             "eliminate at b+1 (not t+b+1)",
-            SafeTuning { elim_threshold: Some(2), ..SafeTuning::default() },
+            SafeTuning {
+                elim_threshold: Some(2),
+                ..SafeTuning::default()
+            },
             true,
         ),
         (
             "skip round 2 (fast read)",
-            SafeTuning { skip_round2: true, ..SafeTuning::default() },
+            SafeTuning {
+                skip_round2: true,
+                ..SafeTuning::default()
+            },
             true,
         ),
         (
             "no conflict check (liveness-only; Lemma 3 case 2.b)",
-            SafeTuning { conflict_check: false, ..SafeTuning::default() },
+            SafeTuning {
+                conflict_check: false,
+                ..SafeTuning::default()
+            },
             false,
         ),
         (
             "no conflict check + weak safe",
-            SafeTuning { conflict_check: false, safe_threshold: Some(1), ..SafeTuning::default() },
+            SafeTuning {
+                conflict_check: false,
+                safe_threshold: Some(1),
+                ..SafeTuning::default()
+            },
             true,
         ),
         (
             "fast read + weak safe",
-            SafeTuning { skip_round2: true, safe_threshold: Some(1), ..SafeTuning::default() },
+            SafeTuning {
+                skip_round2: true,
+                safe_threshold: Some(1),
+                ..SafeTuning::default()
+            },
             true,
         ),
     ];
@@ -114,8 +148,7 @@ fn main() {
             for seed in 0..60u64 {
                 let cfg = StorageConfig::optimal(2, 2, 2);
                 let schedule = generate(ScheduleParams::contended(6, 8, 2, seed));
-                let faults =
-                    FaultPlan::maximal(&cfg, kind, vrr_sim::SimTime::from_ticks(50));
+                let faults = FaultPlan::maximal(&cfg, kind, vrr_sim::SimTime::from_ticks(50));
                 let out = run_schedule(
                     &MutantSafeProtocol(tuning),
                     cfg,
@@ -149,7 +182,10 @@ fn main() {
         ));
         table.row_owned(vec![name.to_string(), by.clone(), detail]);
         if must_catch {
-            assert_ne!(by, "not caught here", "mutation '{name}' slipped through all checks");
+            assert_ne!(
+                by, "not caught here",
+                "mutation '{name}' slipped through all checks"
+            );
         }
     }
     table.print("Theorem 1 mutation tests: every safety-relevant mutant is exposed");

@@ -6,10 +6,10 @@
 //!
 //! 1. the sweep of E-T1 rechecked for liveness (no stalled ops);
 //! 2. the *writer crashes mid-write* and readers keep completing — the
-//!   signature wait-freedom scenario (a reader must never wait for the
-//!   writer to finish);
+//!    signature wait-freedom scenario (a reader must never wait for the
+//!    writer to finish);
 //! 3. maximum-damage runs: `b` Byzantine + `t − b` crashes landing during
-//!   operations, with long-tail asynchrony.
+//!    operations, with long-tail asynchrony.
 //!
 //! Expected shape: every invoked operation completes, in ≤ 2 rounds.
 //! Run with `cargo run --release -p vrr-bench --bin thm2_waitfree`.
@@ -44,9 +44,7 @@ fn writer_crash_scenario(t: usize, b: usize, seed: u64, crash_after_steps: u64) 
     // The reader must complete regardless.
     let op = RegisterProtocol::<u64>::invoke_read(&SafeProtocol, &dep, &mut world, 0);
     let done = world.run_until(
-        |w| {
-            RegisterProtocol::<u64>::read_outcome(&SafeProtocol, &dep, w, 0, op).is_some()
-        },
+        |w| RegisterProtocol::<u64>::read_outcome(&SafeProtocol, &dep, w, 0, op).is_some(),
         vrr_core::OP_STEP_LIMIT,
     );
     if !done {
@@ -83,7 +81,11 @@ fn main() {
         stalled += out.stalled_ops;
     }
     let mut fam1 = Table::new(&["sweep points", "ops invoked", "ops stalled"]);
-    fam1.row_owned(vec![points.len().to_string(), total_ops.to_string(), stalled.to_string()]);
+    fam1.row_owned(vec![
+        points.len().to_string(),
+        total_ops.to_string(),
+        stalled.to_string(),
+    ]);
     fam1.print("Wait-freedom, family 1: adversarial sweep");
     assert_eq!(stalled, 0, "no operation may stall");
 
@@ -99,7 +101,10 @@ fn main() {
                 if ok { "yes".into() } else { "NO".into() },
                 rounds.to_string(),
             ]);
-            assert!(ok, "reader stalled or returned garbage after writer crash (t={t} b={b})");
+            assert!(
+                ok,
+                "reader stalled or returned garbage after writer crash (t={t} b={b})"
+            );
             assert_eq!(rounds, 2);
         }
     }

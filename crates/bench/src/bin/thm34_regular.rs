@@ -23,12 +23,19 @@ fn main() {
     let points = grid(&[1, 2, 3], &[1, 2], 0..30u64);
 
     let mut table = Table::new(&[
-        "variant", "runs", "reads", "regularity violations", "stalled",
+        "variant",
+        "runs",
+        "reads",
+        "regularity violations",
+        "stalled",
         "atomicity violations (expected > 0)",
     ]);
     for optimized in [false, true] {
-        let protocol =
-            if optimized { RegularProtocol::optimized() } else { RegularProtocol::full() };
+        let protocol = if optimized {
+            RegularProtocol::optimized()
+        } else {
+            RegularProtocol::full()
+        };
         let mut runs = 0u64;
         let mut reads = 0u64;
         let mut violations = 0u64;
@@ -39,9 +46,7 @@ fn main() {
             let schedule = generate(ScheduleParams::contended(8, 6, 3, p.seed));
             let faults = match p.attacker {
                 None => FaultPlan::random(&cfg, 300, p.seed),
-                Some(kind) => {
-                    FaultPlan::maximal(&cfg, kind, vrr_sim::SimTime::from_ticks(60))
-                }
+                Some(kind) => FaultPlan::maximal(&cfg, kind, vrr_sim::SimTime::from_ticks(60)),
             };
             let out = run_schedule(
                 &protocol,
@@ -64,7 +69,11 @@ fn main() {
             }
         }
         table.row_owned(vec![
-            if optimized { "regular-opt (§5.1)".into() } else { "regular (§5)".to_string() },
+            if optimized {
+                "regular-opt (§5.1)".into()
+            } else {
+                "regular (§5)".to_string()
+            },
             runs.to_string(),
             reads.to_string(),
             violations.to_string(),
@@ -85,15 +94,24 @@ fn main() {
     let mutations: Vec<(&str, RegularTuning)> = vec![
         (
             "safe threshold 1 (not b+1)",
-            RegularTuning { safe_threshold: Some(1), ..RegularTuning::default() },
+            RegularTuning {
+                safe_threshold: Some(1),
+                ..RegularTuning::default()
+            },
         ),
         (
             "invalidate at 2 (not t+b+1)",
-            RegularTuning { invalid_threshold: Some(2), ..RegularTuning::default() },
+            RegularTuning {
+                invalid_threshold: Some(2),
+                ..RegularTuning::default()
+            },
         ),
         (
             "skip round 2 (fast read)",
-            RegularTuning { skip_round2: true, ..RegularTuning::default() },
+            RegularTuning {
+                skip_round2: true,
+                ..RegularTuning::default()
+            },
         ),
         (
             "fast read + weak safe",
@@ -111,10 +129,12 @@ fn main() {
             for seed in 0..60u64 {
                 let cfg = StorageConfig::optimal(2, 2, 2);
                 let schedule = generate(ScheduleParams::contended(6, 8, 2, seed));
-                let faults =
-                    FaultPlan::maximal(&cfg, kind, vrr_sim::SimTime::from_ticks(50));
+                let faults = FaultPlan::maximal(&cfg, kind, vrr_sim::SimTime::from_ticks(50));
                 let out = run_schedule(
-                    &MutantRegularProtocol { tuning, optimized: false },
+                    &MutantRegularProtocol {
+                        tuning,
+                        optimized: false,
+                    },
                     cfg,
                     &schedule,
                     &faults,
@@ -123,8 +143,10 @@ fn main() {
                     &regular_corruptor,
                 );
                 if let Err(vs) = check_regularity(&out.history) {
-                    caught =
-                        Some(("regularity checker".into(), format!("{kind:?} seed {seed}: {}", vs[0])));
+                    caught = Some((
+                        "regularity checker".into(),
+                        format!("{kind:?} seed {seed}: {}", vs[0]),
+                    ));
                     break 'hunt;
                 }
                 if !out.all_live() {

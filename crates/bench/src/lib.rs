@@ -31,7 +31,10 @@ pub struct Table {
 impl Table {
     /// A table with the given column headers.
     pub fn new(header: &[&str]) -> Self {
-        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -41,7 +44,8 @@ impl Table {
     /// Panics if the row width differs from the header width.
     pub fn row(&mut self, cells: &[&str]) {
         assert_eq!(cells.len(), self.header.len(), "row width mismatch");
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
     }
 
     /// Appends a row of owned strings.

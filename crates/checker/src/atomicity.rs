@@ -37,8 +37,22 @@ pub fn check_atomicity<V: Clone + Eq + fmt::Debug>(history: &OpHistory<V>) -> Ch
             if i == jdx || !r1.precedes(r2) {
                 continue;
             }
-            let OpKind::Read { seq: s1, reader: rd1, .. } = &r1.kind else { unreachable!() };
-            let OpKind::Read { seq: s2, reader: rd2, .. } = &r2.kind else { unreachable!() };
+            let OpKind::Read {
+                seq: s1,
+                reader: rd1,
+                ..
+            } = &r1.kind
+            else {
+                unreachable!()
+            };
+            let OpKind::Read {
+                seq: s2,
+                reader: rd2,
+                ..
+            } = &r2.kind
+            else {
+                unreachable!()
+            };
             if s2 < s1 {
                 out.push(
                     ViolationKind::AtomicityInversion,
@@ -99,7 +113,9 @@ mod tests {
         h.push_write(1, 10u64, 0, Some(5));
         h.push_read(0, 7, Some(777), 6, Some(8));
         let err = check_atomicity(&h).unwrap_err();
-        assert!(err.iter().any(|v| v.kind == ViolationKind::RegularityPhantomValue));
+        assert!(err
+            .iter()
+            .any(|v| v.kind == ViolationKind::RegularityPhantomValue));
     }
 
     #[test]
@@ -110,6 +126,8 @@ mod tests {
         h.push_read(0, 2, Some(20), 12, Some(14));
         h.push_read(0, 1, Some(10), 16, Some(18));
         let err = check_atomicity(&h).unwrap_err();
-        assert!(err.iter().any(|v| v.kind == ViolationKind::AtomicityInversion));
+        assert!(err
+            .iter()
+            .any(|v| v.kind == ViolationKind::AtomicityInversion));
     }
 }

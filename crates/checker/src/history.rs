@@ -160,7 +160,9 @@ impl<V: Clone + Eq + fmt::Debug> OpHistory<V> {
         // Writes: seq 1..=n, non-overlapping, in order.
         let writes = self.writes();
         for (i, wr) in writes.iter().enumerate() {
-            let OpKind::Write { seq, .. } = &wr.kind else { unreachable!() };
+            let OpKind::Write { seq, .. } = &wr.kind else {
+                unreachable!()
+            };
             if *seq != (i + 1) as u64 {
                 return Err(format!("write seq {seq} out of order (expected {})", i + 1));
             }
@@ -221,7 +223,11 @@ mod tests {
             completed_at: Some(5),
         };
         let b = OpRecord::<u64> {
-            kind: OpKind::Read { reader: 0, seq: 1, value: Some(1) },
+            kind: OpKind::Read {
+                reader: 0,
+                seq: 1,
+                value: Some(1),
+            },
             invoked_at: 6,
             completed_at: Some(9),
         };
@@ -230,7 +236,11 @@ mod tests {
         assert!(!a.concurrent_with(&b));
 
         let c = OpRecord::<u64> {
-            kind: OpKind::Read { reader: 0, seq: 1, value: Some(1) },
+            kind: OpKind::Read {
+                reader: 0,
+                seq: 1,
+                value: Some(1),
+            },
             invoked_at: 5, // same tick as a's response: NOT preceded (strict)
             completed_at: Some(9),
         };
@@ -246,7 +256,11 @@ mod tests {
             completed_at: None,
         };
         let b = OpRecord::<u64> {
-            kind: OpKind::Read { reader: 0, seq: 0, value: None },
+            kind: OpKind::Read {
+                reader: 0,
+                seq: 0,
+                value: None,
+            },
             invoked_at: 100,
             completed_at: Some(110),
         };

@@ -25,7 +25,9 @@ pub fn check_regularity<V: Clone + Eq + fmt::Debug>(history: &OpHistory<V>) -> C
 
     let writes = history.writes();
     for (ridx, rd) in history.complete_reads().iter().enumerate() {
-        let OpKind::Read { reader, seq, value } = &rd.kind else { unreachable!() };
+        let OpKind::Read { reader, seq, value } = &rd.kind else {
+            unreachable!()
+        };
 
         // Clause 1: the returned value must have been written (or be ⊥,
         // which is val_0 and always "written" by initialization).
@@ -160,7 +162,9 @@ mod tests {
         h.push_read(0, 1, Some(10u64), 0, Some(2)); // completes before write 1 exists
         h.push_write(1, 10, 5, Some(8));
         let err = check_regularity(&h).unwrap_err();
-        assert!(err.iter().any(|v| v.kind == ViolationKind::RegularityFutureValue));
+        assert!(err
+            .iter()
+            .any(|v| v.kind == ViolationKind::RegularityFutureValue));
     }
 
     #[test]

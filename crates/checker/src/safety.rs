@@ -27,7 +27,9 @@ pub fn check_safety<V: Clone + Eq + fmt::Debug>(history: &OpHistory<V>) -> Check
 
     let writes = history.writes();
     for (ridx, rd) in history.complete_reads().iter().enumerate() {
-        let OpKind::Read { reader, seq, value } = &rd.kind else { unreachable!() };
+        let OpKind::Read { reader, seq, value } = &rd.kind else {
+            unreachable!()
+        };
 
         // Concurrent with any write? Then unconstrained.
         if writes.iter().any(|wr| wr.concurrent_with(rd)) {
@@ -130,7 +132,10 @@ mod tests {
         h.push_write(1, 10u64, 0, Some(5));
         h.push_write(2, 20, 10, None); // writer crashed mid-write
         h.push_read(0, 2, Some(20), 50, Some(55));
-        assert!(check_safety(&h).is_ok(), "incomplete write is concurrent with later reads");
+        assert!(
+            check_safety(&h).is_ok(),
+            "incomplete write is concurrent with later reads"
+        );
     }
 
     #[test]

@@ -34,7 +34,10 @@ enum AtomicPhase<V> {
     /// Delegating to the inner regular read.
     Reading { inner_id: ReadId },
     /// Writing the chosen tuple back; waiting for a quorum of `W` acks.
-    WriteBack { chosen: WTuple<V>, acks: BTreeSet<usize> },
+    WriteBack {
+        chosen: WTuple<V>,
+        acks: BTreeSet<usize>,
+    },
 }
 
 /// A reader providing atomic (linearizable) semantics: the §5 regular read
@@ -94,16 +97,24 @@ impl<V: Value> AtomicReader<V> {
     }
 
     fn maybe_start_write_back(&mut self, ctx: &mut Context<'_, Msg<V>>) {
-        let Some((id, AtomicPhase::Reading { inner_id })) = &self.op else { return };
+        let Some((id, AtomicPhase::Reading { inner_id })) = &self.op else {
+            return;
+        };
         let (id, inner_id) = (*id, *inner_id);
-        let Some(inner_outcome) = self.inner.outcome(inner_id).cloned() else { return };
+        let Some(inner_outcome) = self.inner.outcome(inner_id).cloned() else {
+            return;
+        };
 
         if inner_outcome.ts == Timestamp::ZERO {
             // Nothing written yet: ⊥ needs no write-back (it is the initial
             // state of every correct object already).
             self.outcomes.insert(
                 id,
-                ReadOutcome { value: None, ts: Timestamp::ZERO, rounds: inner_outcome.rounds },
+                ReadOutcome {
+                    value: None,
+                    ts: Timestamp::ZERO,
+                    rounds: inner_outcome.rounds,
+                },
             );
             self.op = None;
             return;
@@ -112,12 +123,25 @@ impl<V: Value> AtomicReader<V> {
         // needed for atomicity (only the pair is); an empty matrix keeps
         // the message small and is monotone-compatible at the objects.
         let chosen = WTuple::new(
-            TsVal { ts: inner_outcome.ts, value: inner_outcome.value.clone() },
+            TsVal {
+                ts: inner_outcome.ts,
+                value: inner_outcome.value.clone(),
+            },
             crate::types::TsrMatrix::empty(),
         );
-        let msg = Msg::W { ts: chosen.ts(), pw: chosen.tsval.clone(), w: chosen.clone() };
+        let msg = Msg::W {
+            ts: chosen.ts(),
+            pw: chosen.tsval.clone(),
+            w: chosen.clone(),
+        };
         ctx.broadcast(self.objects.iter().copied(), msg);
-        self.op = Some((id, AtomicPhase::WriteBack { chosen, acks: BTreeSet::new() }));
+        self.op = Some((
+            id,
+            AtomicPhase::WriteBack {
+                chosen,
+                acks: BTreeSet::new(),
+            },
+        ));
     }
 }
 
@@ -127,7 +151,9 @@ impl<V: Value> Automaton<Msg<V>> for AtomicReader<V> {
             (Some((id, AtomicPhase::WriteBack { chosen, acks })), Msg::WAck { ts })
                 if *ts == chosen.ts() =>
             {
-                let Some(&obj) = self.object_index.get(&from) else { return };
+                let Some(&obj) = self.object_index.get(&from) else {
+                    return;
+                };
                 acks.insert(obj);
                 if acks.len() >= self.cfg.quorum() {
                     let (id, chosen) = (*id, chosen.clone());
@@ -172,8 +198,7 @@ impl<V: Value> RegisterProtocol<V> for AtomicProtocol {
         let objects: Vec<ProcessId> = (0..cfg.s)
             .map(|i| world.spawn_named(format!("s{i}"), Box::new(RegularObject::<V>::new())))
             .collect();
-        let writer =
-            world.spawn_named("writer", Box::new(Writer::<V>::new(cfg, objects.clone())));
+        let writer = world.spawn_named("writer", Box::new(Writer::<V>::new(cfg, objects.clone())));
         let readers: Vec<ProcessId> = (0..cfg.readers)
             .map(|j| {
                 world.spawn_named(
@@ -182,7 +207,12 @@ impl<V: Value> RegisterProtocol<V> for AtomicProtocol {
                 )
             })
             .collect();
-        Deployment { cfg, objects, writer, readers }
+        Deployment {
+            cfg,
+            objects,
+            writer,
+            readers,
+        }
     }
 
     fn invoke_write(&self, dep: &Deployment, world: &mut World<Msg<V>>, value: V) -> u64 {
@@ -198,7 +228,10 @@ impl<V: Value> RegisterProtocol<V> for AtomicProtocol {
         op: u64,
     ) -> Option<WriteReport> {
         world.inspect(dep.writer, |w: &Writer<V>| {
-            w.outcome(crate::WriteId(op)).map(|o| WriteReport { ts: o.ts, rounds: o.rounds })
+            w.outcome(crate::WriteId(op)).map(|o| WriteReport {
+                ts: o.ts,
+                rounds: o.rounds,
+            })
         })
     }
 
@@ -286,13 +319,18 @@ mod tests {
 
         // Write 2: PW reaches everyone, W only object 0 (held for the rest).
         let w2 = RegisterProtocol::<u64>::invoke_write(&AtomicProtocol, &dep, &mut world, 20u64);
-        let (writer, o1, o2, o3) =
-            (dep.writer, dep.objects[1], dep.objects[2], dep.objects[3]);
+        let (writer, o1, o2, o3) = (dep.writer, dep.objects[1], dep.objects[2], dep.objects[3]);
         world.adversary_mut().install("hold W to 1..3", move |e| {
             (e.from == writer
-                && matches!(e.msg, Msg::W { ts: Timestamp(2), .. })
+                && matches!(
+                    e.msg,
+                    Msg::W {
+                        ts: Timestamp(2),
+                        ..
+                    }
+                )
                 && (e.to == o1 || e.to == o2 || e.to == o3))
-            .then_some(vrr_sim::Action::Hold)
+                .then_some(vrr_sim::Action::Hold)
         });
         world.run_to_quiescence(100_000);
         assert!(
@@ -302,7 +340,9 @@ mod tests {
 
         // Read 1 (reader 0): quorum {0,1,2}; sees the in-flight 20 and
         // WRITES IT BACK before returning.
-        world.adversary_mut().hold_link(dep.readers[0], dep.objects[3]);
+        world
+            .adversary_mut()
+            .hold_link(dep.readers[0], dep.objects[3]);
         let r1 = run_read::<u64, _>(&AtomicProtocol, &dep, &mut world, 0);
         assert_eq!(r1.value, Some(20));
         assert_eq!(r1.rounds, 3);
@@ -310,7 +350,9 @@ mod tests {
         // Read 2 (reader 1): quorum {1,2,3} — object 0 unreachable. In the
         // regular protocol this read returned 10; here the write-back has
         // already planted 20 on the quorum.
-        world.adversary_mut().hold_link(dep.readers[1], dep.objects[0]);
+        world
+            .adversary_mut()
+            .hold_link(dep.readers[1], dep.objects[0]);
         let r2 = run_read::<u64, _>(&AtomicProtocol, &dep, &mut world, 1);
         assert_eq!(r2.value, Some(20), "no new/old inversion with write-back");
     }

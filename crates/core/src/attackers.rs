@@ -16,7 +16,7 @@ use crate::config::StorageConfig;
 use crate::msg::Msg;
 use crate::regular::RegularObject;
 use crate::safe::SafeObject;
-use crate::types::{HistEntry, Timestamp, TsrMatrix, TsVal, Value, WTuple};
+use crate::types::{HistEntry, Timestamp, TsVal, TsrMatrix, Value, WTuple};
 
 /// A forged timestamp far above anything the writer will issue in an
 /// experiment.
@@ -181,7 +181,10 @@ fn forged_history_entry<V: Value>(forged: V) -> (Timestamp, HistEntry<V>) {
     let tsval = forged_tsval(forged);
     (
         FORGED_TS,
-        HistEntry { pw: tsval.clone(), w: Some(WTuple::new(tsval, TsrMatrix::empty())) },
+        HistEntry {
+            pw: tsval.clone(),
+            w: Some(WTuple::new(tsval, TsrMatrix::empty())),
+        },
     )
 }
 
@@ -190,10 +193,18 @@ fn forged_history_entry<V: Value>(forged: V) -> (Timestamp, HistEntry<V>) {
 pub fn inflating_regular_object<V: Value>(forged: V) -> Box<dyn Automaton<Msg<V>>> {
     Box::new(Tamper::new(RegularObject::<V>::new(), move |to, msg| {
         let msg = match msg {
-            Msg::ReadAckRegular { round, tsr, mut history } => {
+            Msg::ReadAckRegular {
+                round,
+                tsr,
+                mut history,
+            } => {
                 let (ts, e) = forged_history_entry(forged.clone());
                 history.insert(ts, e);
-                Msg::ReadAckRegular { round, tsr, history }
+                Msg::ReadAckRegular {
+                    round,
+                    tsr,
+                    history,
+                }
             }
             other => other,
         };
@@ -209,7 +220,11 @@ pub fn conflicting_regular_object<V: Value>(
 ) -> Box<dyn Automaton<Msg<V>>> {
     Box::new(Tamper::new(RegularObject::<V>::new(), move |to, msg| {
         let msg = match msg {
-            Msg::ReadAckRegular { round, tsr, mut history } => {
+            Msg::ReadAckRegular {
+                round,
+                tsr,
+                mut history,
+            } => {
                 let tsval = forged_tsval(forged.clone());
                 history.insert(
                     FORGED_TS,
@@ -218,7 +233,11 @@ pub fn conflicting_regular_object<V: Value>(
                         w: Some(WTuple::new(tsval, accusing_matrix(cfg))),
                     },
                 );
-                Msg::ReadAckRegular { round, tsr, history }
+                Msg::ReadAckRegular {
+                    round,
+                    tsr,
+                    history,
+                }
             }
             other => other,
         };
@@ -247,13 +266,21 @@ pub fn equivocating_regular_object<V: Value>(forged: V) -> Box<dyn Automaton<Msg
     let mut flip = false;
     Box::new(Tamper::new(RegularObject::<V>::new(), move |to, msg| {
         let msg = match msg {
-            Msg::ReadAckRegular { round, tsr, mut history } => {
+            Msg::ReadAckRegular {
+                round,
+                tsr,
+                mut history,
+            } => {
                 flip = !flip;
                 if flip {
                     let (ts, e) = forged_history_entry(forged.clone());
                     history.insert(ts, e);
                 }
-                Msg::ReadAckRegular { round, tsr, history }
+                Msg::ReadAckRegular {
+                    round,
+                    tsr,
+                    history,
+                }
             }
             other => other,
         };
@@ -323,8 +350,18 @@ mod tests {
         let cfg = StorageConfig::optimal(2, 2, 1); // S = 7
         let dep = RegisterProtocol::<u64>::deploy(&SafeProtocol, cfg, &mut w);
         w.start();
-        corrupt_object(&dep, &mut w, 2, AttackerKind::Inflator.build_safe(cfg, FORGED));
-        corrupt_object(&dep, &mut w, 5, AttackerKind::Conflicter.build_safe(cfg, FORGED));
+        corrupt_object(
+            &dep,
+            &mut w,
+            2,
+            AttackerKind::Inflator.build_safe(cfg, FORGED),
+        );
+        corrupt_object(
+            &dep,
+            &mut w,
+            5,
+            AttackerKind::Conflicter.build_safe(cfg, FORGED),
+        );
         run_write(&SafeProtocol, &dep, &mut w, 99u64);
         let rd = run_read::<u64, _>(&SafeProtocol, &dep, &mut w, 0);
         assert_eq!(rd.value, Some(99));

@@ -96,14 +96,9 @@ impl<V: Value> RegisterProtocol<V> for SafeProtocol {
 
     fn deploy(&self, cfg: StorageConfig, world: &mut World<Msg<V>>) -> Deployment {
         let objects: Vec<ProcessId> = (0..cfg.s)
-            .map(|i| {
-                world.spawn_named(format!("s{i}"), Box::new(SafeObject::<V>::new()))
-            })
+            .map(|i| world.spawn_named(format!("s{i}"), Box::new(SafeObject::<V>::new())))
             .collect();
-        let writer = world.spawn_named(
-            "writer",
-            Box::new(Writer::<V>::new(cfg, objects.clone())),
-        );
+        let writer = world.spawn_named("writer", Box::new(Writer::<V>::new(cfg, objects.clone())));
         let readers: Vec<ProcessId> = (0..cfg.readers)
             .map(|j| {
                 world.spawn_named(
@@ -112,7 +107,12 @@ impl<V: Value> RegisterProtocol<V> for SafeProtocol {
                 )
             })
             .collect();
-        Deployment { cfg, objects, writer, readers }
+        Deployment {
+            cfg,
+            objects,
+            writer,
+            readers,
+        }
     }
 
     fn invoke_write(&self, dep: &Deployment, world: &mut World<Msg<V>>, value: V) -> u64 {
@@ -128,7 +128,10 @@ impl<V: Value> RegisterProtocol<V> for SafeProtocol {
         op: u64,
     ) -> Option<WriteReport> {
         world.inspect(dep.writer, |w: &Writer<V>| {
-            w.outcome(WriteId(op)).map(|o| WriteReport { ts: o.ts, rounds: o.rounds })
+            w.outcome(WriteId(op)).map(|o| WriteReport {
+                ts: o.ts,
+                rounds: o.rounds,
+            })
         })
     }
 
@@ -167,12 +170,18 @@ pub struct RegularProtocol {
 impl RegularProtocol {
     /// The paper-faithful full-history variant.
     pub fn full() -> Self {
-        RegularProtocol { optimized: false, retention: HistoryRetention::KeepAll }
+        RegularProtocol {
+            optimized: false,
+            retention: HistoryRetention::KeepAll,
+        }
     }
 
     /// The §5.1-optimized variant.
     pub fn optimized() -> Self {
-        RegularProtocol { optimized: true, retention: HistoryRetention::KeepAll }
+        RegularProtocol {
+            optimized: true,
+            retention: HistoryRetention::KeepAll,
+        }
     }
 }
 
@@ -197,10 +206,7 @@ impl<V: Value> RegisterProtocol<V> for RegularProtocol {
                 )
             })
             .collect();
-        let writer = world.spawn_named(
-            "writer",
-            Box::new(Writer::<V>::new(cfg, objects.clone())),
-        );
+        let writer = world.spawn_named("writer", Box::new(Writer::<V>::new(cfg, objects.clone())));
         let readers: Vec<ProcessId> = (0..cfg.readers)
             .map(|j| {
                 let r = if self.optimized {
@@ -211,7 +217,12 @@ impl<V: Value> RegisterProtocol<V> for RegularProtocol {
                 world.spawn_named(format!("r{j}"), Box::new(r))
             })
             .collect();
-        Deployment { cfg, objects, writer, readers }
+        Deployment {
+            cfg,
+            objects,
+            writer,
+            readers,
+        }
     }
 
     fn invoke_write(&self, dep: &Deployment, world: &mut World<Msg<V>>, value: V) -> u64 {
@@ -227,7 +238,10 @@ impl<V: Value> RegisterProtocol<V> for RegularProtocol {
         op: u64,
     ) -> Option<WriteReport> {
         world.inspect(dep.writer, |w: &Writer<V>| {
-            w.outcome(WriteId(op)).map(|o| WriteReport { ts: o.ts, rounds: o.rounds })
+            w.outcome(WriteId(op)).map(|o| WriteReport {
+                ts: o.ts,
+                rounds: o.rounds,
+            })
         })
     }
 
@@ -273,17 +287,26 @@ impl<V: Value> RegisterProtocol<V> for MutantSafeProtocol {
         let objects: Vec<ProcessId> = (0..cfg.s)
             .map(|i| world.spawn_named(format!("s{i}"), Box::new(SafeObject::<V>::new())))
             .collect();
-        let writer =
-            world.spawn_named("writer", Box::new(Writer::<V>::new(cfg, objects.clone())));
+        let writer = world.spawn_named("writer", Box::new(Writer::<V>::new(cfg, objects.clone())));
         let readers: Vec<ProcessId> = (0..cfg.readers)
             .map(|j| {
                 world.spawn_named(
                     format!("r{j}"),
-                    Box::new(SafeReader::<V>::with_tuning(cfg, j, objects.clone(), tuning)),
+                    Box::new(SafeReader::<V>::with_tuning(
+                        cfg,
+                        j,
+                        objects.clone(),
+                        tuning,
+                    )),
                 )
             })
             .collect();
-        Deployment { cfg, objects, writer, readers }
+        Deployment {
+            cfg,
+            objects,
+            writer,
+            readers,
+        }
     }
 
     fn invoke_write(&self, dep: &Deployment, world: &mut World<Msg<V>>, value: V) -> u64 {
@@ -335,8 +358,7 @@ impl<V: Value> RegisterProtocol<V> for MutantRegularProtocol {
         let objects: Vec<ProcessId> = (0..cfg.s)
             .map(|i| world.spawn_named(format!("s{i}"), Box::new(RegularObject::<V>::new())))
             .collect();
-        let writer =
-            world.spawn_named("writer", Box::new(Writer::<V>::new(cfg, objects.clone())));
+        let writer = world.spawn_named("writer", Box::new(Writer::<V>::new(cfg, objects.clone())));
         let (tuning, optimized) = (self.tuning, self.optimized);
         let readers: Vec<ProcessId> = (0..cfg.readers)
             .map(|j| {
@@ -352,7 +374,12 @@ impl<V: Value> RegisterProtocol<V> for MutantRegularProtocol {
                 )
             })
             .collect();
-        Deployment { cfg, objects, writer, readers }
+        Deployment {
+            cfg,
+            objects,
+            writer,
+            readers,
+        }
     }
 
     fn invoke_write(&self, dep: &Deployment, world: &mut World<Msg<V>>, value: V) -> u64 {
@@ -404,7 +431,9 @@ pub fn run_write<V: Value, P: RegisterProtocol<V>>(
         OP_STEP_LIMIT,
     );
     assert!(done, "WRITE failed to complete (wait-freedom violation?)");
-    protocol.write_outcome(dep, world, op).expect("just completed")
+    protocol
+        .write_outcome(dep, world, op)
+        .expect("just completed")
 }
 
 /// Invokes a read at `reader` and drives the world until it completes.
@@ -425,7 +454,9 @@ pub fn run_read<V: Value, P: RegisterProtocol<V>>(
         OP_STEP_LIMIT,
     );
     assert!(done, "READ failed to complete (wait-freedom violation?)");
-    protocol.read_outcome(dep, world, reader, op).expect("just completed")
+    protocol
+        .read_outcome(dep, world, reader, op)
+        .expect("just completed")
 }
 
 /// Replaces object `idx` of the deployment with a Byzantine automaton.

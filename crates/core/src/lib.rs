@@ -63,6 +63,6 @@ pub use harness::{
 pub use mis::{conflict_free_of_size, max_conflict_free};
 pub use msg::{Msg, ReadRound};
 pub use types::{
-    HistEntry, History, ObjectIndex, ReaderIndex, Timestamp, TsrMatrix, TsVal, Value, WTuple,
+    HistEntry, History, ObjectIndex, ReaderIndex, Timestamp, TsVal, TsrMatrix, Value, WTuple,
 };
 pub use writer::{WriteId, WriteOutcome, Writer};

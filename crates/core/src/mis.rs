@@ -24,7 +24,10 @@ pub fn max_conflict_free(
     mut conflict: impl FnMut(usize, usize) -> bool,
 ) -> Vec<usize> {
     let m = members.len();
-    assert!(m <= 64, "conflict-free search supports at most 64 responders");
+    assert!(
+        m <= 64,
+        "conflict-free search supports at most 64 responders"
+    );
     if m == 0 {
         return Vec::new();
     }
@@ -49,7 +52,10 @@ pub fn max_conflict_free(
     let mut best: u64 = 0;
     search(eligible, 0, &adj, &mut best);
 
-    let mut out: Vec<usize> = (0..m).filter(|&a| best & (1 << a) != 0).map(|a| members[a]).collect();
+    let mut out: Vec<usize> = (0..m)
+        .filter(|&a| best & (1 << a) != 0)
+        .map(|a| members[a])
+        .collect();
     out.sort_unstable();
     out
 }

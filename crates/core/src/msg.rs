@@ -107,7 +107,12 @@ impl<V: fmt::Debug> fmt::Debug for Msg<V> {
             Msg::PwAck { ts, .. } => write!(f, "PW_ACK⟨{ts:?}⟩"),
             Msg::W { ts, pw, .. } => write!(f, "W⟨{ts:?},{pw:?}⟩"),
             Msg::WAck { ts } => write!(f, "W_ACK⟨{ts:?}⟩"),
-            Msg::Read { round, reader, tsr, since } => {
+            Msg::Read {
+                round,
+                reader,
+                tsr,
+                since,
+            } => {
                 write!(f, "READ{}⟨r{reader},tsr{tsr}", round.number())?;
                 if let Some(s) = since {
                     write!(f, ",since {s:?}")?;
@@ -117,8 +122,17 @@ impl<V: fmt::Debug> fmt::Debug for Msg<V> {
             Msg::ReadAckSafe { round, tsr, pw, w } => {
                 write!(f, "READ{}_ACK⟨tsr{tsr},{pw:?},{w:?}⟩", round.number())
             }
-            Msg::ReadAckRegular { round, tsr, history } => {
-                write!(f, "READ{}_ACK⟨tsr{tsr},|h|={}⟩", round.number(), history.len())
+            Msg::ReadAckRegular {
+                round,
+                tsr,
+                history,
+            } => {
+                write!(
+                    f,
+                    "READ{}_ACK⟨tsr{tsr},|h|={}⟩",
+                    round.number(),
+                    history.len()
+                )
             }
         }
     }
@@ -153,17 +167,31 @@ mod tests {
     #[test]
     fn regular_ack_size_grows_with_history() {
         let mut h: History<u64> = History::initial();
-        let small = Msg::ReadAckRegular { round: ReadRound::R1, tsr: 1, history: h.clone() }
-            .wire_size();
+        let small = Msg::ReadAckRegular {
+            round: ReadRound::R1,
+            tsr: 1,
+            history: h.clone(),
+        }
+        .wire_size();
         for k in 1..=50u64 {
             h.insert(
                 Timestamp(k),
-                HistEntry { pw: TsVal::new(Timestamp(k), k), w: None },
+                HistEntry {
+                    pw: TsVal::new(Timestamp(k), k),
+                    w: None,
+                },
             );
         }
-        let big =
-            Msg::ReadAckRegular { round: ReadRound::R1, tsr: 1, history: h }.wire_size();
-        assert!(big > small + 50 * 8, "history must dominate ack size: {small} -> {big}");
+        let big = Msg::ReadAckRegular {
+            round: ReadRound::R1,
+            tsr: 1,
+            history: h,
+        }
+        .wire_size();
+        assert!(
+            big > small + 50 * 8,
+            "history must dominate ack size: {small} -> {big}"
+        );
     }
 
     #[test]
@@ -180,7 +208,12 @@ mod tests {
 
     #[test]
     fn debug_render_is_compact() {
-        let m: Msg<u64> = Msg::Read { round: ReadRound::R1, reader: 2, tsr: 7, since: None };
+        let m: Msg<u64> = Msg::Read {
+            round: ReadRound::R1,
+            reader: 2,
+            tsr: 7,
+            since: None,
+        };
         assert_eq!(format!("{m:?}"), "READ1⟨r2,tsr7⟩");
         let m: Msg<u64> = Msg::WAck { ts: Timestamp(4) };
         assert_eq!(format!("{m:?}"), "W_ACK⟨ts4⟩");

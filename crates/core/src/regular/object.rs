@@ -80,8 +80,7 @@ impl<V: Value> RegularObject<V> {
         if let HistoryRetention::KeepLast(n) = self.retention {
             if self.history.len() > n {
                 let keep_from = {
-                    let mut keys: Vec<Timestamp> =
-                        self.history.iter().map(|(ts, _)| ts).collect();
+                    let mut keys: Vec<Timestamp> = self.history.iter().map(|(ts, _)| ts).collect();
                     keys.sort_unstable();
                     keys[keys.len() - n]
                 };
@@ -108,10 +107,22 @@ impl<V: Value> Automaton<Msg<V>> for RegularObject<V> {
                     self.history.insert(ts, HistEntry { pw, w: None });
                     // The PW of write ts carries write (ts−1)'s tuple:
                     // objects that missed the previous W round backfill here.
-                    self.history.insert(ts.prev(), HistEntry { pw: w.tsval.clone(), w: Some(w) });
+                    self.history.insert(
+                        ts.prev(),
+                        HistEntry {
+                            pw: w.tsval.clone(),
+                            w: Some(w),
+                        },
+                    );
                     self.ts = ts;
                     self.apply_retention();
-                    ctx.send(from, Msg::PwAck { ts: self.ts, tsr: self.tsr.clone() });
+                    ctx.send(
+                        from,
+                        Msg::PwAck {
+                            ts: self.ts,
+                            tsr: self.tsr.clone(),
+                        },
+                    );
                 }
             }
             // Figure 5 lines 10–14.
@@ -124,14 +135,26 @@ impl<V: Value> Automaton<Msg<V>> for RegularObject<V> {
                 }
             }
             // Figure 5 lines 15–19, plus the §5.1 suffix optimization.
-            Msg::Read { round, reader, tsr, since } => {
+            Msg::Read {
+                round,
+                reader,
+                tsr,
+                since,
+            } => {
                 if tsr > self.tsr(reader) {
                     self.tsr.insert(reader, tsr);
                     let history = match since {
                         Some(s) => self.history.suffix(s),
                         None => self.history.clone(),
                     };
-                    ctx.send(from, Msg::ReadAckRegular { round, tsr, history });
+                    ctx.send(
+                        from,
+                        Msg::ReadAckRegular {
+                            round,
+                            tsr,
+                            history,
+                        },
+                    );
                 }
             }
             Msg::PwAck { .. }
@@ -164,11 +187,19 @@ mod tests {
     }
 
     fn pw_msg(ts: u64, v: u64, prev: WTuple<u64>) -> Msg<u64> {
-        Msg::Pw { ts: Timestamp(ts), pw: TsVal::new(Timestamp(ts), v), w: prev }
+        Msg::Pw {
+            ts: Timestamp(ts),
+            pw: TsVal::new(Timestamp(ts), v),
+            w: prev,
+        }
     }
 
     fn w_msg(ts: u64, v: u64) -> Msg<u64> {
-        Msg::W { ts: Timestamp(ts), pw: TsVal::new(Timestamp(ts), v), w: tuple(ts, v) }
+        Msg::W {
+            ts: Timestamp(ts),
+            pw: TsVal::new(Timestamp(ts), v),
+            w: tuple(ts, v),
+        }
     }
 
     #[test]
@@ -219,7 +250,12 @@ mod tests {
         step(&mut obj, w_msg(1, 10));
         let out = step(
             &mut obj,
-            Msg::Read { round: ReadRound::R1, reader: 0, tsr: 1, since: None },
+            Msg::Read {
+                round: ReadRound::R1,
+                reader: 0,
+                tsr: 1,
+                since: None,
+            },
         );
         match &out[..] {
             [(_, Msg::ReadAckRegular { history, .. })] => {
@@ -238,7 +274,12 @@ mod tests {
         }
         let out = step(
             &mut obj,
-            Msg::Read { round: ReadRound::R1, reader: 0, tsr: 1, since: Some(Timestamp(4)) },
+            Msg::Read {
+                round: ReadRound::R1,
+                reader: 0,
+                tsr: 1,
+                since: Some(Timestamp(4)),
+            },
         );
         match &out[..] {
             [(_, Msg::ReadAckRegular { history, .. })] => {
@@ -252,9 +293,24 @@ mod tests {
     #[test]
     fn stale_reader_timestamp_gets_no_reply() {
         let mut obj: RegularObject<u64> = RegularObject::new();
-        step(&mut obj, Msg::Read { round: ReadRound::R1, reader: 0, tsr: 4, since: None });
-        let out =
-            step(&mut obj, Msg::Read { round: ReadRound::R1, reader: 0, tsr: 4, since: None });
+        step(
+            &mut obj,
+            Msg::Read {
+                round: ReadRound::R1,
+                reader: 0,
+                tsr: 4,
+                since: None,
+            },
+        );
+        let out = step(
+            &mut obj,
+            Msg::Read {
+                round: ReadRound::R1,
+                reader: 0,
+                tsr: 4,
+                since: None,
+            },
+        );
         assert!(out.is_empty());
     }
 
@@ -266,7 +322,10 @@ mod tests {
             step(&mut obj, w_msg(k, k));
         }
         assert!(obj.history().len() <= 3);
-        assert!(obj.history().get(Timestamp(10)).is_some(), "newest entry kept");
+        assert!(
+            obj.history().get(Timestamp(10)).is_some(),
+            "newest entry kept"
+        );
     }
 
     #[test]

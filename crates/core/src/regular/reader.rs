@@ -198,7 +198,12 @@ impl<V: Value> RegularReader<V> {
     /// Does object `i`'s reply in round `rnd` fully confirm `c` at position
     /// `c.tsval.ts`? (The negation feeds `invalid`; the weaker pw/w match
     /// feeds `safe`.)
-    fn entry_of<'a>(op: &'a RegOp<V>, rnd: usize, i: usize, ts: Timestamp) -> Option<&'a crate::types::HistEntry<V>> {
+    fn entry_of(
+        op: &RegOp<V>,
+        rnd: usize,
+        i: usize,
+        ts: Timestamp,
+    ) -> Option<&crate::types::HistEntry<V>> {
         op.hist[rnd].get(&i).and_then(|h| h.get(ts))
     }
 
@@ -208,7 +213,7 @@ impl<V: Value> RegularReader<V> {
         let ts = c.ts();
         let mut objs: BTreeSet<usize> = BTreeSet::new();
         for rnd in 0..2 {
-            for (&i, _h) in &op.hist[rnd] {
+            for &i in op.hist[rnd].keys() {
                 let fails = match Self::entry_of(op, rnd, i, ts) {
                     None => true,
                     Some(e) => e.pw != c.tsval || e.w.as_ref() != Some(c),
@@ -227,7 +232,7 @@ impl<V: Value> RegularReader<V> {
         let ts = c.ts();
         let mut objs: BTreeSet<usize> = BTreeSet::new();
         for rnd in 0..2 {
-            for (&i, _h) in &op.hist[rnd] {
+            for &i in op.hist[rnd].keys() {
                 if let Some(e) = Self::entry_of(op, rnd, i, ts) {
                     if e.pw == c.tsval || e.w.as_ref() == Some(c) {
                         objs.insert(i);
@@ -240,17 +245,24 @@ impl<V: Value> RegularReader<V> {
 
     /// `conflict(i, k)` (Figure 6 line 1).
     fn conflict(op: &RegOp<V>, j: usize, i: usize, k: usize) -> bool {
-        let Some(h) = op.hist[0].get(&k) else { return false };
+        let Some(h) = op.hist[0].get(&k) else {
+            return false;
+        };
         h.iter().any(|(_ts, e)| {
             e.w.as_ref().is_some_and(|c| {
                 op.candidates.contains(c)
-                    && c.tsrarray.get(i, j).is_some_and(|reported| reported > op.tsr_fr)
+                    && c.tsrarray
+                        .get(i, j)
+                        .is_some_and(|reported| reported > op.tsr_fr)
             })
         })
     }
 
     fn recheck_invalidations(&mut self) {
-        let threshold = self.tuning.invalid_threshold.unwrap_or(self.cfg.t_plus_b_plus_1());
+        let threshold = self
+            .tuning
+            .invalid_threshold
+            .unwrap_or(self.cfg.t_plus_b_plus_1());
         let Some(op) = self.op.as_mut() else { return };
         let doomed: Vec<WTuple<V>> = op
             .candidates
@@ -292,7 +304,12 @@ impl<V: Value> RegularReader<V> {
         debug_assert_eq!(tsr, op.tsr_fr + 1);
         op.phase = Phase::Round2;
         if !skip_round2 {
-            let msg = Msg::Read { round: ReadRound::R2, reader: j, tsr, since };
+            let msg = Msg::Read {
+                round: ReadRound::R2,
+                reader: j,
+                tsr,
+                since,
+            };
             ctx.broadcast(self.objects.iter().copied(), msg);
         }
     }
@@ -323,7 +340,12 @@ impl<V: Value> RegularReader<V> {
             return;
         }
         let safe_needed = self.tuning.safe_threshold.unwrap_or(self.cfg.b_plus_1());
-        let high = op.candidates.iter().map(WTuple::ts).max().expect("non-empty");
+        let high = op
+            .candidates
+            .iter()
+            .map(WTuple::ts)
+            .max()
+            .expect("non-empty");
         let ret = op
             .candidates
             .iter()
@@ -334,7 +356,11 @@ impl<V: Value> RegularReader<V> {
             let id = op.id;
             self.outcomes.insert(
                 id,
-                ReadOutcome { value: cret.tsval.value.clone(), ts: cret.ts(), rounds },
+                ReadOutcome {
+                    value: cret.tsval.value.clone(),
+                    ts: cret.ts(),
+                    rounds,
+                },
             );
             if self.optimized {
                 self.cache = cret.tsval.clone();
@@ -346,8 +372,17 @@ impl<V: Value> RegularReader<V> {
 
 impl<V: Value> Automaton<Msg<V>> for RegularReader<V> {
     fn on_message(&mut self, from: ProcessId, msg: Msg<V>, ctx: &mut Context<'_, Msg<V>>) {
-        let Some(&obj) = self.object_index.get(&from) else { return };
-        let Msg::ReadAckRegular { round, tsr, history } = msg else { return };
+        let Some(&obj) = self.object_index.get(&from) else {
+            return;
+        };
+        let Msg::ReadAckRegular {
+            round,
+            tsr,
+            history,
+        } = msg
+        else {
+            return;
+        };
         let Some(op) = self.op.as_mut() else { return };
 
         match round {
@@ -441,7 +476,11 @@ mod tests {
     }
 
     fn ack(round: ReadRound, tsr: u64, h: History<u64>) -> Msg<u64> {
-        Msg::ReadAckRegular { round, tsr, history: h }
+        Msg::ReadAckRegular {
+            round,
+            tsr,
+            history: h,
+        }
     }
 
     #[test]
@@ -480,7 +519,10 @@ mod tests {
         let fv = TsVal::new(Timestamp(9), 666);
         forged.insert(
             Timestamp(9),
-            HistEntry { pw: fv.clone(), w: Some(WTuple::new(fv, TsrMatrix::empty())) },
+            HistEntry {
+                pw: fv.clone(),
+                w: Some(WTuple::new(fv, TsrMatrix::empty())),
+            },
         );
         deliver(&mut r, 3, ack(ReadRound::R1, 1, forged));
         deliver(&mut r, 0, ack(ReadRound::R1, 1, full_history(1)));
@@ -533,11 +575,20 @@ mod tests {
         let mut h0 = full_history(1);
         h0.insert(
             Timestamp(2),
-            HistEntry { pw: w2.tsval.clone(), w: Some(w2.clone()) },
+            HistEntry {
+                pw: w2.tsval.clone(),
+                w: Some(w2.clone()),
+            },
         );
         // Objects 1 and 2: pw-only entries at ts 2.
         let mut h12 = full_history(1);
-        h12.insert(Timestamp(2), HistEntry { pw: w2.tsval.clone(), w: None });
+        h12.insert(
+            Timestamp(2),
+            HistEntry {
+                pw: w2.tsval.clone(),
+                w: None,
+            },
+        );
         deliver(&mut r, 0, ack(ReadRound::R1, 1, h0));
         deliver(&mut r, 1, ack(ReadRound::R1, 1, h12.clone()));
         deliver(&mut r, 2, ack(ReadRound::R1, 1, h12));
@@ -550,7 +601,13 @@ mod tests {
         let mut r = RegularReader::new_optimized(cfg(), 0, objects());
         let (id, out) = invoke(&mut r);
         assert!(
-            matches!(out[0].1, Msg::Read { since: Some(Timestamp::ZERO), .. }),
+            matches!(
+                out[0].1,
+                Msg::Read {
+                    since: Some(Timestamp::ZERO),
+                    ..
+                }
+            ),
             "first read asks from ts 0"
         );
         for i in 0..3 {
@@ -561,7 +618,13 @@ mod tests {
 
         // Second read requests the suffix from ts 2.
         let (_id2, out2) = invoke(&mut r);
-        assert!(matches!(out2[0].1, Msg::Read { since: Some(Timestamp(2)), .. }));
+        assert!(matches!(
+            out2[0].1,
+            Msg::Read {
+                since: Some(Timestamp(2)),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -620,12 +683,18 @@ mod tests {
         let mut forged = History::initial();
         forged.insert(
             Timestamp(5),
-            HistEntry { pw: fv.clone(), w: Some(WTuple::new(fv, matrix)) },
+            HistEntry {
+                pw: fv.clone(),
+                w: Some(WTuple::new(fv, matrix)),
+            },
         );
         deliver(&mut r, 3, ack(ReadRound::R1, 1, forged));
         deliver(&mut r, 0, ack(ReadRound::R1, 1, History::initial()));
         deliver(&mut r, 1, ack(ReadRound::R1, 1, History::initial()));
-        assert!(r.outcome(id).is_none(), "conflict(0,3) must block the quorum");
+        assert!(
+            r.outcome(id).is_none(),
+            "conflict(0,3) must block the quorum"
+        );
         // Object 2 answers: invalid(forged) reaches t+b+1 = 3, the forged
         // candidate dies, the conflict evaporates, round 2 opens, and w0 is
         // safe + high.
@@ -655,16 +724,26 @@ mod tests {
         let fv = TsVal::new(Timestamp(1), 666);
         forged.insert(
             Timestamp(1),
-            HistEntry { pw: fv.clone(), w: Some(WTuple::new(fv, TsrMatrix::empty())) },
+            HistEntry {
+                pw: fv.clone(),
+                w: Some(WTuple::new(fv, TsrMatrix::empty())),
+            },
         );
         deliver(&mut r, 3, ack(ReadRound::R1, 3, forged));
         for i in 0..2 {
             deliver(&mut r, i, ack(ReadRound::R1, 3, History::empty()));
         }
-        assert!(r.outcome(id2).is_none(), "forged candidate still live: 2 < t+b+1");
+        assert!(
+            r.outcome(id2).is_none(),
+            "forged candidate still live: 2 < t+b+1"
+        );
         deliver(&mut r, 2, ack(ReadRound::R1, 3, History::empty()));
         let got = r.outcome(id2).expect("complete");
-        assert_eq!(got.value, Some(20), "cache returned; the below-since forgery died");
+        assert_eq!(
+            got.value,
+            Some(20),
+            "cache returned; the below-since forgery died"
+        );
         assert_eq!(got.ts, Timestamp(2));
     }
 
@@ -675,7 +754,10 @@ mod tests {
         for _ in 0..4 {
             deliver(&mut r, 0, ack(ReadRound::R1, 1, full_history(1)));
         }
-        assert!(r.outcome(id).is_none(), "one object repeated is not a quorum");
+        assert!(
+            r.outcome(id).is_none(),
+            "one object repeated is not a quorum"
+        );
         deliver(&mut r, 1, ack(ReadRound::R1, 99, full_history(1)));
         assert!(r.outcome(id).is_none(), "wrong echo ignored");
     }

@@ -100,7 +100,13 @@ impl<V: Value> Automaton<Msg<V>> for SafeObject<V> {
                     self.ts = ts;
                     self.pw = pw;
                     self.w = w;
-                    ctx.send(from, Msg::PwAck { ts: self.ts, tsr: self.tsr.clone() });
+                    ctx.send(
+                        from,
+                        Msg::PwAck {
+                            ts: self.ts,
+                            tsr: self.tsr.clone(),
+                        },
+                    );
                 }
             }
             // Figure 3 lines 8–12.
@@ -113,7 +119,9 @@ impl<V: Value> Automaton<Msg<V>> for SafeObject<V> {
                 }
             }
             // Figure 3 lines 13–17.
-            Msg::Read { round, reader, tsr, .. } => {
+            Msg::Read {
+                round, reader, tsr, ..
+            } => {
                 if tsr > self.tsr(reader) {
                     self.tsr.insert(reader, tsr);
                     ctx.send(
@@ -176,7 +184,9 @@ mod tests {
         let out = step(&mut obj, pw_msg(1, 42));
         assert_eq!(obj.ts(), Timestamp(1));
         assert_eq!(obj.pw().value, Some(42));
-        assert!(matches!(&out[..], [(to, Msg::PwAck { ts: Timestamp(1), .. })] if *to == ProcessId(9)));
+        assert!(
+            matches!(&out[..], [(to, Msg::PwAck { ts: Timestamp(1), .. })] if *to == ProcessId(9))
+        );
     }
 
     #[test]
@@ -184,7 +194,10 @@ mod tests {
         let mut obj = SafeObject::new();
         step(&mut obj, pw_msg(2, 42));
         let out = step(&mut obj, pw_msg(1, 7));
-        assert!(out.is_empty(), "stale PW must not be acked (Figure 3 guard)");
+        assert!(
+            out.is_empty(),
+            "stale PW must not be acked (Figure 3 guard)"
+        );
         assert_eq!(obj.pw().value, Some(42));
     }
 
@@ -213,11 +226,24 @@ mod tests {
         step(&mut obj, pw_msg(1, 42));
         let out = step(
             &mut obj,
-            Msg::Read { round: ReadRound::R1, reader: 3, tsr: 5, since: None },
+            Msg::Read {
+                round: ReadRound::R1,
+                reader: 3,
+                tsr: 5,
+                since: None,
+            },
         );
         assert_eq!(obj.tsr(3), 5);
         match &out[..] {
-            [(_, Msg::ReadAckSafe { round: ReadRound::R1, tsr: 5, pw, .. })] => {
+            [(
+                _,
+                Msg::ReadAckSafe {
+                    round: ReadRound::R1,
+                    tsr: 5,
+                    pw,
+                    ..
+                },
+            )] => {
                 assert_eq!(pw.value, Some(42));
             }
             other => panic!("unexpected reply {other:?}"),
@@ -227,9 +253,24 @@ mod tests {
     #[test]
     fn stale_read_timestamp_gets_no_reply() {
         let mut obj = SafeObject::new();
-        step(&mut obj, Msg::Read { round: ReadRound::R1, reader: 0, tsr: 5, since: None });
-        let out =
-            step(&mut obj, Msg::Read { round: ReadRound::R2, reader: 0, tsr: 5, since: None });
+        step(
+            &mut obj,
+            Msg::Read {
+                round: ReadRound::R1,
+                reader: 0,
+                tsr: 5,
+                since: None,
+            },
+        );
+        let out = step(
+            &mut obj,
+            Msg::Read {
+                round: ReadRound::R2,
+                reader: 0,
+                tsr: 5,
+                since: None,
+            },
+        );
         assert!(out.is_empty(), "equal tsr must be rejected (strict >)");
         assert_eq!(obj.tsr(0), 5);
     }
@@ -237,9 +278,24 @@ mod tests {
     #[test]
     fn reader_timestamps_are_per_reader() {
         let mut obj = SafeObject::new();
-        step(&mut obj, Msg::Read { round: ReadRound::R1, reader: 0, tsr: 9, since: None });
-        let out =
-            step(&mut obj, Msg::Read { round: ReadRound::R1, reader: 1, tsr: 1, since: None });
+        step(
+            &mut obj,
+            Msg::Read {
+                round: ReadRound::R1,
+                reader: 0,
+                tsr: 9,
+                since: None,
+            },
+        );
+        let out = step(
+            &mut obj,
+            Msg::Read {
+                round: ReadRound::R1,
+                reader: 1,
+                tsr: 1,
+                since: None,
+            },
+        );
         assert_eq!(out.len(), 1, "other readers' timestamps must not interfere");
         assert_eq!(obj.tsr(0), 9);
         assert_eq!(obj.tsr(1), 1);
@@ -249,7 +305,15 @@ mod tests {
     fn snapshot_restore_round_trips() {
         let mut obj = SafeObject::new();
         step(&mut obj, pw_msg(3, 7));
-        step(&mut obj, Msg::Read { round: ReadRound::R1, reader: 0, tsr: 2, since: None });
+        step(
+            &mut obj,
+            Msg::Read {
+                round: ReadRound::R1,
+                reader: 0,
+                tsr: 2,
+                since: None,
+            },
+        );
         let snap = obj.snapshot();
         let mut fresh: SafeObject<u64> = SafeObject::new();
         fresh.restore(snap);

@@ -178,7 +178,12 @@ impl<V: Value> SafeReader<V> {
             candidates: BTreeSet::new(),
             eliminated: BTreeSet::new(),
         });
-        let msg = Msg::Read { round: ReadRound::R1, reader: self.j, tsr: tsr_fr, since: None };
+        let msg = Msg::Read {
+            round: ReadRound::R1,
+            reader: self.j,
+            tsr: tsr_fr,
+            since: None,
+        };
         ctx.broadcast(self.objects.iter().copied(), msg); // line 10
         id
     }
@@ -208,7 +213,10 @@ impl<V: Value> SafeReader<V> {
     /// `RespondedWO(c)` (line 2): objects that reported some `w` tuple
     /// different from `c` in either round.
     fn responded_wo(op: &ReadOp<V>, c: &WTuple<V>) -> usize {
-        op.reported_w.values().filter(|set| set.iter().any(|c2| c2 != c)).count()
+        op.reported_w
+            .values()
+            .filter(|set| set.iter().any(|c2| c2 != c))
+            .count()
     }
 
     /// The per-object support test behind `safe(c)` (line 3): the object
@@ -216,15 +224,16 @@ impl<V: Value> SafeReader<V> {
     /// higher timestamp.
     fn supports(op: &ReadOp<V>, c: &WTuple<V>, obj: usize) -> bool {
         let ts = c.ts();
-        let in_w = op.reported_w.get(&obj).is_some_and(|set| {
-            set.iter().any(|c2| c2 == c || c2.ts() > ts)
-        });
+        let in_w = op
+            .reported_w
+            .get(&obj)
+            .is_some_and(|set| set.iter().any(|c2| c2 == c || c2.ts() > ts));
         if in_w {
             return true;
         }
-        op.reported_pw.get(&obj).is_some_and(|set| {
-            set.iter().any(|p| *p == c.tsval || p.ts > ts)
-        })
+        op.reported_pw
+            .get(&obj)
+            .is_some_and(|set| set.iter().any(|p| *p == c.tsval || p.ts > ts))
     }
 
     /// `safe(c)` (line 3): at least `b + 1` supporting objects (or the
@@ -250,14 +259,19 @@ impl<V: Value> SafeReader<V> {
         };
         firsts.iter().any(|c| {
             op.candidates.contains(c)
-                && c.tsrarray.get(i, j).is_some_and(|reported| reported > op.tsr_fr)
+                && c.tsrarray
+                    .get(i, j)
+                    .is_some_and(|reported| reported > op.tsr_fr)
         })
     }
 
     /// Lines 27–28: drop candidates contradicted by `t + b + 1` objects
     /// (or the ablation override).
     fn recheck_eliminations(&mut self) {
-        let threshold = self.tuning.elim_threshold.unwrap_or(self.cfg.t_plus_b_plus_1());
+        let threshold = self
+            .tuning
+            .elim_threshold
+            .unwrap_or(self.cfg.t_plus_b_plus_1());
         let Some(op) = self.op.as_mut() else { return };
         let doomed: Vec<WTuple<V>> = op
             .candidates
@@ -300,7 +314,12 @@ impl<V: Value> SafeReader<V> {
         debug_assert_eq!(tsr, op.tsr_fr + 1);
         op.phase = Phase::Round2;
         if !skip_round2 {
-            let msg = Msg::Read { round: ReadRound::R2, reader: j, tsr, since: None };
+            let msg = Msg::Read {
+                round: ReadRound::R2,
+                reader: j,
+                tsr,
+                since: None,
+            };
             ctx.broadcast(self.objects.iter().copied(), msg);
         }
         // Under skip_round2 (fast-read mutant) the decision runs on
@@ -320,12 +339,21 @@ impl<V: Value> SafeReader<V> {
             let id = op.id;
             self.outcomes.insert(
                 id,
-                ReadOutcome { value: None, ts: Timestamp::ZERO, rounds },
+                ReadOutcome {
+                    value: None,
+                    ts: Timestamp::ZERO,
+                    rounds,
+                },
             );
             self.op = None;
             return;
         }
-        let high = op.candidates.iter().map(WTuple::ts).max().expect("non-empty");
+        let high = op
+            .candidates
+            .iter()
+            .map(WTuple::ts)
+            .max()
+            .expect("non-empty");
         let ret = op
             .candidates
             .iter()
@@ -337,7 +365,11 @@ impl<V: Value> SafeReader<V> {
             let id = op.id;
             self.outcomes.insert(
                 id,
-                ReadOutcome { value: cret.tsval.value.clone(), ts: cret.ts(), rounds },
+                ReadOutcome {
+                    value: cret.tsval.value.clone(),
+                    ts: cret.ts(),
+                    rounds,
+                },
             );
             self.op = None;
         }
@@ -346,8 +378,12 @@ impl<V: Value> SafeReader<V> {
 
 impl<V: Value> Automaton<Msg<V>> for SafeReader<V> {
     fn on_message(&mut self, from: ProcessId, msg: Msg<V>, ctx: &mut Context<'_, Msg<V>>) {
-        let Some(&obj) = self.object_index.get(&from) else { return };
-        let Msg::ReadAckSafe { round, tsr, pw, w } = msg else { return };
+        let Some(&obj) = self.object_index.get(&from) else {
+            return;
+        };
+        let Msg::ReadAckSafe { round, tsr, pw, w } = msg else {
+            return;
+        };
         let Some(op) = self.op.as_mut() else { return };
 
         match round {
@@ -359,7 +395,10 @@ impl<V: Value> Automaton<Msg<V>> for SafeReader<V> {
                     return;
                 }
                 op.resp_first.insert(obj);
-                op.first_reported_w.entry(obj).or_default().insert(w.clone());
+                op.first_reported_w
+                    .entry(obj)
+                    .or_default()
+                    .insert(w.clone());
                 op.reported_w.entry(obj).or_default().insert(w.clone());
                 op.reported_pw.entry(obj).or_default().insert(pw);
                 if !op.eliminated.contains(&w) {
@@ -371,9 +410,7 @@ impl<V: Value> Automaton<Msg<V>> for SafeReader<V> {
                 // after receiving READ2, so requiring phase == Round2 and
                 // the exact echo tsrFR + 1 loses nothing from correct
                 // objects and blunts Byzantine guessing.
-                if op.phase != Phase::Round2
-                    || tsr != op.tsr_fr + 1
-                    || !op.answered[1].insert(obj)
+                if op.phase != Phase::Round2 || tsr != op.tsr_fr + 1 || !op.answered[1].insert(obj)
                 {
                     return;
                 }
@@ -419,11 +456,7 @@ mod tests {
         (id, out)
     }
 
-    fn deliver(
-        r: &mut SafeReader<u64>,
-        from: usize,
-        msg: Msg<u64>,
-    ) -> Vec<(ProcessId, Msg<u64>)> {
+    fn deliver(r: &mut SafeReader<u64>, from: usize, msg: Msg<u64>) -> Vec<(ProcessId, Msg<u64>)> {
         let mut out = Vec::new();
         let mut ctx = Context::new(ProcessId(9), &mut out);
         r.on_message(ProcessId(from), msg, &mut ctx);
@@ -441,7 +474,12 @@ mod tests {
     }
 
     fn bottom_ack(round: ReadRound, tsr: u64) -> Msg<u64> {
-        Msg::ReadAckSafe { round, tsr, pw: TsVal::bottom(), w: WTuple::initial() }
+        Msg::ReadAckSafe {
+            round,
+            tsr,
+            pw: TsVal::bottom(),
+            w: WTuple::initial(),
+        }
     }
 
     #[test]
@@ -459,7 +497,14 @@ mod tests {
         }
         let read2 = deliver(&mut r, 2, honest_ack(ReadRound::R1, 1, 1, 42));
         assert_eq!(read2.len(), 4, "READ2 broadcast after conflict-free quorum");
-        assert!(matches!(read2[0].1, Msg::Read { round: ReadRound::R2, tsr: 2, .. }));
+        assert!(matches!(
+            read2[0].1,
+            Msg::Read {
+                round: ReadRound::R2,
+                tsr: 2,
+                ..
+            }
+        ));
 
         let got = r.outcome(id).expect("read complete");
         assert_eq!(got.value, Some(42));
@@ -490,7 +535,11 @@ mod tests {
         // honest candidate becomes the high safe candidate.
         deliver(&mut r, 2, honest_ack(ReadRound::R1, 1, 1, 42));
         let got = r.outcome(id).expect("forged candidate eliminated");
-        assert_eq!(got.value, Some(42), "must fall back to the honest candidate");
+        assert_eq!(
+            got.value,
+            Some(42),
+            "must fall back to the honest candidate"
+        );
     }
 
     #[test]
@@ -543,7 +592,10 @@ mod tests {
         for _ in 0..3 {
             deliver(&mut r, 0, honest_ack(ReadRound::R1, 1, 1, 42));
         }
-        assert!(r.outcome(id).is_none(), "one object cannot form a quorum by repeating");
+        assert!(
+            r.outcome(id).is_none(),
+            "one object cannot form a quorum by repeating"
+        );
     }
 
     #[test]
@@ -564,7 +616,10 @@ mod tests {
         for i in 0..3 {
             deliver(&mut r, i, honest_ack(ReadRound::R2, 2, 1, 42));
         }
-        assert!(r.outcome(id).is_none(), "round-2 ACKs must not bypass round 1");
+        assert!(
+            r.outcome(id).is_none(),
+            "round-2 ACKs must not bypass round 1"
+        );
     }
 
     #[test]
@@ -584,7 +639,10 @@ mod tests {
             Msg::Read { tsr, .. } => tsr,
             _ => unreachable!(),
         };
-        assert!(second_tsr > first_tsr + 1, "tsr must strictly increase across ops");
+        assert!(
+            second_tsr > first_tsr + 1,
+            "tsr must strictly increase across ops"
+        );
     }
 
     #[test]

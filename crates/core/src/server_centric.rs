@@ -39,7 +39,12 @@ impl<A> RelayObject<A> {
     /// out its own id at send time, so passing the full object list is
     /// fine).
     pub fn new(inner: A, peers: Vec<ProcessId>) -> Self {
-        RelayObject { inner, peers, relayed_pw: Timestamp::ZERO, relayed_w: Timestamp::ZERO }
+        RelayObject {
+            inner,
+            peers,
+            relayed_pw: Timestamp::ZERO,
+            relayed_w: Timestamp::ZERO,
+        }
     }
 
     /// The wrapped automaton.
@@ -98,8 +103,7 @@ mod tests {
     /// Deploys safe storage with relay-wrapped objects.
     fn deploy_relayed(cfg: StorageConfig, world: &mut World<Msg<u64>>) -> Deployment {
         // Spawn placeholder ids first so every relay knows all peers.
-        let objects: Vec<ProcessId> =
-            (0..cfg.s).map(|i| ProcessId(i)).collect();
+        let objects: Vec<ProcessId> = (0..cfg.s).map(ProcessId).collect();
         let spawned: Vec<ProcessId> = (0..cfg.s)
             .map(|i| {
                 world.spawn_named(
@@ -119,7 +123,12 @@ mod tests {
                 )
             })
             .collect();
-        Deployment { cfg, objects, writer, readers }
+        Deployment {
+            cfg,
+            objects,
+            writer,
+            readers,
+        }
     }
 
     struct RelayedSafe;
@@ -148,8 +157,10 @@ mod tests {
             op: u64,
         ) -> Option<crate::WriteReport> {
             world.inspect(dep.writer, |w: &Writer<u64>| {
-                w.outcome(crate::WriteId(op))
-                    .map(|o| crate::WriteReport { ts: o.ts, rounds: o.rounds })
+                w.outcome(crate::WriteId(op)).map(|o| crate::WriteReport {
+                    ts: o.ts,
+                    rounds: o.rounds,
+                })
             })
         }
 
@@ -167,11 +178,12 @@ mod tests {
             op: u64,
         ) -> Option<crate::ReadReport<u64>> {
             world.inspect(dep.readers[reader], |r: &SafeReader<u64>| {
-                r.outcome(crate::safe::ReadId(op)).map(|o| crate::ReadReport {
-                    value: o.value.clone(),
-                    ts: o.ts,
-                    rounds: o.rounds,
-                })
+                r.outcome(crate::safe::ReadId(op))
+                    .map(|o| crate::ReadReport {
+                        value: o.value,
+                        ts: o.ts,
+                        rounds: o.rounds,
+                    })
             })
         }
     }

@@ -87,12 +87,18 @@ pub struct TsVal<V> {
 impl<V: Value> TsVal<V> {
     /// The initial pair `⟨0, ⊥⟩` (the paper's `pw0`).
     pub fn bottom() -> Self {
-        TsVal { ts: Timestamp::ZERO, value: None }
+        TsVal {
+            ts: Timestamp::ZERO,
+            value: None,
+        }
     }
 
     /// A written pair `⟨ts, v⟩`.
     pub fn new(ts: Timestamp, value: V) -> Self {
-        TsVal { ts, value: Some(value) }
+        TsVal {
+            ts,
+            value: Some(value),
+        }
     }
 
     /// Estimated wire size in bytes.
@@ -144,7 +150,9 @@ impl TsrMatrix {
     /// An acked object with no entry for `j` reads as `Some(0)`: the object
     /// had initialized `tsr[j] := 0`.
     pub fn get(&self, i: ObjectIndex, j: ReaderIndex) -> Option<u64> {
-        self.entries.get(&i).map(|row| row.get(&j).copied().unwrap_or(0))
+        self.entries
+            .get(&i)
+            .map(|row| row.get(&j).copied().unwrap_or(0))
     }
 
     /// Object indexes with non-`nil` rows.
@@ -191,7 +199,10 @@ pub struct WTuple<V> {
 impl<V: Value> WTuple<V> {
     /// The initial tuple `w0 = ⟨⟨0,⊥⟩, inittsrarray⟩`.
     pub fn initial() -> Self {
-        WTuple { tsval: TsVal::bottom(), tsrarray: TsrMatrix::empty() }
+        WTuple {
+            tsval: TsVal::bottom(),
+            tsrarray: TsrMatrix::empty(),
+        }
     }
 
     /// A tuple for a written pair.
@@ -252,7 +263,9 @@ pub struct History<V> {
 impl<V> History<V> {
     /// An empty history (used for suffix extraction).
     pub fn empty() -> Self {
-        History { entries: BTreeMap::new() }
+        History {
+            entries: BTreeMap::new(),
+        }
     }
 
     /// The entry at `ts`, or `None` ("no entry", which readers must treat
@@ -293,7 +306,10 @@ impl<V: Value> History<V> {
         let mut entries = BTreeMap::new();
         entries.insert(
             Timestamp::ZERO,
-            HistEntry { pw: TsVal::bottom(), w: Some(WTuple::initial()) },
+            HistEntry {
+                pw: TsVal::bottom(),
+                w: Some(WTuple::initial()),
+            },
         );
         History { entries }
     }
@@ -302,7 +318,11 @@ impl<V: Value> History<V> {
     /// optimization's reply payload.
     pub fn suffix(&self, since: Timestamp) -> History<V> {
         History {
-            entries: self.entries.range(since..).map(|(k, v)| (*k, v.clone())).collect(),
+            entries: self
+                .entries
+                .range(since..)
+                .map(|(k, v)| (*k, v.clone()))
+                .collect(),
         }
     }
 
@@ -392,7 +412,10 @@ mod tests {
         let mut m = TsrMatrix::empty();
         m.set_row(0, BTreeMap::from([(0, 3)]));
         let b = WTuple::new(tsval, m);
-        assert_ne!(a, b, "same tsval, different matrix must be distinct candidates");
+        assert_ne!(
+            a, b,
+            "same tsval, different matrix must be distinct candidates"
+        );
     }
 
     #[test]
@@ -410,7 +433,10 @@ mod tests {
         for k in 1..=5u64 {
             h.insert(
                 Timestamp(k),
-                HistEntry { pw: TsVal::new(Timestamp(k), k), w: None },
+                HistEntry {
+                    pw: TsVal::new(Timestamp(k), k),
+                    w: None,
+                },
             );
         }
         let suf = h.suffix(Timestamp(3));
@@ -424,7 +450,13 @@ mod tests {
     fn history_retain_keeps_top_entry() {
         let mut h: History<u64> = History::initial();
         for k in 1..=5u64 {
-            h.insert(Timestamp(k), HistEntry { pw: TsVal::new(Timestamp(k), k), w: None });
+            h.insert(
+                Timestamp(k),
+                HistEntry {
+                    pw: TsVal::new(Timestamp(k), k),
+                    w: None,
+                },
+            );
         }
         h.retain_from(Timestamp(100)); // beyond max: keeps the max entry only
         assert_eq!(h.len(), 1);
@@ -436,7 +468,13 @@ mod tests {
         let mut h: History<u64> = History::initial();
         let small = h.wire_size();
         for k in 1..=10u64 {
-            h.insert(Timestamp(k), HistEntry { pw: TsVal::new(Timestamp(k), k), w: None });
+            h.insert(
+                Timestamp(k),
+                HistEntry {
+                    pw: TsVal::new(Timestamp(k), k),
+                    w: None,
+                },
+            );
         }
         assert!(h.wire_size() > small);
     }

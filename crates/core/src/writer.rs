@@ -17,7 +17,7 @@ use vrr_sim::{Automaton, Context, ProcessId};
 
 use crate::config::StorageConfig;
 use crate::msg::Msg;
-use crate::types::{Timestamp, TsrMatrix, TsVal, Value, WTuple};
+use crate::types::{Timestamp, TsVal, TsrMatrix, Value, WTuple};
 
 /// Identifies one WRITE invocation on a [`Writer`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -101,9 +101,16 @@ impl<V: Value> Writer<V> {
         self.pw = TsVal::new(self.ts, value);
         // Line 5: send PW⟨ts, pw, w⟩ — `w` is still the previous write's
         // tuple, which is how objects (and regular histories) learn it.
-        let msg = Msg::Pw { ts: self.ts, pw: self.pw.clone(), w: self.w.clone() };
+        let msg = Msg::Pw {
+            ts: self.ts,
+            pw: self.pw.clone(),
+            w: self.w.clone(),
+        };
         ctx.broadcast(self.objects.iter().copied(), msg);
-        self.phase = Phase::Pw { id, acks: BTreeSet::new() };
+        self.phase = Phase::Pw {
+            id,
+            acks: BTreeSet::new(),
+        };
         id
     }
 
@@ -132,7 +139,9 @@ impl<V: Value> Automaton<Msg<V>> for Writer<V> {
             Msg::PwAck { ts, tsr } => {
                 // Figure 2 lines 6 + 10–11: the `upon` handler pattern-matches
                 // the current ts, so stale acks are dropped.
-                let Phase::Pw { id, ref mut acks } = self.phase else { return };
+                let Phase::Pw { id, ref mut acks } = self.phase else {
+                    return;
+                };
                 if ts != self.ts {
                     return;
                 }
@@ -142,20 +151,35 @@ impl<V: Value> Automaton<Msg<V>> for Writer<V> {
                 if acks.len() >= self.cfg.quorum() {
                     // Lines 7–8: fix w and open the W round.
                     self.w = WTuple::new(self.pw.clone(), std::mem::take(&mut self.current_tsr));
-                    let msg = Msg::W { ts: self.ts, pw: self.pw.clone(), w: self.w.clone() };
+                    let msg = Msg::W {
+                        ts: self.ts,
+                        pw: self.pw.clone(),
+                        w: self.w.clone(),
+                    };
                     ctx.broadcast(self.objects.iter().copied(), msg);
-                    self.phase = Phase::W { id, acks: BTreeSet::new() };
+                    self.phase = Phase::W {
+                        id,
+                        acks: BTreeSet::new(),
+                    };
                 }
             }
             Msg::WAck { ts } => {
                 // Figure 2 lines 9–10.
-                let Phase::W { id, ref mut acks } = self.phase else { return };
+                let Phase::W { id, ref mut acks } = self.phase else {
+                    return;
+                };
                 if ts != self.ts {
                     return;
                 }
                 acks.insert(obj);
                 if acks.len() >= self.cfg.quorum() {
-                    self.outcomes.insert(id, WriteOutcome { ts: self.ts, rounds: 2 });
+                    self.outcomes.insert(
+                        id,
+                        WriteOutcome {
+                            ts: self.ts,
+                            rounds: 2,
+                        },
+                    );
                     self.phase = Phase::Idle;
                 }
             }
@@ -182,11 +206,7 @@ mod tests {
         (0..4).map(ProcessId).collect()
     }
 
-    fn drive(
-        w: &mut Writer<u64>,
-        from: ProcessId,
-        msg: Msg<u64>,
-    ) -> Vec<(ProcessId, Msg<u64>)> {
+    fn drive(w: &mut Writer<u64>, from: ProcessId, msg: Msg<u64>) -> Vec<(ProcessId, Msg<u64>)> {
         let mut out = Vec::new();
         let mut ctx = Context::new(ProcessId(10), &mut out);
         w.on_message(from, msg, &mut ctx);
@@ -205,24 +225,42 @@ mod tests {
         let mut w = Writer::new(cfg(), objects());
         let (id, out) = invoke(&mut w, 42);
         assert_eq!(out.len(), 4, "PW to all objects");
-        assert!(matches!(out[0].1, Msg::Pw { ts: Timestamp(1), .. }));
+        assert!(matches!(
+            out[0].1,
+            Msg::Pw {
+                ts: Timestamp(1),
+                ..
+            }
+        ));
 
         // Three PW acks trigger the W round.
         for i in 0..2 {
             let sent = drive(
                 &mut w,
                 ProcessId(i),
-                Msg::PwAck { ts: Timestamp(1), tsr: BTreeMap::new() },
+                Msg::PwAck {
+                    ts: Timestamp(1),
+                    tsr: BTreeMap::new(),
+                },
             );
             assert!(sent.is_empty());
         }
         let sent = drive(
             &mut w,
             ProcessId(2),
-            Msg::PwAck { ts: Timestamp(1), tsr: BTreeMap::new() },
+            Msg::PwAck {
+                ts: Timestamp(1),
+                tsr: BTreeMap::new(),
+            },
         );
         assert_eq!(sent.len(), 4, "W to all objects after quorum of PW acks");
-        assert!(matches!(sent[0].1, Msg::W { ts: Timestamp(1), .. }));
+        assert!(matches!(
+            sent[0].1,
+            Msg::W {
+                ts: Timestamp(1),
+                ..
+            }
+        ));
         assert!(w.outcome(id).is_none());
 
         for i in 0..3 {
@@ -243,7 +281,10 @@ mod tests {
             drive(
                 &mut w,
                 ProcessId(i),
-                Msg::PwAck { ts: Timestamp(1), tsr: BTreeMap::from([(0, tsr)]) },
+                Msg::PwAck {
+                    ts: Timestamp(1),
+                    tsr: BTreeMap::from([(0, tsr)]),
+                },
             );
         }
         // The W broadcast carries tsrarray with rows exactly {0, 1, 3}.
@@ -263,9 +304,15 @@ mod tests {
             let sent = drive(
                 &mut w,
                 ProcessId(0),
-                Msg::PwAck { ts: Timestamp(1), tsr: BTreeMap::new() },
+                Msg::PwAck {
+                    ts: Timestamp(1),
+                    tsr: BTreeMap::new(),
+                },
             );
-            assert!(sent.is_empty(), "duplicates from one object must not form a quorum");
+            assert!(
+                sent.is_empty(),
+                "duplicates from one object must not form a quorum"
+            );
         }
     }
 
@@ -274,7 +321,14 @@ mod tests {
         let mut w = Writer::new(cfg(), objects());
         let (id1, _) = invoke(&mut w, 1);
         for i in 0..3 {
-            drive(&mut w, ProcessId(i), Msg::PwAck { ts: Timestamp(1), tsr: BTreeMap::new() });
+            drive(
+                &mut w,
+                ProcessId(i),
+                Msg::PwAck {
+                    ts: Timestamp(1),
+                    tsr: BTreeMap::new(),
+                },
+            );
         }
         for i in 0..3 {
             drive(&mut w, ProcessId(i), Msg::WAck { ts: Timestamp(1) });
@@ -284,7 +338,14 @@ mod tests {
         let (id2, _) = invoke(&mut w, 2);
         // Acks echoing the old timestamp must not advance write 2.
         for i in 0..3 {
-            drive(&mut w, ProcessId(i), Msg::PwAck { ts: Timestamp(1), tsr: BTreeMap::new() });
+            drive(
+                &mut w,
+                ProcessId(i),
+                Msg::PwAck {
+                    ts: Timestamp(1),
+                    tsr: BTreeMap::new(),
+                },
+            );
         }
         assert!(w.outcome(id2).is_none());
         assert!(!w.is_idle());
@@ -295,7 +356,14 @@ mod tests {
         let mut w = Writer::new(cfg(), objects());
         let (_, _) = invoke(&mut w, 1);
         for i in 0..3 {
-            drive(&mut w, ProcessId(i), Msg::PwAck { ts: Timestamp(1), tsr: BTreeMap::new() });
+            drive(
+                &mut w,
+                ProcessId(i),
+                Msg::PwAck {
+                    ts: Timestamp(1),
+                    tsr: BTreeMap::new(),
+                },
+            );
         }
         for i in 0..3 {
             drive(&mut w, ProcessId(i), Msg::WAck { ts: Timestamp(1) });
@@ -327,7 +395,10 @@ mod tests {
         let sent = drive(
             &mut w,
             ProcessId(99),
-            Msg::PwAck { ts: Timestamp(1), tsr: BTreeMap::new() },
+            Msg::PwAck {
+                ts: Timestamp(1),
+                tsr: BTreeMap::new(),
+            },
         );
         assert!(sent.is_empty());
     }

@@ -6,8 +6,8 @@ use proptest::prelude::*;
 use vrr_core::regular::RegularObject;
 use vrr_core::safe::SafeObject;
 use vrr_core::{
-    conflict_free_of_size, max_conflict_free, HistEntry, History, Msg, ReadRound, Timestamp,
-    TsrMatrix, TsVal, WTuple,
+    conflict_free_of_size, max_conflict_free, HistEntry, History, Msg, ReadRound, Timestamp, TsVal,
+    TsrMatrix, WTuple,
 };
 use vrr_sim::{Automaton, Context, ProcessId};
 
@@ -25,7 +25,10 @@ fn build_history(entries: &[(u64, u64)]) -> History<u64> {
         let tsval = TsVal::new(Timestamp(*ts), *v);
         h.insert(
             Timestamp(*ts),
-            HistEntry { pw: tsval.clone(), w: Some(WTuple::new(tsval, TsrMatrix::empty())) },
+            HistEntry {
+                pw: tsval.clone(),
+                w: Some(WTuple::new(tsval, TsrMatrix::empty())),
+            },
         );
     }
     h
@@ -59,7 +62,7 @@ proptest! {
         let max_before = h.max_ts();
         h.retain_from(Timestamp(below));
         prop_assert_eq!(h.max_ts(), max_before, "GC must never lose the newest entry");
-        prop_assert!(h.len() >= 1);
+        prop_assert!(!h.is_empty());
         for (ts, _) in h.iter() {
             prop_assert!(ts.0 >= below.min(max_before.unwrap().0));
         }
@@ -136,17 +139,30 @@ proptest! {
 
 #[derive(Clone, Debug)]
 enum ObjStimulus {
-    Pw { ts: u64, v: u64 },
-    W { ts: u64, v: u64 },
-    Read { round: bool, reader: usize, tsr: u64 },
+    Pw {
+        ts: u64,
+        v: u64,
+    },
+    W {
+        ts: u64,
+        v: u64,
+    },
+    Read {
+        round: bool,
+        reader: usize,
+        tsr: u64,
+    },
 }
 
 fn obj_stimulus() -> impl Strategy<Value = ObjStimulus> {
     prop_oneof![
         (1u64..50, any::<u64>()).prop_map(|(ts, v)| ObjStimulus::Pw { ts, v }),
         (1u64..50, any::<u64>()).prop_map(|(ts, v)| ObjStimulus::W { ts, v }),
-        (any::<bool>(), 0usize..3, 1u64..50)
-            .prop_map(|(round, reader, tsr)| ObjStimulus::Read { round, reader, tsr }),
+        (any::<bool>(), 0usize..3, 1u64..50).prop_map(|(round, reader, tsr)| ObjStimulus::Read {
+            round,
+            reader,
+            tsr
+        }),
     ]
 }
 
@@ -191,9 +207,9 @@ proptest! {
             out.clear();
             prop_assert!(obj.ts() >= last_ts, "object timestamp regressed");
             last_ts = obj.ts();
-            for j in 0..3 {
-                prop_assert!(obj.tsr(j) >= last_tsr[j], "reader timestamp regressed");
-                last_tsr[j] = obj.tsr(j);
+            for (j, last) in last_tsr.iter_mut().enumerate() {
+                prop_assert!(obj.tsr(j) >= *last, "reader timestamp regressed");
+                *last = obj.tsr(j);
             }
             // The pw/w fields always carry ts ≤ the object's ts.
             prop_assert!(obj.pw().ts <= obj.ts());

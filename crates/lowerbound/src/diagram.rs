@@ -179,7 +179,9 @@ pub fn render_all(partition: &BlockPartition) -> String {
         out.push_str(&render_run(partition, run));
         out.push('\n');
     }
-    out.push_str("legend: [##] block receives+answers the round · σ state · @ malicious · · skipped\n");
+    out.push_str(
+        "legend: [##] block receives+answers the round · σ state · @ malicious · · skipped\n",
+    );
     out
 }
 
@@ -209,9 +211,15 @@ mod tests {
         assert!(d5.contains("@ forged σ2"), "{d5}");
         // run5 has no write columns filled.
         for line in d5.lines().skip(2) {
-            let after_first_col: String =
-                line.split_whitespace().skip(2).collect::<Vec<_>>().join(" ");
-            assert!(!after_first_col.contains("[##]"), "no write activity in run5: {line}");
+            let after_first_col: String = line
+                .split_whitespace()
+                .skip(2)
+                .collect::<Vec<_>>()
+                .join(" ");
+            assert!(
+                !after_first_col.contains("[##]"),
+                "no write activity in run5: {line}"
+            );
         }
     }
 
@@ -219,7 +227,10 @@ mod tests {
     fn t2_never_answers_the_read() {
         for run in [Run::Run3, Run::Run4, Run::Run5] {
             let d = render_run(&partition(), run);
-            let t2_line = d.lines().find(|l| l.trim_start().starts_with("T2")).unwrap();
+            let t2_line = d
+                .lines()
+                .find(|l| l.trim_start().starts_with("T2"))
+                .unwrap();
             let first_cell = t2_line.split_whitespace().nth(1).unwrap();
             assert_eq!(first_cell, "·", "{run:?}: T2 must skip rd1 round 1");
         }

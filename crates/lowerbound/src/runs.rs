@@ -46,7 +46,11 @@ impl<V: fmt::Debug> fmt::Display for Verdict<V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Verdict::NotFast => write!(f, "not fast: reader blocked on S−t replies"),
-            Verdict::Violation { returned, run4_violated, run5_violated } => {
+            Verdict::Violation {
+                returned,
+                run4_violated,
+                run5_violated,
+            } => {
                 write!(f, "read returned {returned:?} in runs 3/4/5 ⇒ ")?;
                 match (run4_violated, run5_violated) {
                     (true, true) => write!(f, "safety violated in BOTH run4 and run5"),
@@ -85,7 +89,11 @@ pub struct Prop1Report<S: FastReadSpec> {
 pub fn execute_prop1<S: FastReadSpec>(spec: &S, b: usize, v1: S::Value) -> Prop1Report<S> {
     let s = spec.object_count();
     let t = spec.max_faulty();
-    assert_eq!(s, 2 * t + 2 * b, "Proposition 1 executes at the boundary S = 2t + 2b");
+    assert_eq!(
+        s,
+        2 * t + 2 * b,
+        "Proposition 1 executes at the boundary S = 2t + 2b"
+    );
     let partition = BlockPartition::new(s, t, b);
     execute_runs(spec, partition, v1)
 }
@@ -128,7 +136,10 @@ impl<S: FastReadSpec> ControlReport<S> {
 pub fn execute_control<S: FastReadSpec>(spec: &S, b: usize, v1: S::Value) -> ControlReport<S> {
     let s = spec.object_count();
     let t = spec.max_faulty();
-    assert!(s >= 2 * t + 2 * b + 1, "the control configuration needs S >= 2t + 2b + 1");
+    assert!(
+        s > 2 * t + 2 * b,
+        "the control configuration needs S >= 2t + 2b + 1"
+    );
     let partition = BlockPartition::new(s, t, b);
 
     // run1 equivalent: B1 receives the read first (pre-write σ1 replies).
@@ -149,7 +160,10 @@ pub fn execute_control<S: FastReadSpec>(spec: &S, b: usize, v1: S::Value) -> Con
         states4[i] = st.clone();
     }
     let ok = spec.run_write(v1.clone(), &mut states4, &partition.write_reach());
-    assert!(ok, "run_write must complete with S − t reachable objects (wait-freedom)");
+    assert!(
+        ok,
+        "run_write must complete with S − t reachable objects (wait-freedom)"
+    );
 
     let mut view_run4: BTreeMap<usize, S::Reply> = BTreeMap::new();
     for (k, &i) in partition.b1.iter().enumerate() {
@@ -182,7 +196,14 @@ pub fn execute_control<S: FastReadSpec>(spec: &S, b: usize, v1: S::Value) -> Con
 
     let returned_run4 = spec.decide(&view_run4);
     let returned_run5 = spec.decide(&view_run5);
-    ControlReport { partition, v1, view_run4, view_run5, returned_run4, returned_run5 }
+    ControlReport {
+        partition,
+        v1,
+        view_run4,
+        view_run5,
+        returned_run4,
+        returned_run5,
+    }
 }
 
 fn execute_runs<S: FastReadSpec>(
@@ -228,11 +249,21 @@ fn execute_runs<S: FastReadSpec>(
         Some(returned) => {
             let run4_violated = returned != Some(v1.clone());
             let run5_violated = returned.is_some();
-            Verdict::Violation { returned, run4_violated, run5_violated }
+            Verdict::Violation {
+                returned,
+                run4_violated,
+                run5_violated,
+            }
         }
     };
 
-    Prop1Report { partition, v1, write_completed, view, verdict }
+    Prop1Report {
+        partition,
+        v1,
+        write_completed,
+        view,
+        verdict,
+    }
 }
 
 #[cfg(test)]
@@ -249,7 +280,11 @@ mod tests {
             let report = execute_prop1(&spec, b, 42u64);
             assert!(report.write_completed);
             match report.verdict {
-                Verdict::Violation { returned, run4_violated, run5_violated } => {
+                Verdict::Violation {
+                    returned,
+                    run4_violated,
+                    run5_violated,
+                } => {
                     assert_eq!(returned, None, "t={t} b={b}");
                     assert!(run4_violated, "t={t} b={b}: ⊥ breaks run4");
                     assert!(!run5_violated);
@@ -267,7 +302,11 @@ mod tests {
         let spec = LitePairSpec::new(2 * t + 2 * b, t, b, ReadRule::TrustHighest);
         let report = execute_prop1(&spec, b, 42u64);
         match report.verdict {
-            Verdict::Violation { returned, run4_violated, run5_violated } => {
+            Verdict::Violation {
+                returned,
+                run4_violated,
+                run5_violated,
+            } => {
                 assert_eq!(returned, Some(42));
                 assert!(!run4_violated);
                 assert!(run5_violated, "phantom v1 in run5");
@@ -286,7 +325,11 @@ mod tests {
             let spec = LitePairSpec::new(2 * t + 2 * b, t, b, ReadRule::Threshold(k));
             let report = execute_prop1(&spec, b, 7u64);
             match report.verdict {
-                Verdict::Violation { run4_violated, run5_violated, .. } => {
+                Verdict::Violation {
+                    run4_violated,
+                    run5_violated,
+                    ..
+                } => {
                     assert!(
                         run4_violated || run5_violated,
                         "threshold {k} escaped both clauses"
@@ -307,8 +350,12 @@ mod tests {
             let spec = LitePairSpec::new(2 * t + 2 * b + 1, t, b, ReadRule::Masking);
             let report = execute_control(&spec, b, 42u64);
             assert_ne!(report.view_run4, report.view_run5, "views must differ");
-            assert!(report.is_safe(), "t={t} b={b}: {:?} / {:?}",
-                report.returned_run4, report.returned_run5);
+            assert!(
+                report.is_safe(),
+                "t={t} b={b}: {:?} / {:?}",
+                report.returned_run4,
+                report.returned_run5
+            );
         }
     }
 
@@ -320,6 +367,10 @@ mod tests {
         let spec = LitePairSpec::new(2 * t + 2 * b + 1, t, b, ReadRule::TrustHighest);
         let report = execute_control(&spec, b, 42u64);
         assert!(!report.is_safe());
-        assert_eq!(report.returned_run5, Some(Some(42)), "phantom value believed");
+        assert_eq!(
+            report.returned_run5,
+            Some(Some(42)),
+            "phantom value believed"
+        );
     }
 }

@@ -93,7 +93,10 @@ impl BlockPartition {
     pub fn new(s: usize, t: usize, b: usize) -> Self {
         assert!(b > 0, "the construction needs b > 0");
         assert!(t >= b, "b <= t");
-        assert!(s >= 2 * t + 2 * b, "partition needs at least 2t + 2b objects");
+        assert!(
+            s >= 2 * t + 2 * b,
+            "partition needs at least 2t + 2b objects"
+        );
         let mut idx = 0..s;
         let mut take = |n: usize| -> Vec<usize> { idx.by_ref().take(n).collect() };
         let t1 = take(t);
@@ -101,7 +104,15 @@ impl BlockPartition {
         let b1 = take(b);
         let b2 = take(b);
         let extra: Vec<usize> = idx.collect();
-        BlockPartition { t, b, t1, t2, b1, b2, extra }
+        BlockPartition {
+            t,
+            b,
+            t1,
+            t2,
+            b1,
+            b2,
+            extra,
+        }
     }
 
     /// Total object count.
@@ -112,8 +123,14 @@ impl BlockPartition {
     /// The read view of runs 3–5: `B1 ∪ B2 ∪ T1 ∪ extra` (the reader never
     /// hears from `T2`). Exactly `S − t` objects.
     pub fn read_view(&self) -> Vec<usize> {
-        let mut v: Vec<usize> =
-            self.b1.iter().chain(&self.b2).chain(&self.t1).chain(&self.extra).copied().collect();
+        let mut v: Vec<usize> = self
+            .b1
+            .iter()
+            .chain(&self.b2)
+            .chain(&self.t1)
+            .chain(&self.extra)
+            .copied()
+            .collect();
         v.sort_unstable();
         v
     }

@@ -72,20 +72,13 @@ impl FastReadSpec for LitePairSpec {
         (TsVal::bottom(), TsVal::bottom())
     }
 
-    fn run_write(
-        &self,
-        value: u64,
-        states: &mut [Self::ObjState],
-        reachable: &[bool],
-    ) -> bool {
+    fn run_write(&self, value: u64, states: &mut [Self::ObjState], reachable: &[bool]) -> bool {
         let quorum = self.s - self.t;
         let reach_count = reachable.iter().filter(|r| **r).count();
         if reach_count < quorum {
             return false; // the writer never hears enough acks
         }
-        let ts = Timestamp(
-            states.iter().map(|(_, w)| w.ts.0).max().unwrap_or(0) + 1,
-        );
+        let ts = Timestamp(states.iter().map(|(_, w)| w.ts.0).max().unwrap_or(0) + 1);
         let pair = TsVal::new(ts, value);
         // Phase 1: pre-write to every reachable object.
         for (i, st) in states.iter_mut().enumerate() {
@@ -111,7 +104,7 @@ impl FastReadSpec for LitePairSpec {
 
     fn decide(&self, replies: &BTreeMap<usize, Self::Reply>) -> Option<Option<u64>> {
         let mut counts: BTreeMap<&TsVal<u64>, usize> = BTreeMap::new();
-        for (_obj, (_pw, w)) in replies {
+        for (_pw, w) in replies.values() {
             *counts.entry(w).or_insert(0) += 1;
         }
         let best_with = |k: usize| {
@@ -123,9 +116,7 @@ impl FastReadSpec for LitePairSpec {
         };
         match self.rule {
             ReadRule::Masking => best_with(self.b + 1).map(|pair| pair.value),
-            ReadRule::TrustHighest => {
-                Some(best_with(1).map(|pair| pair.value).unwrap_or(None))
-            }
+            ReadRule::TrustHighest => Some(best_with(1).map(|pair| pair.value).unwrap_or(None)),
             ReadRule::Threshold(k) => Some(best_with(k).map(|p| p.value).unwrap_or(None)),
         }
     }
@@ -152,7 +143,10 @@ impl GossipPairSpec {
     /// A server-centric spec: `inner` semantics plus `gossip_rounds` of
     /// peer merging among reachable servers.
     pub fn new(inner: LitePairSpec, gossip_rounds: usize) -> Self {
-        GossipPairSpec { inner, gossip_rounds }
+        GossipPairSpec {
+            inner,
+            gossip_rounds,
+        }
     }
 }
 
@@ -173,12 +167,7 @@ impl FastReadSpec for GossipPairSpec {
         self.inner.initial_state()
     }
 
-    fn run_write(
-        &self,
-        value: u64,
-        states: &mut [Self::ObjState],
-        reachable: &[bool],
-    ) -> bool {
+    fn run_write(&self, value: u64, states: &mut [Self::ObjState], reachable: &[bool]) -> bool {
         if !self.inner.run_write(value, states, reachable) {
             return false;
         }
@@ -232,7 +221,10 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, (ts, v))| {
-                let pair = TsVal { ts: Timestamp(*ts), value: *v };
+                let pair = TsVal {
+                    ts: Timestamp(*ts),
+                    value: *v,
+                };
                 (i, (pair.clone(), pair))
             })
             .collect()
@@ -242,14 +234,26 @@ mod tests {
     fn masking_rule_needs_corroboration() {
         let spec = LitePairSpec::new(5, 1, 1, ReadRule::Masking);
         // One report of ts 9 (liar), two of ts 1, two of ⊥.
-        let view = replies(&[(9, Some(90)), (1, Some(10)), (1, Some(10)), (0, None), (0, None)]);
+        let view = replies(&[
+            (9, Some(90)),
+            (1, Some(10)),
+            (1, Some(10)),
+            (0, None),
+            (0, None),
+        ]);
         assert_eq!(spec.decide(&view), Some(Some(10)));
     }
 
     #[test]
     fn masking_rule_refuses_without_quorum_agreement() {
         let spec = LitePairSpec::new(5, 1, 1, ReadRule::Masking);
-        let view = replies(&[(9, Some(90)), (8, Some(80)), (7, Some(70)), (6, Some(60)), (5, Some(50))]);
+        let view = replies(&[
+            (9, Some(90)),
+            (8, Some(80)),
+            (7, Some(70)),
+            (6, Some(60)),
+            (5, Some(50)),
+        ]);
         assert_eq!(spec.decide(&view), None, "no pair corroborated: block");
     }
 

@@ -68,10 +68,18 @@ impl<M: Send + 'static> Cluster<M> {
         let (router_tx, router_handle) = spawn_router(policy, move |m: RoutedMsg<M>| {
             let nodes = nodes_for_router.lock();
             if let Some(node) = nodes.get(m.to.index()) {
-                let _ = node.tx.send(NodeCmd::Deliver { from: m.from, msg: m.msg });
+                let _ = node.tx.send(NodeCmd::Deliver {
+                    from: m.from,
+                    msg: m.msg,
+                });
             }
         });
-        Cluster { nodes, router_tx, router_handle: Some(router_handle), sealed: false }
+        Cluster {
+            nodes,
+            router_tx,
+            router_handle: Some(router_handle),
+            sealed: false,
+        }
     }
 
     /// Spawns a process thread running `automaton`; returns its id.
@@ -80,7 +88,10 @@ impl<M: Send + 'static> Cluster<M> {
     ///
     /// Panics if called after [`Cluster::seal`].
     pub fn spawn(&mut self, automaton: Box<dyn Automaton<M>>) -> ProcessId {
-        assert!(!self.sealed, "spawn all processes before sealing the cluster");
+        assert!(
+            !self.sealed,
+            "spawn all processes before sealing the cluster"
+        );
         let mut nodes = self.nodes.lock();
         let id = ProcessId(nodes.len());
         let (tx, rx): (Sender<NodeCmd<M>>, Receiver<NodeCmd<M>>) = unbounded();
@@ -89,7 +100,10 @@ impl<M: Send + 'static> Cluster<M> {
             .name(format!("vrr-node-{}", id.index()))
             .spawn(move || node_main(id, automaton, rx, router_tx))
             .expect("spawn node thread");
-        nodes.push(Node { tx, handle: Some(handle) });
+        nodes.push(Node {
+            tx,
+            handle: Some(handle),
+        });
         id
     }
 
@@ -170,7 +184,9 @@ impl<M: Send + 'static> Cluster<M> {
     /// Injects a message from `from` to `to` through the router (external
     /// stimulus, like the simulator's `send_external`).
     pub fn send_external(&self, from: ProcessId, to: ProcessId, msg: M) {
-        let _ = self.router_tx.send(RouterCmd::Send(RoutedMsg { from, to, msg }));
+        let _ = self
+            .router_tx
+            .send(RouterCmd::Send(RoutedMsg { from, to, msg }));
     }
 }
 
@@ -198,7 +214,9 @@ impl<M: Send + 'static> Drop for Cluster<M> {
 
 impl<M: Send + 'static> std::fmt::Debug for Cluster<M> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Cluster").field("nodes", &self.len()).finish()
+        f.debug_struct("Cluster")
+            .field("nodes", &self.len())
+            .finish()
     }
 }
 
@@ -306,7 +324,9 @@ mod tests {
         for i in 1..=3u64 {
             cluster.send_external(counter, doubler, i);
         }
-        let total = done.recv_timeout(Duration::from_secs(5)).expect("watch fires");
+        let total = done
+            .recv_timeout(Duration::from_secs(5))
+            .expect("watch fires");
         assert_eq!(total, 12, "2 + 4 + 6");
     }
 
@@ -324,7 +344,10 @@ mod tests {
     fn invoke_runs_in_thread_and_sends() {
         let mut cluster: Cluster<u64> = Cluster::new(Box::new(NoDelay));
         let counter = cluster.spawn(Box::new(Counter { total: 0, seen: 0 }));
-        let pinger = cluster.spawn(Box::new(Pinger { target: counter, sent: 0 }));
+        let pinger = cluster.spawn(Box::new(Pinger {
+            target: counter,
+            sent: 0,
+        }));
         cluster.seal();
 
         let done = cluster.watch(counter, |c: &Counter| (c.seen >= 1).then_some(c.total));

@@ -143,8 +143,12 @@ mod tests {
             got2.fetch_add(m.msg as usize, Ordering::SeqCst);
         });
         for i in 0..10u32 {
-            tx.send(RouterCmd::Send(RoutedMsg { from: ProcessId(0), to: ProcessId(1), msg: i }))
-                .unwrap();
+            tx.send(RouterCmd::Send(RoutedMsg {
+                from: ProcessId(0),
+                to: ProcessId(1),
+                msg: i,
+            }))
+            .unwrap();
         }
         std::thread::sleep(Duration::from_millis(50));
         tx.send(RouterCmd::Shutdown).unwrap();
@@ -160,8 +164,12 @@ mod tests {
             spawn_router::<u32>(Box::new(FixedDelay(Duration::from_millis(30))), move |_m| {
                 got2.fetch_add(1, Ordering::SeqCst);
             });
-        tx.send(RouterCmd::Send(RoutedMsg { from: ProcessId(0), to: ProcessId(1), msg: 1 }))
-            .unwrap();
+        tx.send(RouterCmd::Send(RoutedMsg {
+            from: ProcessId(0),
+            to: ProcessId(1),
+            msg: 1,
+        }))
+        .unwrap();
         std::thread::sleep(Duration::from_millis(5));
         assert_eq!(got.load(Ordering::SeqCst), 0, "not yet due");
         std::thread::sleep(Duration::from_millis(60));
@@ -183,8 +191,12 @@ mod tests {
         let (tx, handle) = spawn_router::<u32>(Box::new(DropAll), move |_| {
             got2.fetch_add(1, Ordering::SeqCst);
         });
-        tx.send(RouterCmd::Send(RoutedMsg { from: ProcessId(0), to: ProcessId(1), msg: 1 }))
-            .unwrap();
+        tx.send(RouterCmd::Send(RoutedMsg {
+            from: ProcessId(0),
+            to: ProcessId(1),
+            msg: 1,
+        }))
+        .unwrap();
         std::thread::sleep(Duration::from_millis(30));
         tx.send(RouterCmd::Shutdown).unwrap();
         handle.join().unwrap();

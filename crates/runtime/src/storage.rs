@@ -93,9 +93,7 @@ impl<V: Value> StorageCluster<V> {
         let readers: Vec<ProcessId> = (0..cfg.readers)
             .map(|j| {
                 let automaton: Box<dyn Automaton<Msg<V>>> = match kind {
-                    ProtocolKind::Safe => {
-                        Box::new(SafeReader::<V>::new(cfg, j, objects.clone()))
-                    }
+                    ProtocolKind::Safe => Box::new(SafeReader::<V>::new(cfg, j, objects.clone())),
                     ProtocolKind::Regular => {
                         Box::new(RegularReader::<V>::new(cfg, j, objects.clone()))
                     }
@@ -107,7 +105,14 @@ impl<V: Value> StorageCluster<V> {
             })
             .collect();
         cluster.seal();
-        StorageCluster { cluster, kind, cfg, objects, writer, readers }
+        StorageCluster {
+            cluster,
+            kind,
+            cfg,
+            objects,
+            writer,
+            readers,
+        }
     }
 
     /// The deployment sizing.
@@ -132,13 +137,19 @@ impl<V: Value> StorageCluster<V> {
     /// Panics if the write does not complete within the operation timeout —
     /// with at most `t` injected faults that is a wait-freedom violation.
     pub fn write(&self, value: V) -> WriteReport {
-        let id = self.cluster.invoke(self.writer, move |w: &mut Writer<V>, ctx| {
-            w.invoke_write(value, ctx)
-        });
+        let id = self
+            .cluster
+            .invoke(self.writer, move |w: &mut Writer<V>, ctx| {
+                w.invoke_write(value, ctx)
+            });
         let rx = self.cluster.watch(self.writer, move |w: &Writer<V>| {
-            w.outcome(id).map(|o| WriteReport { ts: o.ts, rounds: o.rounds })
+            w.outcome(id).map(|o| WriteReport {
+                ts: o.ts,
+                rounds: o.rounds,
+            })
         });
-        rx.recv_timeout(OP_TIMEOUT).expect("WRITE must complete (wait-freedom)")
+        rx.recv_timeout(OP_TIMEOUT)
+            .expect("WRITE must complete (wait-freedom)")
     }
 
     /// Blocking `READ()` at reader `j`.
@@ -161,7 +172,8 @@ impl<V: Value> StorageCluster<V> {
                         rounds: o.rounds,
                     })
                 });
-                rx.recv_timeout(OP_TIMEOUT).expect("READ must complete (wait-freedom)")
+                rx.recv_timeout(OP_TIMEOUT)
+                    .expect("READ must complete (wait-freedom)")
             }
             ProtocolKind::Regular | ProtocolKind::RegularOptimized => {
                 let id = self
@@ -174,7 +186,8 @@ impl<V: Value> StorageCluster<V> {
                         rounds: o.rounds,
                     })
                 });
-                rx.recv_timeout(OP_TIMEOUT).expect("READ must complete (wait-freedom)")
+                rx.recv_timeout(OP_TIMEOUT)
+                    .expect("READ must complete (wait-freedom)")
             }
         }
     }

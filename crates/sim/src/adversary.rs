@@ -31,10 +31,13 @@ pub enum Action {
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct RuleId(u64);
 
+/// A rule's decision procedure: `Some(action)` claims the message.
+type DecideFn<M> = Box<dyn FnMut(&Envelope<M>) -> Option<Action> + Send>;
+
 struct Rule<M> {
     id: RuleId,
     name: String,
-    decide: Box<dyn FnMut(&Envelope<M>) -> Option<Action> + Send>,
+    decide: DecideFn<M>,
 }
 
 impl<M> fmt::Debug for Rule<M> {
@@ -71,14 +74,19 @@ impl<M> Default for Adversary<M> {
 
 impl<M> fmt::Debug for Adversary<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Adversary").field("rules", &self.rules).finish()
+        f.debug_struct("Adversary")
+            .field("rules", &self.rules)
+            .finish()
     }
 }
 
 impl<M> Adversary<M> {
     /// An adversary with no rules: fully fair scheduling.
     pub fn new() -> Self {
-        Adversary { rules: Vec::new(), next_id: 0 }
+        Adversary {
+            rules: Vec::new(),
+            next_id: 0,
+        }
     }
 
     /// Installs `decide` under `name`; returns a handle for removal.
@@ -88,7 +96,11 @@ impl<M> Adversary<M> {
     {
         let id = RuleId(self.next_id);
         self.next_id += 1;
-        self.rules.push(Rule { id, name: name.into(), decide: Box::new(decide) });
+        self.rules.push(Rule {
+            id,
+            name: name.into(),
+            decide: Box::new(decide),
+        });
         id
     }
 
@@ -135,7 +147,9 @@ impl<M> Adversary<M> {
 
     /// Holds every message addressed to `to`.
     pub fn hold_to(&mut self, to: ProcessId) -> RuleId {
-        self.install(format!("hold →{to:?}"), move |e| (e.to == to).then_some(Action::Hold))
+        self.install(format!("hold →{to:?}"), move |e| {
+            (e.to == to).then_some(Action::Hold)
+        })
     }
 
     /// Holds every message sent by `from`.

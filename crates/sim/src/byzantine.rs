@@ -57,7 +57,10 @@ where
     M: SimMessage,
     F: FnMut(ProcessId, M, &mut Context<'_, M>) + Send + 'static,
 {
-    Box::new(FnAutomaton { f, _marker: PhantomData })
+    Box::new(FnAutomaton {
+        f,
+        _marker: PhantomData,
+    })
 }
 
 /// A process that receives everything and says nothing.
@@ -76,6 +79,9 @@ impl<M: SimMessage> Automaton<M> for Mute {
     }
 }
 
+/// Rewrites one outgoing `(to, msg)` into the messages actually sent.
+type TamperFn<M> = Box<dyn FnMut(ProcessId, M) -> Vec<(ProcessId, M)> + Send>;
+
 /// Wraps an honest automaton and rewrites its *outgoing* messages.
 ///
 /// The tamper function receives each `(to, msg)` the inner automaton wanted
@@ -85,12 +91,14 @@ impl<M: SimMessage> Automaton<M> for Mute {
 /// that tracks the protocol but lies on the wire.
 pub struct Tamper<M, A> {
     inner: A,
-    tamper: Box<dyn FnMut(ProcessId, M) -> Vec<(ProcessId, M)> + Send>,
+    tamper: TamperFn<M>,
 }
 
 impl<M, A: std::fmt::Debug> std::fmt::Debug for Tamper<M, A> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Tamper").field("inner", &self.inner).finish_non_exhaustive()
+        f.debug_struct("Tamper")
+            .field("inner", &self.inner)
+            .finish_non_exhaustive()
     }
 }
 
@@ -100,7 +108,10 @@ impl<M: SimMessage, A: Automaton<M>> Tamper<M, A> {
         inner: A,
         tamper: impl FnMut(ProcessId, M) -> Vec<(ProcessId, M)> + Send + 'static,
     ) -> Self {
-        Tamper { inner, tamper: Box::new(tamper) }
+        Tamper {
+            inner,
+            tamper: Box::new(tamper),
+        }
     }
 
     /// The wrapped automaton.
@@ -108,11 +119,7 @@ impl<M: SimMessage, A: Automaton<M>> Tamper<M, A> {
         &self.inner
     }
 
-    fn run_inner(
-        &mut self,
-        ctx: &mut Context<'_, M>,
-        f: impl FnOnce(&mut A, &mut Context<'_, M>),
-    ) {
+    fn run_inner(&mut self, ctx: &mut Context<'_, M>, f: impl FnOnce(&mut A, &mut Context<'_, M>)) {
         let mut staged = Vec::new();
         {
             let mut inner_ctx = Context::new(ctx.me(), &mut staged);
@@ -205,7 +212,7 @@ mod tests {
         let liar = w.spawn_named(
             "liar",
             Box::new(Tamper::new(Inc, |to, msg: N| {
-                if msg.0 % 2 == 0 {
+                if msg.0.is_multiple_of(2) {
                     vec![] // suppress even replies
                 } else {
                     vec![(to, msg.clone()), (to, msg)] // duplicate odd ones

@@ -5,8 +5,8 @@
 //! for interleaving bugs and (b) give wall-clock-shaped numbers in simulated
 //! benchmarks.
 
-use rand::Rng;
 use rand::rngs::SmallRng;
+use rand::Rng;
 
 use crate::envelope::Envelope;
 
@@ -88,10 +88,17 @@ impl LongTail {
     /// Panics if `tail_prob` is outside `[0, 1]`, `base == 0`, or
     /// `tail_factor == 0`.
     pub fn new(base: u64, tail_prob: f64, tail_factor: u64) -> Self {
-        assert!((0.0..=1.0).contains(&tail_prob), "tail_prob must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&tail_prob),
+            "tail_prob must be in [0,1]"
+        );
         assert!(base > 0, "base delay must be positive");
         assert!(tail_factor > 0, "tail_factor must be positive");
-        LongTail { base, tail_prob, tail_factor }
+        LongTail {
+            base,
+            tail_prob,
+            tail_factor,
+        }
     }
 }
 
@@ -120,7 +127,10 @@ pub struct PerProcess {
 
 impl<M> LatencyModel<M> for PerProcess {
     fn delay(&mut self, env: &Envelope<M>, _rng: &mut SmallRng) -> u64 {
-        self.delays.get(env.to.index()).copied().unwrap_or(self.default)
+        self.delays
+            .get(env.to.index())
+            .copied()
+            .unwrap_or(self.default)
     }
 }
 
@@ -184,12 +194,18 @@ mod tests {
                 base_count += 1;
             }
         }
-        assert!(base_count > 800, "expected mostly base delays, got {base_count}");
+        assert!(
+            base_count > 800,
+            "expected mostly base delays, got {base_count}"
+        );
     }
 
     #[test]
     fn per_process_uses_destination() {
-        let mut m = PerProcess { delays: vec![1, 2, 3], default: 7 };
+        let mut m = PerProcess {
+            delays: vec![1, 2, 3],
+            default: 7,
+        };
         let mut r = rng();
         assert_eq!(LatencyModel::<u8>::delay(&mut m, &env(2), &mut r), 3);
         assert_eq!(LatencyModel::<u8>::delay(&mut m, &env(9), &mut r), 7);

@@ -49,7 +49,10 @@ pub struct Trace<M> {
 
 impl<M> Default for Trace<M> {
     fn default() -> Self {
-        Trace { events: Vec::new(), enabled: false }
+        Trace {
+            events: Vec::new(),
+            enabled: false,
+        }
     }
 }
 
@@ -134,8 +137,14 @@ mod tests {
     fn enabled_trace_records_in_order() {
         let mut t: Trace<u8> = Trace::default();
         t.enable();
-        t.push(SimTime::from_ticks(1), TraceEventKind::Crashed(ProcessId(1)));
-        t.push(SimTime::from_ticks(2), TraceEventKind::TurnedByzantine(ProcessId(2)));
+        t.push(
+            SimTime::from_ticks(1),
+            TraceEventKind::Crashed(ProcessId(1)),
+        );
+        t.push(
+            SimTime::from_ticks(2),
+            TraceEventKind::TurnedByzantine(ProcessId(2)),
+        );
         assert_eq!(t.events().len(), 2);
         assert_eq!(t.events()[0].at, SimTime::from_ticks(1));
         t.clear();
@@ -145,7 +154,10 @@ mod tests {
 
     #[test]
     fn stats_display_is_complete() {
-        let s = NetStats { sent: 1, ..NetStats::default() };
+        let s = NetStats {
+            sent: 1,
+            ..NetStats::default()
+        };
         let rendered = s.to_string();
         assert!(rendered.contains("sent=1"));
         assert!(rendered.contains("bytes_delivered=0"));

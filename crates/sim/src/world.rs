@@ -5,8 +5,8 @@ use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use rand::SeedableRng;
 use rand::rngs::SmallRng;
+use rand::SeedableRng;
 
 use crate::adversary::{Action, Adversary};
 use crate::envelope::{Envelope, MsgId};
@@ -263,7 +263,8 @@ impl<M: SimMessage> World<M> {
         let proc = &mut self.procs[pid.index()];
         proc.automaton = automaton;
         proc.status = ProcessStatus::Byzantine;
-        self.trace.push(self.now, TraceEventKind::TurnedByzantine(pid));
+        self.trace
+            .push(self.now, TraceEventKind::TurnedByzantine(pid));
     }
 
     /// Runs `f` against the concrete automaton of `pid`, with a [`Context`]
@@ -289,7 +290,11 @@ impl<M: SimMessage> World<M> {
             let proc = &mut self.procs[pid.index()];
             let automaton: &mut dyn Any = &mut *proc.automaton;
             let automaton = automaton.downcast_mut::<A>().unwrap_or_else(|| {
-                panic!("process {pid:?} ({}) is not a {}", pid.0, std::any::type_name::<A>())
+                panic!(
+                    "process {pid:?} ({}) is not a {}",
+                    pid.0,
+                    std::any::type_name::<A>()
+                )
             });
             let mut ctx = Context::new(pid, &mut outbox);
             f(automaton, &mut ctx)
@@ -307,7 +312,11 @@ impl<M: SimMessage> World<M> {
         let proc = &self.procs[pid.index()];
         let automaton: &dyn Any = &*proc.automaton;
         let automaton = automaton.downcast_ref::<A>().unwrap_or_else(|| {
-            panic!("process {pid:?} ({}) is not a {}", pid.0, std::any::type_name::<A>())
+            panic!(
+                "process {pid:?} ({}) is not a {}",
+                pid.0,
+                std::any::type_name::<A>()
+            )
         });
         f(automaton)
     }
@@ -337,7 +346,8 @@ impl<M: SimMessage> World<M> {
                 self.stats.released += 1;
                 let delay = self.latency.delay(&env, &mut self.rng);
                 let at = self.now + delay;
-                self.trace.push(self.now, TraceEventKind::Released(env.clone()));
+                self.trace
+                    .push(self.now, TraceEventKind::Released(env.clone()));
                 self.push_event(at, QueuedKind::Deliver(env));
             } else {
                 kept.push(env);
@@ -403,11 +413,14 @@ impl<M: SimMessage> World<M> {
                 } else {
                     self.stats.delivered += 1;
                     self.stats.bytes_delivered += env.msg.wire_size() as u64;
-                    self.trace.push(self.now, TraceEventKind::Delivered(env.clone()));
+                    self.trace
+                        .push(self.now, TraceEventKind::Delivered(env.clone()));
                     let mut outbox = Vec::new();
                     {
                         let mut ctx = Context::new(to, &mut outbox);
-                        self.procs[to.index()].automaton.on_message(env.from, env.msg, &mut ctx);
+                        self.procs[to.index()]
+                            .automaton
+                            .on_message(env.from, env.msg, &mut ctx);
                     }
                     self.flush_outbox(to, outbox);
                 }
@@ -439,12 +452,20 @@ impl<M: SimMessage> World<M> {
         let mut steps = 0;
         while steps < limit {
             if !self.step() {
-                return Quiescence { steps, drained: true, held: self.held.len() };
+                return Quiescence {
+                    steps,
+                    drained: true,
+                    held: self.held.len(),
+                };
             }
             steps += 1;
         }
         let drained = self.queue.is_empty();
-        Quiescence { steps, drained, held: self.held.len() }
+        Quiescence {
+            steps,
+            drained,
+            held: self.held.len(),
+        }
     }
 
     /// Drives the run until `pred` holds (checked after every event), the
@@ -472,7 +493,10 @@ impl<M: SimMessage> World<M> {
 
     fn flush_outbox(&mut self, from: ProcessId, outbox: Vec<(ProcessId, M)>) {
         for (to, msg) in outbox {
-            assert!(to.index() < self.procs.len(), "send to unknown process {to:?}");
+            assert!(
+                to.index() < self.procs.len(),
+                "send to unknown process {to:?}"
+            );
             let env = Envelope {
                 id: MsgId(self.next_msg_id),
                 from,
@@ -665,10 +689,7 @@ mod tests {
         for i in 0..5 {
             w.send_external(sink, pong, Msg::Ping(i));
         }
-        let hit = w.run_until(
-            |w| w.inspect(sink, |s: &PongSink| s.got.len() >= 2),
-            1_000,
-        );
+        let hit = w.run_until(|w| w.inspect(sink, |s: &PongSink| s.got.len() >= 2), 1_000);
         assert!(hit);
         w.inspect(sink, |s: &PongSink| assert_eq!(s.got.len(), 2));
     }

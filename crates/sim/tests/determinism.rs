@@ -5,8 +5,7 @@
 use proptest::prelude::*;
 
 use vrr_sim::{
-    from_fn, Context, Envelope, LongTail, ProcessId, SimMessage, SimTime, Uniform,
-    World,
+    from_fn, Context, Envelope, LongTail, ProcessId, SimMessage, SimTime, Uniform, World,
 };
 
 #[derive(Clone, Debug, PartialEq)]
@@ -30,8 +29,7 @@ enum Stimulus {
 
 fn stimulus_strategy(n: usize) -> impl Strategy<Value = Stimulus> {
     prop_oneof![
-        (0..n, 0..n, any::<u64>())
-            .prop_map(|(from, to, value)| Stimulus::Send { from, to, value }),
+        (0..n, 0..n, any::<u64>()).prop_map(|(from, to, value)| Stimulus::Send { from, to, value }),
         any::<u16>().prop_map(Stimulus::RunFor),
         (0..n).prop_map(Stimulus::Crash),
         Just(Stimulus::ReleaseAll),
@@ -80,7 +78,12 @@ fn fingerprint(seed: u64, n: usize, long_tail: bool, stimuli: &[Stimulus]) -> St
         }
     }
     world.run_to_quiescence(1_000_000);
-    format!("{:?} now={:?} held={}", world.stats(), world.now(), world.held().len())
+    format!(
+        "{:?} now={:?} held={}",
+        world.stats(),
+        world.now(),
+        world.held().len()
+    )
 }
 
 proptest! {
@@ -123,7 +126,7 @@ proptest! {
         let b = world.spawn_named("b", from_fn(|_, _: Num, _| {}));
         world.start();
         world.adversary_mut().install("hold odd", |e: &Envelope<Num>| {
-            (e.msg.0 % 3 == 0).then_some(vrr_sim::Action::Hold)
+            e.msg.0.is_multiple_of(3).then_some(vrr_sim::Action::Hold)
         });
         for i in 0..sends {
             world.send_external(a, b, Num(i as u64));

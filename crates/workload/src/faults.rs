@@ -19,7 +19,10 @@ pub struct FaultPlan {
 impl FaultPlan {
     /// The empty plan: all objects correct.
     pub fn none() -> Self {
-        FaultPlan { crashes: Vec::new(), byzantine: Vec::new() }
+        FaultPlan {
+            crashes: Vec::new(),
+            byzantine: Vec::new(),
+        }
     }
 
     /// Total faulty objects.
@@ -107,8 +110,9 @@ mod tests {
         let a = FaultPlan::random(&cfg(), 1_000, 7);
         let b = FaultPlan::random(&cfg(), 1_000, 7);
         assert_eq!(format!("{a:?}"), format!("{b:?}"));
-        let distinct: std::collections::BTreeSet<String> =
-            (0..50).map(|s| format!("{:?}", FaultPlan::random(&cfg(), 1_000, s))).collect();
+        let distinct: std::collections::BTreeSet<String> = (0..50)
+            .map(|s| format!("{:?}", FaultPlan::random(&cfg(), 1_000, s)))
+            .collect();
         assert!(distinct.len() > 10, "plans should vary across seeds");
     }
 
@@ -116,7 +120,11 @@ mod tests {
     fn oversized_plan_does_not_fit() {
         let plan = FaultPlan {
             crashes: vec![(0, SimTime::ZERO), (1, SimTime::ZERO)],
-            byzantine: vec![(2, AttackerKind::Mute), (3, AttackerKind::Mute), (4, AttackerKind::Mute)],
+            byzantine: vec![
+                (2, AttackerKind::Mute),
+                (3, AttackerKind::Mute),
+                (4, AttackerKind::Mute),
+            ],
         };
         assert!(!plan.fits(&cfg()), "3 byz > b = 2");
     }

@@ -31,7 +31,9 @@ impl<M: SimMessage> Default for InvariantMonitor<M> {
 impl<M: SimMessage> std::fmt::Debug for InvariantMonitor<M> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let names: Vec<&str> = self.checks.iter().map(|(n, _)| n.as_str()).collect();
-        f.debug_struct("InvariantMonitor").field("checks", &names).finish()
+        f.debug_struct("InvariantMonitor")
+            .field("checks", &names)
+            .finish()
     }
 }
 
@@ -89,7 +91,11 @@ pub struct MonitorViolation {
 
 impl std::fmt::Display for MonitorViolation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "invariant '{}' broken at {:?}: {}", self.invariant, self.at, self.detail)
+        write!(
+            f,
+            "invariant '{}' broken at {:?}: {}",
+            self.invariant, self.at, self.detail
+        )
     }
 }
 
@@ -173,9 +179,7 @@ mod tests {
         run_monitored(&mut world, &mut monitor, 100_000).expect("no violation");
         let r = RegisterProtocol::<u64>::invoke_read(&SafeProtocol, &dep, &mut world, 0);
         run_monitored(&mut world, &mut monitor, 100_000).expect("no violation");
-        assert!(
-            RegisterProtocol::<u64>::write_outcome(&SafeProtocol, &dep, &world, w).is_some()
-        );
+        assert!(RegisterProtocol::<u64>::write_outcome(&SafeProtocol, &dep, &world, w).is_some());
         assert_eq!(
             RegisterProtocol::<u64>::read_outcome(&SafeProtocol, &dep, &world, 0, r)
                 .unwrap()

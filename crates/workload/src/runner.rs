@@ -69,7 +69,11 @@ impl RunOutcome {
 pub type Corruptor<M> = dyn Fn(usize, AttackerKind, StorageConfig) -> Box<dyn Automaton<M>>;
 
 /// The standard corruptor for the paper's safe protocol.
-pub fn safe_corruptor(idx: usize, kind: AttackerKind, cfg: StorageConfig) -> Box<dyn Automaton<Msg<u64>>> {
+pub fn safe_corruptor(
+    idx: usize,
+    kind: AttackerKind,
+    cfg: StorageConfig,
+) -> Box<dyn Automaton<Msg<u64>>> {
     let _ = idx;
     kind.build_safe(cfg, 0xDEAD_u64)
 }
@@ -122,8 +126,15 @@ pub fn run_schedule<P: RegisterProtocol<u64>>(
     seed: u64,
     corrupt: &Corruptor<P::Msg>,
 ) -> RunOutcome {
-    assert!(faults.fits(&cfg), "fault plan exceeds the (t, b) budget: {faults:?}");
-    assert_eq!(schedule.readers.len(), cfg.readers, "schedule/readers mismatch");
+    assert!(
+        faults.fits(&cfg),
+        "fault plan exceeds the (t, b) budget: {faults:?}"
+    );
+    assert_eq!(
+        schedule.readers.len(),
+        cfg.readers,
+        "schedule/readers mismatch"
+    );
 
     let mut world: World<P::Msg> = World::new(seed);
     latency.install(&mut world);
@@ -144,40 +155,49 @@ pub fn run_schedule<P: RegisterProtocol<u64>>(
 
     // Client index 0 = writer, 1.. = readers.
     let mut clients: Vec<ClientState> = (0..=cfg.readers)
-        .map(|_| ClientState { next: 0, active: None })
+        .map(|_| ClientState {
+            next: 0,
+            active: None,
+        })
         .collect();
     let mut write_seq = 0u64;
     let mut steps_used = 0u64;
 
     loop {
         // Poll completions first (a step may have completed several ops).
-        for c in 0..clients.len() {
-            let Some(active) = clients[c].active.take() else { continue };
+        for client in clients.iter_mut() {
+            let Some(active) = client.active.take() else {
+                continue;
+            };
             let done = if active.is_write {
-                protocol.write_outcome(&dep, &world, active.token).map(|rep| {
-                    write_rounds.push(rep.rounds);
-                    history.push_write(
-                        active.seq_or_reader,
-                        Schedule::value_of_write(active.seq_or_reader),
-                        active.invoked_at,
-                        Some(world.now().ticks()),
-                    );
-                })
+                protocol
+                    .write_outcome(&dep, &world, active.token)
+                    .map(|rep| {
+                        write_rounds.push(rep.rounds);
+                        history.push_write(
+                            active.seq_or_reader,
+                            Schedule::value_of_write(active.seq_or_reader),
+                            active.invoked_at,
+                            Some(world.now().ticks()),
+                        );
+                    })
             } else {
                 let reader = active.seq_or_reader as usize;
-                protocol.read_outcome(&dep, &world, reader, active.token).map(|rep| {
-                    read_rounds.push(rep.rounds);
-                    history.push_read(
-                        reader,
-                        rep.ts.0,
-                        rep.value,
-                        active.invoked_at,
-                        Some(world.now().ticks()),
-                    );
-                })
+                protocol
+                    .read_outcome(&dep, &world, reader, active.token)
+                    .map(|rep| {
+                        read_rounds.push(rep.rounds);
+                        history.push_read(
+                            reader,
+                            rep.ts.0,
+                            rep.value,
+                            active.invoked_at,
+                            Some(world.now().ticks()),
+                        );
+                    })
             };
             if done.is_none() {
-                clients[c].active = Some(active);
+                client.active = Some(active);
             }
         }
 
@@ -187,8 +207,14 @@ pub fn run_schedule<P: RegisterProtocol<u64>>(
             if client.active.is_some() {
                 continue;
             }
-            let plan = if c == 0 { &schedule.writer } else { &schedule.readers[c - 1] };
-            let Some(&(due, op)) = plan.ops.get(client.next) else { continue };
+            let plan = if c == 0 {
+                &schedule.writer
+            } else {
+                &schedule.readers[c - 1]
+            };
+            let Some(&(due, op)) = plan.ops.get(client.next) else {
+                continue;
+            };
             if due > now {
                 continue;
             }
@@ -224,7 +250,11 @@ pub fn run_schedule<P: RegisterProtocol<u64>>(
             .enumerate()
             .filter(|(_, c)| c.active.is_none())
             .filter_map(|(c, client)| {
-                let plan = if c == 0 { &schedule.writer } else { &schedule.readers[c - 1] };
+                let plan = if c == 0 {
+                    &schedule.writer
+                } else {
+                    &schedule.readers[c - 1]
+                };
                 plan.ops.get(client.next).map(|&(due, _)| due)
             })
             .min();
@@ -238,7 +268,10 @@ pub fn run_schedule<P: RegisterProtocol<u64>>(
                 break;
             }
             steps_used += 1;
-            assert!(steps_used < RUN_STEP_LIMIT, "runaway run: step limit exceeded");
+            assert!(
+                steps_used < RUN_STEP_LIMIT,
+                "runaway run: step limit exceeded"
+            );
         } else if let Some(due) = next_due {
             world.run_until_time(due);
         } else {
@@ -264,7 +297,13 @@ pub fn run_schedule<P: RegisterProtocol<u64>>(
         }
     }
 
-    RunOutcome { history, write_rounds, read_rounds, stalled_ops, net: world.stats() }
+    RunOutcome {
+        history,
+        write_rounds,
+        read_rounds,
+        stalled_ops,
+        net: world.stats(),
+    }
 }
 
 #[cfg(test)]
@@ -299,8 +338,7 @@ mod tests {
     fn contended_run_with_max_faults_is_regular() {
         let cfg = StorageConfig::optimal(2, 1, 2);
         let schedule = generate(ScheduleParams::contended(8, 8, 2, 11));
-        let faults =
-            FaultPlan::maximal(&cfg, AttackerKind::Inflator, SimTime::from_ticks(40));
+        let faults = FaultPlan::maximal(&cfg, AttackerKind::Inflator, SimTime::from_ticks(40));
         let out = run_schedule(
             &RegularProtocol::full(),
             cfg,

@@ -79,12 +79,24 @@ pub struct ScheduleParams {
 impl ScheduleParams {
     /// A light sequential workload: operations rarely overlap.
     pub fn sequential(writes: u64, reads_per_reader: u64, readers: usize, seed: u64) -> Self {
-        ScheduleParams { writes, reads_per_reader, readers, mean_gap: 200, seed }
+        ScheduleParams {
+            writes,
+            reads_per_reader,
+            readers,
+            mean_gap: 200,
+            seed,
+        }
     }
 
     /// A contended workload: reads race writes constantly.
     pub fn contended(writes: u64, reads_per_reader: u64, readers: usize, seed: u64) -> Self {
-        ScheduleParams { writes, reads_per_reader, readers, mean_gap: 5, seed }
+        ScheduleParams {
+            writes,
+            reads_per_reader,
+            readers,
+            mean_gap: 5,
+            seed,
+        }
     }
 }
 
@@ -101,8 +113,13 @@ pub fn generate(params: ScheduleParams) -> Schedule {
     let mut writer = ClientPlan::default();
     let mut at = SimTime::ZERO;
     for seq in 1..=params.writes {
-        at = at + rng.gen_range(1..=2 * gap);
-        writer.ops.push((at, PlannedOp::Write { value: Schedule::value_of_write(seq) }));
+        at += rng.gen_range(1..=2 * gap);
+        writer.ops.push((
+            at,
+            PlannedOp::Write {
+                value: Schedule::value_of_write(seq),
+            },
+        ));
     }
 
     let readers = (0..params.readers)
@@ -110,7 +127,7 @@ pub fn generate(params: ScheduleParams) -> Schedule {
             let mut plan = ClientPlan::default();
             let mut at = SimTime::ZERO;
             for _ in 0..params.reads_per_reader {
-                at = at + rng.gen_range(1..=2 * gap);
+                at += rng.gen_range(1..=2 * gap);
                 plan.ops.push((at, PlannedOp::Read { reader }));
             }
             plan
@@ -143,9 +160,7 @@ mod tests {
     #[test]
     fn client_times_are_monotone() {
         let s = generate(ScheduleParams::sequential(10, 10, 3, 7));
-        let monotone = |plan: &ClientPlan| {
-            plan.ops.windows(2).all(|w| w[0].0 < w[1].0)
-        };
+        let monotone = |plan: &ClientPlan| plan.ops.windows(2).all(|w| w[0].0 < w[1].0);
         assert!(monotone(&s.writer));
         assert!(s.readers.iter().all(monotone));
     }

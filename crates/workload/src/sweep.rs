@@ -33,9 +33,19 @@ pub fn grid(ts: &[usize], bs: &[usize], seeds: std::ops::Range<u64>) -> Vec<Swee
                 continue;
             }
             for seed in seeds.clone() {
-                out.push(SweepPoint { t, b, attacker: None, seed });
+                out.push(SweepPoint {
+                    t,
+                    b,
+                    attacker: None,
+                    seed,
+                });
                 for kind in AttackerKind::ALL {
-                    out.push(SweepPoint { t, b, attacker: Some(kind), seed });
+                    out.push(SweepPoint {
+                        t,
+                        b,
+                        attacker: Some(kind),
+                        seed,
+                    });
                 }
             }
         }
@@ -57,7 +67,12 @@ mod tests {
 
     #[test]
     fn config_is_optimal() {
-        let p = SweepPoint { t: 2, b: 1, attacker: None, seed: 0 };
+        let p = SweepPoint {
+            t: 2,
+            b: 1,
+            attacker: None,
+            seed: 0,
+        };
         assert!(p.config(1).is_optimal());
         assert_eq!(p.config(1).s, 6);
     }

@@ -11,8 +11,8 @@
 use vrr::baselines::{AbdProtocol, LiteMsg, LiteObject};
 use vrr::core::attackers::AttackerKind;
 use vrr::core::{
-    corrupt_object, run_read, run_write, RegisterProtocol, SafeProtocol, StorageConfig,
-    Timestamp, TsVal,
+    corrupt_object, run_read, run_write, RegisterProtocol, SafeProtocol, StorageConfig, Timestamp,
+    TsVal,
 };
 use vrr::sim::{Tamper, World};
 
@@ -36,7 +36,11 @@ fn main() {
             "  {kind:<12?} x{}: READ -> {:?} in {} rounds   (filtered out the lies)",
             cfg.b, r.value, r.rounds
         );
-        assert_eq!(r.value, Some(1_000_000), "{kind:?} must not corrupt the read");
+        assert_eq!(
+            r.value,
+            Some(1_000_000),
+            "{kind:?} must not corrupt the read"
+        );
         assert_eq!(r.rounds, 2, "{kind:?} must not slow the read");
     }
 
@@ -67,7 +71,11 @@ fn main() {
         "  one liar out of {}: READ -> {:?}  <- phantom value believed!",
         abd_cfg.s, r.value
     );
-    assert_eq!(r.value, Some(0xDEAD), "ABD has no Byzantine defence, by design");
+    assert_eq!(
+        r.value,
+        Some(0xDEAD),
+        "ABD has no Byzantine defence, by design"
+    );
 
     println!(
         "\nconclusion: b+1-corroboration plus the two-round active read keep the \

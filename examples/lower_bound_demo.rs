@@ -36,7 +36,11 @@ fn main() {
         println!("      s{obj}: pw = {pw:?}, w = {w:?}");
     }
     match &report.verdict {
-        Verdict::Violation { returned, run4_violated, run5_violated } => {
+        Verdict::Violation {
+            returned,
+            run4_violated,
+            run5_violated,
+        } => {
             let shown = match returned {
                 Some(v) => format!("{v}"),
                 None => "⊥".into(),
@@ -59,12 +63,15 @@ fn main() {
     let control = execute_control(&spec, b, 42u64);
     println!("\nNow with S = 2t+2b+1 = {s1}: the extra correct object joins both views,");
     println!("and the views stop being identical:");
-    println!("      run4 view size {} vs run5 view size {} — and they differ in content.",
-        control.view_run4.len(), control.view_run5.len());
+    println!(
+        "      run4 view size {} vs run5 view size {} — and they differ in content.",
+        control.view_run4.len(),
+        control.view_run5.len()
+    );
     println!(
         "      the same rule answers run4 -> {:?}, run5 -> {:?}: both correct.",
-        control.returned_run4.clone().unwrap(),
-        control.returned_run5.clone().unwrap()
+        control.returned_run4.unwrap(),
+        control.returned_run5.unwrap()
     );
     assert!(control.is_safe());
     println!("\nConclusion: at S ≤ 2t+2b a read needs a second round-trip — which is");

@@ -25,9 +25,7 @@ fn main() {
         cfg,
         ProtocolKind::RegularOptimized,
         Box::new(FixedDelay(Duration::from_micros(200))),
-        |i| (i == 4).then(|| {
-            AttackerKind::Inflator.build_regular(cfg, "EVIL CONFIG".to_string())
-        }),
+        |i| (i == 4).then(|| AttackerKind::Inflator.build_regular(cfg, "EVIL CONFIG".to_string())),
     );
 
     let configs = [
@@ -45,7 +43,12 @@ fn main() {
         let t0 = Instant::now();
         let w = storage.write(config.to_string());
         total_write += t0.elapsed();
-        println!("\npublish gen {} {config:?} (ts {:?}, {} rounds)", gen + 1, w.ts, w.rounds);
+        println!(
+            "\npublish gen {} {config:?} (ts {:?}, {} rounds)",
+            gen + 1,
+            w.ts,
+            w.rounds
+        );
 
         // All three consumers fetch the latest config.
         for consumer in 0..3 {
@@ -58,13 +61,20 @@ fn main() {
                 r.value.as_deref().unwrap_or("⊥"),
                 r.rounds
             );
-            assert_eq!(r.value.as_deref(), Some(*config), "consumer saw a stale/forged config");
+            assert_eq!(
+                r.value.as_deref(),
+                Some(*config),
+                "consumer saw a stale/forged config"
+            );
         }
 
         // After the second generation, a storage node dies. Still within
         // budget (1 crash + 1 Byzantine ≤ t = 2).
         if gen == 1 {
-            println!("  !! node 2 crashes (budget: {} faults, {} Byzantine)", cfg.t, cfg.b);
+            println!(
+                "  !! node 2 crashes (budget: {} faults, {} Byzantine)",
+                cfg.t, cfg.b
+            );
             storage.crash_object(2);
         }
     }

@@ -22,10 +22,16 @@ fn main() {
     world.start();
 
     let w = run_write(&SafeProtocol, &dep, &mut world, "hello".to_string());
-    println!("[sim]    WRITE(\"hello\")  -> ts {:?}, {} rounds", w.ts, w.rounds);
+    println!(
+        "[sim]    WRITE(\"hello\")  -> ts {:?}, {} rounds",
+        w.ts, w.rounds
+    );
 
     let r = run_read::<String, _>(&SafeProtocol, &dep, &mut world, 0);
-    println!("[sim]    READ()          -> {:?}, {} rounds", r.value, r.rounds);
+    println!(
+        "[sim]    READ()          -> {:?}, {} rounds",
+        r.value, r.rounds
+    );
     assert_eq!(r.value.as_deref(), Some("hello"));
     assert_eq!(r.rounds, 2, "reads always take exactly two round-trips");
 

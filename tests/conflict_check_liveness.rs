@@ -30,8 +30,8 @@ use std::collections::BTreeMap;
 
 use vrr::core::safe::SafeTuning;
 use vrr::core::{
-    Msg, MutantSafeProtocol, ReadRound, RegisterProtocol, SafeProtocol, StorageConfig,
-    Timestamp, TsVal, TsrMatrix, WTuple,
+    Msg, MutantSafeProtocol, ReadRound, RegisterProtocol, SafeProtocol, StorageConfig, Timestamp,
+    TsVal, TsrMatrix, WTuple,
 };
 use vrr::sim::{from_fn, Action, Context, World};
 
@@ -53,26 +53,52 @@ fn predicted_tuple() -> WTuple<u64> {
 /// m1: replies to READ1 with the predicted tuple; acks writer messages
 /// with an empty reader-timestamp row; ignores READ2.
 fn m1() -> Box<dyn vrr::sim::Automaton<Msg<u64>>> {
-    from_fn(move |fromp, msg: Msg<u64>, ctx: &mut Context<'_, Msg<u64>>| match msg {
-        Msg::Read { round: ReadRound::R1, tsr, .. } => {
-            let c = predicted_tuple();
-            ctx.send(
+    from_fn(
+        move |fromp, msg: Msg<u64>, ctx: &mut Context<'_, Msg<u64>>| match msg {
+            Msg::Read {
+                round: ReadRound::R1,
+                tsr,
+                ..
+            } => {
+                let c = predicted_tuple();
+                ctx.send(
+                    fromp,
+                    Msg::ReadAckSafe {
+                        round: ReadRound::R1,
+                        tsr,
+                        pw: c.tsval.clone(),
+                        w: c,
+                    },
+                );
+            }
+            Msg::Pw { ts, .. } => ctx.send(
                 fromp,
-                Msg::ReadAckSafe { round: ReadRound::R1, tsr, pw: c.tsval.clone(), w: c },
-            );
-        }
-        Msg::Pw { ts, .. } => ctx.send(fromp, Msg::PwAck { ts, tsr: BTreeMap::new() }),
-        Msg::W { ts, .. } => ctx.send(fromp, Msg::WAck { ts }),
-        _ => {}
-    })
+                Msg::PwAck {
+                    ts,
+                    tsr: BTreeMap::new(),
+                },
+            ),
+            Msg::W { ts, .. } => ctx.send(fromp, Msg::WAck { ts }),
+            _ => {}
+        },
+    )
 }
 
 /// m2: acks the writer (empty row), never talks to readers.
 fn m2() -> Box<dyn vrr::sim::Automaton<Msg<u64>>> {
-    from_fn(move |fromp, msg: Msg<u64>, ctx: &mut Context<'_, Msg<u64>>| match msg {
-        Msg::Pw { ts, .. } => ctx.send(fromp, Msg::PwAck { ts, tsr: BTreeMap::new() }),
-        _ => {}
-    })
+    from_fn(
+        move |fromp, msg: Msg<u64>, ctx: &mut Context<'_, Msg<u64>>| {
+            if let Msg::Pw { ts, .. } = msg {
+                ctx.send(
+                    fromp,
+                    Msg::PwAck {
+                        ts,
+                        tsr: BTreeMap::new(),
+                    },
+                )
+            }
+        },
+    )
 }
 
 /// Runs the orchestrated schedule against `protocol`; returns the read's
@@ -90,18 +116,24 @@ where
 
     let reader = dep.readers[0];
     let s2 = dep.objects[2];
-    let (s3, s4, s5, s6) = (dep.objects[3], dep.objects[4], dep.objects[5], dep.objects[6]);
+    let (s3, s4, s5, s6) = (
+        dep.objects[3],
+        dep.objects[4],
+        dep.objects[5],
+        dep.objects[6],
+    );
 
     // Holds: everything reader→s2 (both rounds); PW to the bystanders;
     // W to everyone except s2 and the malicious pair.
     world.adversary_mut().hold_link(reader, s2);
-    world.adversary_mut().install("hold PW to bystanders", move |e| {
-        (matches!(e.msg, Msg::Pw { .. }) && (e.to == s5 || e.to == s6)).then_some(Action::Hold)
-    });
+    world
+        .adversary_mut()
+        .install("hold PW to bystanders", move |e| {
+            (matches!(e.msg, Msg::Pw { .. }) && (e.to == s5 || e.to == s6)).then_some(Action::Hold)
+        });
     world.adversary_mut().install("hold W to s3..s6", move |e| {
-        (matches!(e.msg, Msg::W { .. })
-            && (e.to == s3 || e.to == s4 || e.to == s5 || e.to == s6))
-        .then_some(Action::Hold)
+        (matches!(e.msg, Msg::W { .. }) && (e.to == s3 || e.to == s4 || e.to == s5 || e.to == s6))
+            .then_some(Action::Hold)
     });
 
     // Step 1: the read begins. m1 answers round 1 with the prediction;
@@ -125,7 +157,14 @@ where
     // message exists yet; s2 answers round 1 with the genuine tuple,
     // which eliminates the prediction and unblocks the quorum.
     world.release_held(|e| {
-        e.to == s2 && matches!(e.msg, Msg::Read { round: ReadRound::R2, .. })
+        e.to == s2
+            && matches!(
+                e.msg,
+                Msg::Read {
+                    round: ReadRound::R2,
+                    ..
+                }
+            )
     });
     world.run_to_quiescence(200_000);
     world.release_held(|e| e.to == s2);
@@ -169,7 +208,7 @@ fn with_conflict_check_the_same_strategy_terminates() {
     // likewise outvoted by the pre-write replies. The read returns ⊥,
     // which is legal: it is concurrent with the write.
     assert!(
-        value == None || value == Some(V),
+        value.is_none() || value == Some(V),
         "a concurrent read may return ⊥ or the in-flight value, got {value:?}"
     );
 }
@@ -190,15 +229,21 @@ fn the_blocked_state_matches_lemma3_arithmetic() {
     world.set_byzantine(dep.objects[0], m1());
     world.set_byzantine(dep.objects[1], m2());
     let (reader, s2) = (dep.readers[0], dep.objects[2]);
-    let (s3, s4, s5, s6) = (dep.objects[3], dep.objects[4], dep.objects[5], dep.objects[6]);
+    let (s3, s4, s5, s6) = (
+        dep.objects[3],
+        dep.objects[4],
+        dep.objects[5],
+        dep.objects[6],
+    );
     world.adversary_mut().hold_link(reader, s2);
-    world.adversary_mut().install("hold PW to bystanders", move |e| {
-        (matches!(e.msg, Msg::Pw { .. }) && (e.to == s5 || e.to == s6)).then_some(Action::Hold)
-    });
+    world
+        .adversary_mut()
+        .install("hold PW to bystanders", move |e| {
+            (matches!(e.msg, Msg::Pw { .. }) && (e.to == s5 || e.to == s6)).then_some(Action::Hold)
+        });
     world.adversary_mut().install("hold W to s3..s6", move |e| {
-        (matches!(e.msg, Msg::W { .. })
-            && (e.to == s3 || e.to == s4 || e.to == s5 || e.to == s6))
-        .then_some(Action::Hold)
+        (matches!(e.msg, Msg::W { .. }) && (e.to == s3 || e.to == s4 || e.to == s5 || e.to == s6))
+            .then_some(Action::Hold)
     });
 
     let _rd = RegisterProtocol::<u64>::invoke_read(&mutant, &dep, &mut world, 0);
@@ -212,7 +257,14 @@ fn the_blocked_state_matches_lemma3_arithmetic() {
     });
     // s2 received the genuine W round and holds the predicted tuple.
     world.release_held(|e| {
-        e.to == s2 && matches!(e.msg, Msg::Read { round: ReadRound::R2, .. })
+        e.to == s2
+            && matches!(
+                e.msg,
+                Msg::Read {
+                    round: ReadRound::R2,
+                    ..
+                }
+            )
     });
     world.run_to_quiescence(200_000);
     world.inspect(s2, |o: &vrr::core::safe::SafeObject<u64>| {
@@ -222,6 +274,10 @@ fn the_blocked_state_matches_lemma3_arithmetic() {
     // nor eliminate.
     world.inspect(reader, |r: &vrr::core::safe::SafeReader<u64>| {
         assert!(!r.is_idle(), "the read must still be in flight");
-        assert_eq!(r.candidate_count(), 2, "the prediction and w0 are both live");
+        assert_eq!(
+            r.candidate_count(),
+            2,
+            "the prediction and w0 are both live"
+        );
     });
 }

@@ -18,8 +18,7 @@ fn contended_run_holds_state_invariants_online() {
 
     let cfg = StorageConfig::optimal(2, 1, 2);
     let mut world: vrr::sim::World<vrr::core::Msg<u64>> = vrr::sim::World::new(31);
-    let dep =
-        vrr::core::RegisterProtocol::<u64>::deploy(&SafeProtocol, cfg, &mut world);
+    let dep = vrr::core::RegisterProtocol::<u64>::deploy(&SafeProtocol, cfg, &mut world);
     world.start();
 
     let mut monitor = InvariantMonitor::new();
@@ -33,8 +32,7 @@ fn contended_run_holds_state_invariants_online() {
         let w = RP::<u64>::invoke_write(&SafeProtocol, &dep, &mut world, k);
         let r0 = RP::<u64>::invoke_read(&SafeProtocol, &dep, &mut world, 0);
         let r1 = RP::<u64>::invoke_read(&SafeProtocol, &dep, &mut world, 1);
-        run_monitored(&mut world, &mut monitor, 200_000)
-            .unwrap_or_else(|v| panic!("k={k}: {v}"));
+        run_monitored(&mut world, &mut monitor, 200_000).unwrap_or_else(|v| panic!("k={k}: {v}"));
         assert!(RP::<u64>::write_outcome(&SafeProtocol, &dep, &world, w).is_some());
         assert!(RP::<u64>::read_outcome(&SafeProtocol, &dep, &world, 0, r0).is_some());
         assert!(RP::<u64>::read_outcome(&SafeProtocol, &dep, &world, 1, r1).is_some());
@@ -83,7 +81,11 @@ fn safe_storage_is_safe_across_seeds_and_attackers() {
                 seed,
                 &safe_corruptor,
             );
-            assert!(out.all_live(), "{kind:?}/{seed}: stalled {}", out.stalled_ops);
+            assert!(
+                out.all_live(),
+                "{kind:?}/{seed}: stalled {}",
+                out.stalled_ops
+            );
             assert!(check_safety(&out.history).is_ok(), "{kind:?}/{seed}");
             assert_eq!(out.max_read_rounds(), 2, "{kind:?}/{seed}");
         }
@@ -93,8 +95,11 @@ fn safe_storage_is_safe_across_seeds_and_attackers() {
 #[test]
 fn regular_storage_is_regular_across_seeds_and_attackers() {
     for optimized in [false, true] {
-        let protocol =
-            if optimized { RegularProtocol::optimized() } else { RegularProtocol::full() };
+        let protocol = if optimized {
+            RegularProtocol::optimized()
+        } else {
+            RegularProtocol::full()
+        };
         for seed in 0..6u64 {
             for kind in vrr::core::attackers::AttackerKind::ALL {
                 let cfg = StorageConfig::optimal(2, 2, 2);
@@ -143,7 +148,10 @@ fn random_fault_plans_cannot_break_safety() {
 /// The oracle-validation regression: a known-broken reader must be caught.
 #[test]
 fn mutated_reader_is_caught_by_the_checker() {
-    let tuning = SafeTuning { safe_threshold: Some(1), ..SafeTuning::default() };
+    let tuning = SafeTuning {
+        safe_threshold: Some(1),
+        ..SafeTuning::default()
+    };
     let mut caught = false;
     'outer: for seed in 0..40u64 {
         let cfg = StorageConfig::optimal(2, 2, 2);
@@ -167,7 +175,10 @@ fn mutated_reader_is_caught_by_the_checker() {
             break 'outer;
         }
     }
-    assert!(caught, "a reader that trusts single confirmations must be catchable");
+    assert!(
+        caught,
+        "a reader that trusts single confirmations must be catchable"
+    );
 }
 
 /// Atomicity is deliberately NOT provided: construct the new/old inversion
@@ -203,9 +214,14 @@ fn regular_storage_admits_new_old_inversions() {
     }
     world.run_to_quiescence(100_000);
     assert!(
-        world.inspect(dep.objects[0], |o: &vrr::core::regular::RegularObject<u64>| {
-            o.history().get(vrr::core::Timestamp(2)).is_some_and(|e| e.w.is_some())
-        }),
+        world.inspect(
+            dep.objects[0],
+            |o: &vrr::core::regular::RegularObject<u64>| {
+                o.history()
+                    .get(vrr::core::Timestamp(2))
+                    .is_some_and(|e| e.w.is_some())
+            }
+        ),
         "object 0 must hold write 2's w-tuple"
     );
     assert!(
@@ -218,16 +234,24 @@ fn regular_storage_admits_new_old_inversions() {
     // Object 0 nominates w2; objects 1 and 2 corroborate via their pw
     // fields (they saw the PW round): safe(w2) holds, and with only two
     // non-confirmers invalid(w2) never fires — r1 returns 20.
-    world.adversary_mut().hold_link(dep.readers[0], dep.objects[3]);
+    world
+        .adversary_mut()
+        .hold_link(dep.readers[0], dep.objects[3]);
     let r1 = vrr::core::run_read::<u64, _>(&protocol, &dep, &mut world, 0);
     assert_eq!(r1.value, Some(20), "r1 must observe the in-flight write");
 
     // Read 2 (reader 1): quorum {1, 2, 3} (the link to object 0 is slow).
     // Nobody in the quorum has w2 in a w field — write 2 is not even a
     // candidate — so the highest candidate is w1: r2 returns 10.
-    world.adversary_mut().hold_link(dep.readers[1], dep.objects[0]);
+    world
+        .adversary_mut()
+        .hold_link(dep.readers[1], dep.objects[0]);
     let r2 = vrr::core::run_read::<u64, _>(&protocol, &dep, &mut world, 1);
-    assert_eq!(r2.value, Some(10), "r2 misses the in-flight write: old value");
+    assert_eq!(
+        r2.value,
+        Some(10),
+        "r2 misses the in-flight write: old value"
+    );
 
     // The checker view: regular accepts this, atomic rejects it.
     let mut h = vrr::checker::OpHistory::new();
@@ -235,7 +259,10 @@ fn regular_storage_admits_new_old_inversions() {
     h.push_write(2, 20, 20, None); // still incomplete
     h.push_read(0, 2, Some(20), 30, Some(40)); // r1: new value
     h.push_read(1, 1, Some(10), 50, Some(60)); // r2 (after r1): old value
-    assert!(check_regularity(&h).is_ok(), "regular semantics allow the inversion");
+    assert!(
+        check_regularity(&h).is_ok(),
+        "regular semantics allow the inversion"
+    );
     assert!(
         vrr::checker::check_atomicity(&h).is_err(),
         "atomicity must reject the new/old inversion"

@@ -19,7 +19,12 @@ where
 
     // Fresh register reads ⊥.
     let r = run_read::<V, _>(protocol, &dep, &mut world, 0);
-    assert_eq!(r.value, None, "{}: fresh register must read ⊥", protocol.name());
+    assert_eq!(
+        r.value,
+        None,
+        "{}: fresh register must read ⊥",
+        protocol.name()
+    );
 
     for k in 1..=5u64 {
         run_write(protocol, &dep, &mut world, V::from(k));
@@ -75,7 +80,11 @@ fn masking_cycles() {
 #[test]
 fn passive_cycles() {
     for (t, b) in [(1, 1), (2, 1), (2, 2)] {
-        write_read_cycle::<u64, _>(&PassiveProtocol, StorageConfig::optimal(t, b, 2), (b + 1) as u32);
+        write_read_cycle::<u64, _>(
+            &PassiveProtocol,
+            StorageConfig::optimal(t, b, 2),
+            (b + 1) as u32,
+        );
     }
 }
 
@@ -86,7 +95,12 @@ fn string_values_work_end_to_end() {
     let mut world: World<vrr::core::Msg<String>> = World::new(3);
     let dep = RegisterProtocol::<String>::deploy(&RegularProtocol::optimized(), cfg, &mut world);
     world.start();
-    run_write(&RegularProtocol::optimized(), &dep, &mut world, "αβγ".to_string());
+    run_write(
+        &RegularProtocol::optimized(),
+        &dep,
+        &mut world,
+        "αβγ".to_string(),
+    );
     let r = run_read::<String, _>(&RegularProtocol::optimized(), &dep, &mut world, 0);
     assert_eq!(r.value.as_deref(), Some("αβγ"));
 }
@@ -104,7 +118,10 @@ fn crash_budget_is_honoured_by_all_byzantine_tolerant_protocols() {
         world.crash(dep.objects[i]);
     }
     run_write(&SafeProtocol, &dep, &mut world, 11u64);
-    assert_eq!(run_read::<u64, _>(&SafeProtocol, &dep, &mut world, 0).value, Some(11));
+    assert_eq!(
+        run_read::<u64, _>(&SafeProtocol, &dep, &mut world, 0).value,
+        Some(11)
+    );
 
     let mut world: World<vrr::baselines::LiteMsg<u64>> = World::new(5);
     let dep = RegisterProtocol::<u64>::deploy(&PassiveProtocol, cfg, &mut world);
@@ -113,7 +130,10 @@ fn crash_budget_is_honoured_by_all_byzantine_tolerant_protocols() {
         world.crash(dep.objects[i]);
     }
     run_write(&PassiveProtocol, &dep, &mut world, 11u64);
-    assert_eq!(run_read::<u64, _>(&PassiveProtocol, &dep, &mut world, 0).value, Some(11));
+    assert_eq!(
+        run_read::<u64, _>(&PassiveProtocol, &dep, &mut world, 0).value,
+        Some(11)
+    );
 }
 
 #[test]
@@ -130,7 +150,11 @@ fn interleaved_readers_observe_monotone_timestamps() {
         run_write(&RegularProtocol::full(), &dep, &mut world, k);
         let reader = (k % 3) as usize;
         let r = run_read::<u64, _>(&RegularProtocol::full(), &dep, &mut world, reader);
-        assert!(r.ts >= last_ts, "timestamp regressed: {:?} < {last_ts:?}", r.ts);
+        assert!(
+            r.ts >= last_ts,
+            "timestamp regressed: {:?} < {last_ts:?}",
+            r.ts
+        );
         last_ts = r.ts;
     }
 }

@@ -15,9 +15,7 @@
 
 use vrr::baselines::{AbdProtocol, LiteMsg, LiteObject, PassiveProtocol};
 use vrr::checker::{check_safety, OpHistory};
-use vrr::core::{
-    run_read, RegisterProtocol, SafeProtocol, StorageConfig, Timestamp, TsVal,
-};
+use vrr::core::{run_read, RegisterProtocol, SafeProtocol, StorageConfig, Timestamp, TsVal};
 use vrr::sim::{Tamper, World};
 
 /// `B2` (object 3) forges σ2: replies as if write #1 of 42 had completed.
@@ -26,7 +24,11 @@ fn forge_sigma2() -> Box<dyn vrr::sim::Automaton<LiteMsg<u64>>> {
         let msg = match msg {
             LiteMsg::ReadAck { nonce, .. } => {
                 let pair = TsVal::new(Timestamp(1), 42u64);
-                LiteMsg::ReadAck { nonce, pw: pair.clone(), w: pair }
+                LiteMsg::ReadAck {
+                    nonce,
+                    pw: pair.clone(),
+                    w: pair,
+                }
             }
             other => other,
         };
@@ -44,7 +46,9 @@ fn run5_schedule_breaks_a_fast_protocol_on_the_wire() {
 
     // B2 is malicious from the start; T2's link to the reader is slow.
     world.set_byzantine(dep.objects[3], forge_sigma2());
-    world.adversary_mut().hold_link(dep.readers[0], dep.objects[1]);
+    world
+        .adversary_mut()
+        .hold_link(dep.readers[0], dep.objects[1]);
 
     // Nothing is ever written. The read hears S − t = 3 replies:
     // s0 (σ0), s2 (σ0), s3 (forged σ2) — and being fast, must decide.
@@ -72,7 +76,9 @@ fn the_same_schedule_cannot_fool_the_papers_two_round_read() {
         dep.objects[3],
         vrr::core::attackers::AttackerKind::Inflator.build_safe(cfg, 42u64),
     );
-    world.adversary_mut().hold_link(dep.readers[0], dep.objects[1]);
+    world
+        .adversary_mut()
+        .hold_link(dep.readers[0], dep.objects[1]);
 
     // While T2's replies are in transit the reader cannot tell the liar's
     // candidate from a concurrent write it missed — so it REFUSES TO
@@ -91,7 +97,10 @@ fn the_same_schedule_cannot_fool_the_papers_two_round_read() {
     world.run_to_quiescence(200_000);
     let rep = RegisterProtocol::<u64>::read_outcome(&SafeProtocol, &dep, &world, 0, op)
         .expect("completes once messages flow");
-    assert_eq!(rep.value, None, "the forged candidate never reaches b+1 support");
+    assert_eq!(
+        rep.value, None,
+        "the forged candidate never reaches b+1 support"
+    );
     assert_eq!(rep.rounds, 2, "the price of surviving: the second round");
 }
 
@@ -103,10 +112,15 @@ fn a_non_fast_protocol_survives_by_challenging() {
     world.start();
 
     world.set_byzantine(dep.objects[3], forge_sigma2());
-    world.adversary_mut().hold_link(dep.readers[0], dep.objects[1]);
+    world
+        .adversary_mut()
+        .hold_link(dep.readers[0], dep.objects[1]);
 
     let rep = run_read::<u64, _>(&PassiveProtocol, &dep, &mut world, 0);
-    assert_eq!(rep.value, None, "the unconfirmed forgery is challenged and dies");
+    assert_eq!(
+        rep.value, None,
+        "the unconfirmed forgery is challenged and dies"
+    );
     assert!(
         rep.rounds >= 2,
         "escaping Proposition 1 means not being fast: {} rounds",

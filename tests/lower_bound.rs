@@ -34,8 +34,15 @@ fn violations_split_exactly_between_run4_and_run5() {
         for k in 1..=s {
             let spec = LitePairSpec::new(s, t, b, ReadRule::Threshold(k));
             match execute_prop1(&spec, b, 7u64).verdict {
-                Verdict::Violation { run4_violated, run5_violated, .. } => {
-                    assert!(run4_violated ^ run5_violated, "k={k}: exactly one side breaks");
+                Verdict::Violation {
+                    run4_violated,
+                    run5_violated,
+                    ..
+                } => {
+                    assert!(
+                        run4_violated ^ run5_violated,
+                        "k={k}: exactly one side breaks"
+                    );
                 }
                 Verdict::NotFast => panic!("threshold rules always decide"),
             }
@@ -57,7 +64,10 @@ fn extra_objects_do_not_save_uncorroborated_rules() {
     let (t, b) = (2, 1);
     let spec = LitePairSpec::new(2 * t + 2 * b + 1, t, b, ReadRule::TrustHighest);
     let report = execute_control(&spec, b, 7u64);
-    assert!(!report.is_safe(), "trusting timestamps blindly is never safe with b > 0");
+    assert!(
+        !report.is_safe(),
+        "trusting timestamps blindly is never safe with b > 0"
+    );
 }
 
 #[test]
@@ -65,8 +75,7 @@ fn server_centric_gossip_does_not_evade_the_bound() {
     for gossip in [0, 1, 5] {
         for (t, b) in [(1, 1), (2, 2)] {
             let s = 2 * t + 2 * b;
-            let spec =
-                GossipPairSpec::new(LitePairSpec::new(s, t, b, ReadRule::Masking), gossip);
+            let spec = GossipPairSpec::new(LitePairSpec::new(s, t, b, ReadRule::Masking), gossip);
             let report = execute_prop1(&spec, b, 7u64);
             assert!(report.verdict.is_violation(), "gossip={gossip} t={t} b={b}");
         }
@@ -83,7 +92,10 @@ fn the_view_is_what_makes_it_inescapable() {
     let report = execute_prop1(&spec, b, 7u64);
     assert_eq!(report.view.len(), 2 * t + 2 * b - t);
     for obj in report.partition.t2.iter() {
-        assert!(!report.view.contains_key(obj), "T2 must be invisible to the reader");
+        assert!(
+            !report.view.contains_key(obj),
+            "T2 must be invisible to the reader"
+        );
     }
     // B2 is the only block that saw the write; its replies carry v1.
     for obj in &report.partition.b2 {

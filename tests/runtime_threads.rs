@@ -9,7 +9,11 @@ use vrr::runtime::{FixedDelay, NoDelay, ProtocolKind, StorageCluster};
 
 #[test]
 fn all_variants_round_trip_on_threads() {
-    for kind in [ProtocolKind::Safe, ProtocolKind::Regular, ProtocolKind::RegularOptimized] {
+    for kind in [
+        ProtocolKind::Safe,
+        ProtocolKind::Regular,
+        ProtocolKind::RegularOptimized,
+    ] {
         let cfg = StorageConfig::optimal(1, 1, 2);
         let storage: StorageCluster<u64> = StorageCluster::deploy(cfg, kind, Box::new(NoDelay));
         for k in 1..=4u64 {
@@ -28,12 +32,10 @@ fn all_variants_round_trip_on_threads() {
 fn byzantine_objects_on_threads_are_filtered() {
     let cfg = StorageConfig::optimal(2, 2, 1);
     for attacker in AttackerKind::ALL {
-        let storage: StorageCluster<u64> = StorageCluster::deploy_with_objects(
-            cfg,
-            ProtocolKind::Safe,
-            Box::new(NoDelay),
-            |i| (i < cfg.b).then(|| attacker.build_safe(cfg, 0xDEAD)),
-        );
+        let storage: StorageCluster<u64> =
+            StorageCluster::deploy_with_objects(cfg, ProtocolKind::Safe, Box::new(NoDelay), |i| {
+                (i < cfg.b).then(|| attacker.build_safe(cfg, 0xDEAD))
+            });
         storage.write(77);
         let r = storage.read(0);
         assert_eq!(r.value, Some(77), "{attacker:?} corrupted a threaded read");

@@ -1,0 +1,320 @@
+//! Offline shim for the subset of `crossbeam` used by `vrr-runtime`:
+//! multi-producer multi-consumer channels with cloneable senders and
+//! receivers. Only `crossbeam::channel::{bounded, unbounded, Sender,
+//! Receiver, RecvTimeoutError}` (plus `try_recv`/`iter`) are provided.
+
+#![warn(missing_docs)]
+
+/// MPMC channels over a condvar-guarded queue (unlike `std::sync::mpsc`,
+/// cloned receivers must not serialize behind one blocked `recv`, so the
+/// queue is shared directly rather than wrapping an mpsc receiver).
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+    use std::time::{Duration, Instant};
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        cap: Option<usize>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    impl<T> Chan<T> {
+        fn lock(&self) -> MutexGuard<'_, State<T>> {
+            self.state.lock().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    /// The sending half; cloneable.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// The receiving half; cloneable (clones share one queue, and a
+    /// blocked receiver does not starve its siblings of timeouts).
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.lock().senders += 1;
+            Sender {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.chan.lock().receivers += 1;
+            Receiver {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.chan.lock();
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                self.chan.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.chan.lock();
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                drop(st);
+                self.chan.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, blocking while a bounded channel is full.
+        /// Errors when every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.chan.lock();
+            if let Some(cap) = self.chan.cap {
+                while st.queue.len() >= cap {
+                    if st.receivers == 0 {
+                        return Err(SendError(value));
+                    }
+                    st = self
+                        .chan
+                        .not_full
+                        .wait(st)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+            }
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            st.queue.push_back(value);
+            drop(st);
+            self.chan.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        fn pop(st: &mut State<T>, chan: &Chan<T>) -> T {
+            let value = st.queue.pop_front().expect("queue checked non-empty");
+            chan.not_full.notify_one();
+            value
+        }
+
+        /// Blocks until a message arrives or all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.chan.lock();
+            loop {
+                if !st.queue.is_empty() {
+                    return Ok(Self::pop(&mut st, &self.chan));
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self
+                    .chan
+                    .not_empty
+                    .wait(st)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Blocks up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.chan.lock();
+            loop {
+                if !st.queue.is_empty() {
+                    return Ok(Self::pop(&mut st, &self.chan));
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let left = deadline.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _timed_out) = self
+                    .chan
+                    .not_empty
+                    .wait_timeout(st, left)
+                    .unwrap_or_else(|e| e.into_inner());
+                st = guard;
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.chan.lock();
+            if !st.queue.is_empty() {
+                return Ok(Self::pop(&mut st, &self.chan));
+            }
+            if st.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Drains messages until all senders disconnect.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    /// Blocking iterator over received messages.
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            cap,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                chan: Arc::clone(&chan),
+            },
+            Receiver { chan },
+        )
+    }
+
+    /// A channel with unlimited buffering.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel(None)
+    }
+
+    /// A channel holding at most `cap` in-flight messages; senders block
+    /// when it is full.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        channel(Some(cap.max(1)))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::thread;
+
+        #[test]
+        fn unbounded_roundtrip() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert_eq!(rx.recv().unwrap(), 2);
+        }
+
+        #[test]
+        fn timeout_fires() {
+            let (_tx, rx) = unbounded::<u8>();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+        }
+
+        #[test]
+        fn disconnect_observed() {
+            let (tx, rx) = bounded::<u8>(1);
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn send_fails_without_receivers() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(rx);
+            assert_eq!(tx.send(1), Err(SendError(1)));
+        }
+
+        #[test]
+        fn bounded_blocks_until_drained() {
+            let (tx, rx) = bounded::<u8>(1);
+            tx.send(1).unwrap();
+            let t = thread::spawn(move || tx.send(2).unwrap());
+            thread::sleep(Duration::from_millis(20));
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert_eq!(rx.recv().unwrap(), 2);
+            t.join().unwrap();
+        }
+
+        #[test]
+        fn cloned_receiver_times_out_while_sibling_blocks() {
+            // The regression the condvar design exists for: a blocked
+            // recv() on one clone must not hold the queue lock and
+            // starve a sibling's recv_timeout.
+            let (tx, rx) = unbounded::<u8>();
+            let rx2 = rx.clone();
+            let blocker = thread::spawn(move || rx.recv());
+            thread::sleep(Duration::from_millis(20));
+            let start = Instant::now();
+            assert_eq!(
+                rx2.recv_timeout(Duration::from_millis(30)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            assert!(start.elapsed() < Duration::from_secs(2));
+            tx.send(9).unwrap();
+            assert_eq!(blocker.join().unwrap(), Ok(9));
+        }
+
+        #[test]
+        fn mpmc_fan_in_fan_out() {
+            let (tx, rx) = unbounded::<u64>();
+            let consumers: Vec<_> = (0..4)
+                .map(|_| {
+                    let rx = rx.clone();
+                    thread::spawn(move || rx.iter().sum::<u64>())
+                })
+                .collect();
+            drop(rx);
+            let producers: Vec<_> = (0..4)
+                .map(|p| {
+                    let tx = tx.clone();
+                    thread::spawn(move || {
+                        for i in 0..100u64 {
+                            tx.send(p * 100 + i).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            drop(tx);
+            for p in producers {
+                p.join().unwrap();
+            }
+            let total: u64 = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+            assert_eq!(total, (0..400u64).sum::<u64>());
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Offline shim for the `serde` facade.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on a handful of types so
+//! that experiment artifacts *can* be serialized, but nothing in-tree
+//! serializes bytes yet — and the build container has no network access to
+//! fetch the real crate. This shim keeps the derives compiling: the traits
+//! are markers blanket-implemented for every type, and the derive macros
+//! (re-exported from the sibling `serde_derive` shim) expand to nothing.
+//! Swap in the real serde by pointing the workspace dependency back at
+//! crates.io; no source changes needed.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; satisfied by every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; satisfied by every type.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Minimal `serde::de` namespace (only `DeserializeOwned`).
+pub mod de {
+    pub use super::DeserializeOwned;
+}

@@ -1,0 +1,20 @@
+//! Offline shim for `serde_derive`: the derive macros expand to nothing.
+//!
+//! The sibling `serde` shim blanket-implements its marker `Serialize` /
+//! `Deserialize` traits for every type, so an empty expansion keeps
+//! `#[derive(Serialize, Deserialize)]` compiling without generating code.
+//! Works offline; nothing in the workspace actually serializes bytes today.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for serde's `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for serde's `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
