@@ -1,0 +1,240 @@
+//! **B-THR** — message throughput: worker pool vs. thread-per-process.
+//!
+//! The workload is a token ring: `N` automata, each delivery decrements a
+//! hop counter and forwards to the next process, `N` tokens in flight.
+//! The same ring runs on (a) the batched worker-pool runtime
+//! (`vrr_runtime::Cluster`) and (b) a faithful reimplementation of the
+//! seed architecture — one OS thread per process plus a router thread
+//! moving one message per channel op and polling every 50 ms. The shape to
+//! check: the pool's per-message cost stays roughly flat as `N` grows,
+//! while thread-per-process degrades with scheduler pressure; at `N ≥ 256`
+//! the pool must win outright. A second group measures multi-key
+//! register throughput on [`ShardedStore`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use vrr_core::StorageConfig;
+use vrr_runtime::{Cluster, NoDelay, ProtocolKind, ShardedStore};
+use vrr_sim::{from_fn, Context, ProcessId};
+
+/// Tokens per iteration = ring size; each token makes this many hops.
+const HOPS: u64 = 50;
+
+/// Spin until `delivered` reaches `target` (the ring quiesced).
+fn await_count(delivered: &AtomicU64, target: u64) {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while delivered.load(Ordering::Relaxed) < target {
+        assert!(Instant::now() < deadline, "ring stalled");
+        std::hint::spin_loop();
+    }
+}
+
+// ---------------------------------------------------------------------
+// (a) The worker-pool runtime under test.
+// ---------------------------------------------------------------------
+
+struct PoolRing {
+    cluster: Cluster<u64>,
+    delivered: Arc<AtomicU64>,
+    n: usize,
+}
+
+impl PoolRing {
+    fn new(n: usize) -> Self {
+        let delivered = Arc::new(AtomicU64::new(0));
+        let mut cluster: Cluster<u64> = Cluster::new(Box::new(NoDelay));
+        for _ in 0..n {
+            let delivered = delivered.clone();
+            cluster.spawn(from_fn(
+                move |_from, hops: u64, ctx: &mut Context<'_, u64>| {
+                    delivered.fetch_add(1, Ordering::Relaxed);
+                    if hops > 1 {
+                        ctx.send(ProcessId((ctx.me().index() + 1) % n), hops - 1);
+                    }
+                },
+            ));
+        }
+        cluster.seal();
+        PoolRing {
+            cluster,
+            delivered,
+            n,
+        }
+    }
+
+    /// Injects one token per process and waits for the ring to drain.
+    fn round(&self) -> u64 {
+        let msgs = self.n as u64 * HOPS;
+        let target = self.delivered.load(Ordering::Relaxed) + msgs;
+        for i in 0..self.n {
+            self.cluster.send_external(ProcessId(i), ProcessId(i), HOPS);
+        }
+        await_count(&self.delivered, target);
+        msgs
+    }
+}
+
+// ---------------------------------------------------------------------
+// (b) The seed architecture, reimplemented as the baseline: one thread
+//     per process, one router thread, one message per channel op.
+// ---------------------------------------------------------------------
+
+enum TppRouterCmd {
+    Send { to: usize, hops: u64 },
+    Shutdown,
+}
+
+enum TppNodeCmd {
+    Deliver(u64),
+    Shutdown,
+}
+
+struct ThreadPerProcessRing {
+    router_tx: crossbeam::channel::Sender<TppRouterCmd>,
+    node_txs: Vec<crossbeam::channel::Sender<TppNodeCmd>>,
+    delivered: Arc<AtomicU64>,
+    n: usize,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadPerProcessRing {
+    fn new(n: usize) -> Self {
+        let delivered = Arc::new(AtomicU64::new(0));
+        let (router_tx, router_rx) = crossbeam::channel::unbounded::<TppRouterCmd>();
+        let mut node_txs = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n + 1);
+        for i in 0..n {
+            let (tx, rx) = crossbeam::channel::unbounded::<TppNodeCmd>();
+            node_txs.push(tx);
+            let router_tx = router_tx.clone();
+            let delivered = delivered.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("tpp-node-{i}"))
+                    .spawn(move || {
+                        while let Ok(TppNodeCmd::Deliver(hops)) = rx.recv() {
+                            delivered.fetch_add(1, Ordering::Relaxed);
+                            if hops > 1 {
+                                let _ = router_tx.send(TppRouterCmd::Send {
+                                    to: (i + 1) % n,
+                                    hops: hops - 1,
+                                });
+                            }
+                        }
+                    })
+                    .expect("spawn node thread"),
+            );
+        }
+        let txs = node_txs.clone();
+        handles.push(
+            std::thread::Builder::new()
+                .name("tpp-router".into())
+                .spawn(move || loop {
+                    // The seed router: one message per channel op, 50 ms
+                    // poll when idle.
+                    match router_rx.recv_timeout(Duration::from_millis(50)) {
+                        Ok(TppRouterCmd::Send { to, hops }) => {
+                            let _ = txs[to].send(TppNodeCmd::Deliver(hops));
+                        }
+                        Ok(TppRouterCmd::Shutdown) => break,
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                    }
+                })
+                .expect("spawn router thread"),
+        );
+        ThreadPerProcessRing {
+            router_tx,
+            node_txs,
+            delivered,
+            n,
+            handles,
+        }
+    }
+
+    fn round(&self) -> u64 {
+        let msgs = self.n as u64 * HOPS;
+        let target = self.delivered.load(Ordering::Relaxed) + msgs;
+        for i in 0..self.n {
+            let _ = self.node_txs[i].send(TppNodeCmd::Deliver(HOPS));
+        }
+        await_count(&self.delivered, target);
+        msgs
+    }
+}
+
+impl Drop for ThreadPerProcessRing {
+    fn drop(&mut self) {
+        for tx in &self.node_txs {
+            let _ = tx.send(TppNodeCmd::Shutdown);
+        }
+        let _ = self.router_tx.send(TppRouterCmd::Shutdown);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+
+fn bench_ring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("throughput/ring");
+    group
+        .sample_size(3)
+        .measurement_time(Duration::from_secs(5));
+    for n in [64usize, 256, 512] {
+        group.throughput(Throughput::Elements(n as u64 * HOPS));
+        let pool = PoolRing::new(n);
+        group.bench_function(BenchmarkId::new("pool", n), |b| {
+            b.iter(|| pool.round());
+        });
+        drop(pool);
+        let tpp = ThreadPerProcessRing::new(n);
+        group.bench_function(BenchmarkId::new("thread-per-process", n), |b| {
+            b.iter(|| tpp.round());
+        });
+        drop(tpp);
+    }
+    group.finish();
+}
+
+fn bench_sharded_kv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("throughput/sharded-kv");
+    group
+        .sample_size(5)
+        .measurement_time(Duration::from_secs(5));
+    for shards in [1usize, 16, 64] {
+        let cfg = StorageConfig::optimal(1, 1, 1);
+        let store: ShardedStore<usize, u64> = ShardedStore::deploy(
+            cfg,
+            ProtocolKind::RegularOptimized,
+            Box::new(NoDelay),
+            shards,
+        );
+        for k in 0..shards {
+            store.write(k, 0);
+        }
+        // One write+read cycle per key: `shards` registers' worth of
+        // two-round operations through one shared pool.
+        group.bench_function(BenchmarkId::new("write-read-all-keys", shards), |b| {
+            let mut gen = 0u64;
+            b.iter(|| {
+                gen += 1;
+                for k in 0..shards {
+                    store.write(k, gen);
+                }
+                for k in 0..shards {
+                    assert_eq!(store.read(&k, 0).unwrap().value, Some(gen));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ring, bench_sharded_kv);
+criterion_main!(benches);

@@ -1,44 +1,41 @@
-//! A thread-per-process host for `vrr` automata.
+//! A worker-pool host for `vrr` automata.
 //!
 //! The same deterministic automata that run under the simulator run here on
-//! real OS threads with real (optionally delayed) message passing — the
-//! substrate for wall-clock benchmarks and the networked examples. One
-//! router thread moves messages; each process is a thread draining its
-//! mailbox.
+//! a fixed pool of worker threads with real (optionally delayed) message
+//! passing — the substrate for wall-clock benchmarks and the networked
+//! examples. Each worker owns a shard of process mailboxes and drains whole
+//! batches per sweep; see [`crate::executor`] internals for the sweep /
+//! flush / timer-wheel mechanics.
 
-use std::any::Any;
-use std::sync::Arc;
-use std::thread::JoinHandle;
+use std::fmt;
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
-use parking_lot::Mutex;
+use crossbeam::channel::{bounded, Receiver};
 
 use vrr_sim::{Automaton, Context, ProcessId};
 
-use crate::router::{spawn_router, LinkPolicy, RoutedMsg, RouterCmd};
+use crate::executor::{Executor, ExecutorStats, InvokeFn, NodeCmd, WatchFn};
+use crate::router::LinkPolicy;
 
-type InvokeFn<M> = Box<dyn FnOnce(&mut dyn Any, &mut Context<'_, M>) + Send>;
-type WatchFn = Box<dyn FnMut(&dyn Any) -> bool + Send>;
+/// Error returned by [`Cluster::try_invoke`] when the target process can no
+/// longer execute closures — it was crashed (fault injection) or the
+/// cluster is shutting down.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct NodeGone(pub ProcessId);
 
-enum NodeCmd<M> {
-    Deliver { from: ProcessId, msg: M },
-    Invoke(InvokeFn<M>),
-    Watch(WatchFn),
-    Crash,
-    Shutdown,
+impl fmt::Display for NodeGone {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "process {} is crashed or gone", self.0)
+    }
 }
 
-struct Node<M> {
-    tx: Sender<NodeCmd<M>>,
-    handle: Option<JoinHandle<()>>,
-}
+impl std::error::Error for NodeGone {}
 
-/// A running cluster of automata on threads.
+/// A running cluster of automata on a sharded worker pool.
 ///
 /// Spawn processes with [`Cluster::spawn`], connect the mailboxes by
 /// calling [`Cluster::seal`] once all processes exist, then drive clients
 /// with [`Cluster::invoke`] / [`Cluster::watch`]. Dropping the cluster
-/// shuts every thread down.
+/// shuts every worker down.
 ///
 /// # Examples
 ///
@@ -54,35 +51,32 @@ struct Node<M> {
 /// cluster.seal();
 /// ```
 pub struct Cluster<M: Send + 'static> {
-    nodes: Arc<Mutex<Vec<Node<M>>>>,
-    router_tx: Sender<RouterCmd<M>>,
-    router_handle: Option<JoinHandle<()>>,
+    executor: Executor<M>,
     sealed: bool,
 }
 
 impl<M: Send + 'static> Cluster<M> {
-    /// Creates a cluster whose links obey `policy`.
+    /// Creates a cluster whose links obey `policy`, with one worker per
+    /// available CPU.
     pub fn new(policy: Box<dyn LinkPolicy<M>>) -> Self {
-        let nodes: Arc<Mutex<Vec<Node<M>>>> = Arc::new(Mutex::new(Vec::new()));
-        let nodes_for_router = nodes.clone();
-        let (router_tx, router_handle) = spawn_router(policy, move |m: RoutedMsg<M>| {
-            let nodes = nodes_for_router.lock();
-            if let Some(node) = nodes.get(m.to.index()) {
-                let _ = node.tx.send(NodeCmd::Deliver {
-                    from: m.from,
-                    msg: m.msg,
-                });
-            }
-        });
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::with_workers(policy, workers)
+    }
+
+    /// Creates a cluster with an explicit worker-pool size (clamped to at
+    /// least one).
+    pub fn with_workers(policy: Box<dyn LinkPolicy<M>>, workers: usize) -> Self {
         Cluster {
-            nodes,
-            router_tx,
-            router_handle: Some(router_handle),
+            executor: Executor::new(policy, workers),
             sealed: false,
         }
     }
 
-    /// Spawns a process thread running `automaton`; returns its id.
+    /// Spawns a process on the worker pool running `automaton`; returns its
+    /// id. Ids are dense in spawn order; process `p` lives on worker
+    /// `p % workers`.
     ///
     /// # Panics
     ///
@@ -92,30 +86,18 @@ impl<M: Send + 'static> Cluster<M> {
             !self.sealed,
             "spawn all processes before sealing the cluster"
         );
-        let mut nodes = self.nodes.lock();
-        let id = ProcessId(nodes.len());
-        let (tx, rx): (Sender<NodeCmd<M>>, Receiver<NodeCmd<M>>) = unbounded();
-        let router_tx = self.router_tx.clone();
-        let handle = std::thread::Builder::new()
-            .name(format!("vrr-node-{}", id.index()))
-            .spawn(move || node_main(id, automaton, rx, router_tx))
-            .expect("spawn node thread");
-        nodes.push(Node {
-            tx,
-            handle: Some(handle),
-        });
-        id
+        self.executor.register(automaton)
     }
 
-    /// Marks the topology complete. (Nodes discover each other lazily via
-    /// the router, so this only guards against racy late spawns.)
+    /// Marks the topology complete. (Processes discover each other lazily
+    /// through the executor, so this only guards against racy late spawns.)
     pub fn seal(&mut self) {
         self.sealed = true;
     }
 
     /// Number of spawned processes.
     pub fn len(&self) -> usize {
-        self.nodes.lock().len()
+        self.executor.len()
     }
 
     /// Whether no process was spawned.
@@ -123,17 +105,51 @@ impl<M: Send + 'static> Cluster<M> {
         self.len() == 0
     }
 
-    /// Runs `f` on the concrete automaton of `pid` inside its thread, with
-    /// a context whose sends go through the router. Blocks for the result.
+    /// Size of the worker pool.
+    pub fn workers(&self) -> usize {
+        self.executor.worker_count()
+    }
+
+    /// Activity counters summed over the pool — sweeps, wakeups and
+    /// processed commands. An idle cluster must not accumulate wakeups.
+    pub fn stats(&self) -> ExecutorStats {
+        self.executor.stats()
+    }
+
+    /// Runs `f` on the concrete automaton of `pid` inside its worker, with
+    /// a context whose sends go through the link policy. Blocks for the
+    /// result.
     ///
     /// # Panics
     ///
-    /// Panics if `pid`'s automaton is not an `A` or the node is gone.
+    /// Panics if `pid`'s automaton is not an `A`, or if the node is crashed
+    /// or gone (use [`Cluster::try_invoke`] for a recoverable variant).
     pub fn invoke<A: Automaton<M>, R: Send + 'static>(
         &self,
         pid: ProcessId,
         f: impl FnOnce(&mut A, &mut Context<'_, M>) -> R + Send + 'static,
     ) -> R {
+        self.try_invoke(pid, f)
+            .unwrap_or_else(|gone| panic!("invoke failed: {gone}"))
+    }
+
+    /// Like [`Cluster::invoke`], but returns [`NodeGone`] instead of
+    /// panicking when `pid` was crashed (or the pool is shutting down).
+    /// A panic inside `f` — including an `A` downcast mismatch — is
+    /// contained by the worker: the target process is poisoned like a
+    /// crash (the panic is reported on stderr) and the caller gets
+    /// [`NodeGone`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` was never spawned — a programming error, not a
+    /// runtime fault.
+    pub fn try_invoke<A: Automaton<M>, R: Send + 'static>(
+        &self,
+        pid: ProcessId,
+        f: impl FnOnce(&mut A, &mut Context<'_, M>) -> R + Send + 'static,
+    ) -> Result<R, NodeGone> {
+        assert!(pid.index() < self.len(), "invoke on unspawned {pid}");
         let (tx, rx) = bounded(1);
         let boxed: InvokeFn<M> = Box::new(move |any, ctx| {
             let a = any
@@ -141,21 +157,24 @@ impl<M: Send + 'static> Cluster<M> {
                 .unwrap_or_else(|| panic!("node is not a {}", std::any::type_name::<A>()));
             let _ = tx.send(f(a, ctx));
         });
-        self.nodes.lock()[pid.index()]
-            .tx
-            .send(NodeCmd::Invoke(boxed))
-            .expect("node thread alive");
-        rx.recv().expect("node executed the invoke")
+        self.executor.enqueue(pid, NodeCmd::Invoke(boxed));
+        // A crashed node drops the closure, and with it the only sender.
+        rx.recv().map_err(|_| NodeGone(pid))
     }
 
     /// Registers a watcher on `pid`: after every step, `check` runs against
     /// the automaton; the first `Some(r)` is delivered on the returned
     /// channel. Used to await operation completion without polling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` was never spawned.
     pub fn watch<A: Automaton<M>, R: Send + 'static>(
         &self,
         pid: ProcessId,
         mut check: impl FnMut(&A) -> Option<R> + Send + 'static,
     ) -> Receiver<R> {
+        assert!(pid.index() < self.len(), "watch on unspawned {pid}");
         let (tx, rx) = bounded(1);
         let boxed: WatchFn = Box::new(move |any| {
             let a = any
@@ -169,124 +188,41 @@ impl<M: Send + 'static> Cluster<M> {
                 None => false,
             }
         });
-        self.nodes.lock()[pid.index()]
-            .tx
-            .send(NodeCmd::Watch(boxed))
-            .expect("node thread alive");
+        self.executor.enqueue(pid, NodeCmd::Watch(boxed));
         rx
     }
 
-    /// Crashes `pid`: it stops processing deliveries (its thread idles).
+    /// Crashes `pid`: it stops processing deliveries and invokes (watchers
+    /// may still inspect its frozen state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` was never spawned.
     pub fn crash(&self, pid: ProcessId) {
-        let _ = self.nodes.lock()[pid.index()].tx.send(NodeCmd::Crash);
+        assert!(pid.index() < self.len(), "crash on unspawned {pid}");
+        self.executor.enqueue(pid, NodeCmd::Crash);
     }
 
-    /// Injects a message from `from` to `to` through the router (external
-    /// stimulus, like the simulator's `send_external`).
+    /// Injects a message from `from` to `to` through the link policy
+    /// (external stimulus, like the simulator's `send_external`).
     pub fn send_external(&self, from: ProcessId, to: ProcessId, msg: M) {
-        let _ = self
-            .router_tx
-            .send(RouterCmd::Send(RoutedMsg { from, to, msg }));
+        self.executor.route(from, to, msg);
     }
 }
 
 impl<M: Send + 'static> Drop for Cluster<M> {
     fn drop(&mut self) {
-        {
-            let nodes = self.nodes.lock();
-            for node in nodes.iter() {
-                let _ = node.tx.send(NodeCmd::Shutdown);
-            }
-        }
-        let _ = self.router_tx.send(RouterCmd::Shutdown);
-        let mut nodes = self.nodes.lock();
-        for node in nodes.iter_mut() {
-            if let Some(h) = node.handle.take() {
-                let _ = h.join();
-            }
-        }
-        drop(nodes);
-        if let Some(h) = self.router_handle.take() {
-            let _ = h.join();
-        }
+        self.executor.shutdown_and_join();
     }
 }
 
-impl<M: Send + 'static> std::fmt::Debug for Cluster<M> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+impl<M: Send + 'static> fmt::Debug for Cluster<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Cluster")
             .field("nodes", &self.len())
+            .field("workers", &self.workers())
             .finish()
     }
-}
-
-fn node_main<M: Send + 'static>(
-    me: ProcessId,
-    mut automaton: Box<dyn Automaton<M>>,
-    rx: Receiver<NodeCmd<M>>,
-    router_tx: Sender<RouterCmd<M>>,
-) {
-    let mut crashed = false;
-    let mut watchers: Vec<WatchFn> = Vec::new();
-
-    // The paper's Init step.
-    let mut outbox: Vec<(ProcessId, M)> = Vec::new();
-    {
-        let mut ctx = Context::new(me, &mut outbox);
-        automaton.on_start(&mut ctx);
-    }
-    flush(me, &mut outbox, &router_tx);
-
-    while let Ok(cmd) = rx.recv() {
-        match cmd {
-            NodeCmd::Deliver { from, msg } => {
-                if crashed {
-                    continue;
-                }
-                {
-                    let mut ctx = Context::new(me, &mut outbox);
-                    automaton.on_message(from, msg, &mut ctx);
-                }
-                flush(me, &mut outbox, &router_tx);
-                run_watchers(&mut watchers, &*automaton);
-            }
-            NodeCmd::Invoke(f) => {
-                if crashed {
-                    continue; // reply channel drops; caller sees a panic
-                }
-                {
-                    let mut ctx = Context::new(me, &mut outbox);
-                    let any: &mut dyn Any = &mut *automaton;
-                    f(any, &mut ctx);
-                }
-                flush(me, &mut outbox, &router_tx);
-                run_watchers(&mut watchers, &*automaton);
-            }
-            NodeCmd::Watch(mut w) => {
-                let any: &dyn Any = &*automaton;
-                if !w(any) {
-                    watchers.push(w);
-                }
-            }
-            NodeCmd::Crash => crashed = true,
-            NodeCmd::Shutdown => break,
-        }
-    }
-}
-
-fn flush<M: Send + 'static>(
-    me: ProcessId,
-    outbox: &mut Vec<(ProcessId, M)>,
-    router_tx: &Sender<RouterCmd<M>>,
-) {
-    for (to, msg) in outbox.drain(..) {
-        let _ = router_tx.send(RouterCmd::Send(RoutedMsg { from: me, to, msg }));
-    }
-}
-
-fn run_watchers<M>(watchers: &mut Vec<WatchFn>, automaton: &dyn Automaton<M>) {
-    let any: &dyn Any = automaton;
-    watchers.retain_mut(|w| !w(any));
 }
 
 #[cfg(test)]
@@ -296,7 +232,7 @@ mod tests {
     use vrr_sim::from_fn;
 
     use super::*;
-    use crate::router::NoDelay;
+    use crate::router::{FixedDelay, NoDelay};
 
     /// Counts the values it receives.
     struct Counter {
@@ -341,7 +277,7 @@ mod tests {
     }
 
     #[test]
-    fn invoke_runs_in_thread_and_sends() {
+    fn invoke_runs_in_worker_and_sends() {
         let mut cluster: Cluster<u64> = Cluster::new(Box::new(NoDelay));
         let counter = cluster.spawn(Box::new(Counter { total: 0, seen: 0 }));
         let pinger = cluster.spawn(Box::new(Pinger {
@@ -370,6 +306,125 @@ mod tests {
         std::thread::sleep(Duration::from_millis(50));
         // The watcher registered after the crash still inspects state
         // (crash stops *processing*, not introspection).
+        let rx = cluster.watch(counter, |c: &Counter| Some(c.seen));
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap(), 0);
+    }
+
+    #[test]
+    fn try_invoke_on_crashed_node_reports_node_gone() {
+        let mut cluster: Cluster<u64> = Cluster::new(Box::new(NoDelay));
+        let counter = cluster.spawn(Box::new(Counter { total: 0, seen: 0 }));
+        cluster.seal();
+        cluster.crash(counter);
+        let got = cluster.try_invoke(counter, |c: &mut Counter, _ctx| c.seen);
+        assert_eq!(got, Err(NodeGone(counter)));
+    }
+
+    #[test]
+    #[should_panic(expected = "invoke failed")]
+    fn invoke_on_crashed_node_panics() {
+        let mut cluster: Cluster<u64> = Cluster::new(Box::new(NoDelay));
+        let counter = cluster.spawn(Box::new(Counter { total: 0, seen: 0 }));
+        cluster.seal();
+        cluster.crash(counter);
+        let _ = cluster.invoke(counter, |c: &mut Counter, _ctx| c.seen);
+    }
+
+    #[test]
+    fn panicking_invoke_poisons_only_its_process() {
+        // Both processes share the one worker: a panic inside an invoke
+        // (here: a wrong-type downcast) must not kill the worker thread.
+        let mut cluster: Cluster<u64> = Cluster::with_workers(Box::new(NoDelay), 1);
+        let victim = cluster.spawn(Box::new(Counter { total: 0, seen: 0 }));
+        let healthy = cluster.spawn(Box::new(Counter { total: 0, seen: 0 }));
+        cluster.seal();
+
+        let gone = cluster.try_invoke(victim, |_p: &mut Pinger, _ctx| ());
+        assert_eq!(gone, Err(NodeGone(victim)), "downcast panic -> NodeGone");
+
+        // The worker survived: its other process still delivers and
+        // answers invokes; the poisoned one behaves like a crashed node.
+        let done = cluster.watch(healthy, |c: &Counter| (c.seen >= 1).then_some(c.total));
+        cluster.send_external(healthy, healthy, 9);
+        assert_eq!(done.recv_timeout(Duration::from_secs(5)).unwrap(), 9);
+        assert_eq!(
+            cluster.try_invoke(healthy, |c: &mut Counter, _ctx| c.seen),
+            Ok(1)
+        );
+        assert_eq!(
+            cluster.try_invoke(victim, |c: &mut Counter, _ctx| c.seen),
+            Err(NodeGone(victim)),
+            "poisoned process stays gone even for well-typed invokes"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "watch on unspawned")]
+    fn watch_on_unspawned_pid_panics() {
+        let mut cluster: Cluster<u64> = Cluster::new(Box::new(NoDelay));
+        let _ = cluster.spawn(Box::new(Counter { total: 0, seen: 0 }));
+        cluster.seal();
+        let _ = cluster.watch(ProcessId(99), |c: &Counter| Some(c.seen));
+    }
+
+    #[test]
+    fn single_worker_pool_hosts_many_processes() {
+        let mut cluster: Cluster<u64> = Cluster::with_workers(Box::new(NoDelay), 1);
+        let counter = cluster.spawn(Box::new(Counter { total: 0, seen: 0 }));
+        let echoes: Vec<ProcessId> = (0..32)
+            .map(|_| {
+                cluster.spawn(from_fn(move |from, n: u64, ctx: &mut Context<'_, u64>| {
+                    ctx.send(from, n);
+                }))
+            })
+            .collect();
+        cluster.seal();
+        let done = cluster.watch(counter, |c: &Counter| (c.seen >= 32).then_some(c.total));
+        for (i, e) in echoes.iter().enumerate() {
+            cluster.send_external(counter, *e, i as u64);
+        }
+        let total = done
+            .recv_timeout(Duration::from_secs(5))
+            .expect("watch fires");
+        assert_eq!(total, (0..32).sum::<u64>());
+    }
+
+    #[test]
+    fn delayed_links_deliver_after_delay() {
+        let mut cluster: Cluster<u64> =
+            Cluster::new(Box::new(FixedDelay(Duration::from_millis(30))));
+        let counter = cluster.spawn(Box::new(Counter { total: 0, seen: 0 }));
+        cluster.seal();
+        cluster.send_external(counter, counter, 7);
+        std::thread::sleep(Duration::from_millis(5));
+        let rx = cluster.watch(counter, |c: &Counter| Some(c.seen));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(1)).unwrap(),
+            0,
+            "not yet due"
+        );
+        let rx = cluster.watch(counter, |c: &Counter| (c.seen >= 1).then_some(c.total));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(2)).unwrap(),
+            7,
+            "delivered after the delay"
+        );
+    }
+
+    #[test]
+    fn dropping_policy_loses_messages() {
+        use crate::router::{LinkAction, LinkPolicy};
+        struct DropAll;
+        impl LinkPolicy<u64> for DropAll {
+            fn action(&mut self, _: ProcessId, _: ProcessId, _: &u64) -> LinkAction {
+                LinkAction::Drop
+            }
+        }
+        let mut cluster: Cluster<u64> = Cluster::new(Box::new(DropAll));
+        let counter = cluster.spawn(Box::new(Counter { total: 0, seen: 0 }));
+        cluster.seal();
+        cluster.send_external(counter, counter, 1);
+        std::thread::sleep(Duration::from_millis(30));
         let rx = cluster.watch(counter, |c: &Counter| Some(c.seen));
         assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap(), 0);
     }

@@ -1,10 +1,20 @@
-//! # vrr-runtime: the storage protocols on real threads
+//! # vrr-runtime: the storage protocols on a sharded worker pool
 //!
-//! A thread-per-process message-passing runtime hosting the *same*
-//! automata that run under the deterministic simulator (`vrr-sim`). One
-//! router thread moves messages between mailboxes and can inject link
-//! delays or loss ([`LinkPolicy`]); each process drains its mailbox on its
-//! own OS thread.
+//! A message-passing runtime hosting the *same* automata that run under
+//! the deterministic simulator (`vrr-sim`) on a fixed pool of worker
+//! threads. Each worker owns a shard of process mailboxes (`pid %
+//! workers`) and drains **whole mailbox batches per sweep**: one lock
+//! acquisition steals every pending command in the shard, the automata
+//! step lock-free, and the sweep's accumulated outbox is flushed with one
+//! lock acquisition per destination shard. Link delay and loss are
+//! injected by a [`LinkPolicy`]; delayed messages park in the owning
+//! shard's timer wheel, so an idle cluster blocks on condvars — zero
+//! wakeups — instead of polling.
+//!
+//! On top of the single-register [`StorageCluster`], [`ShardedStore`] maps
+//! keys onto independent register shards (each with its own writer, base
+//! objects and readers) over one shared [`Cluster`], giving key-value
+//! workloads true multi-key parallelism.
 //!
 //! Use the simulator for correctness experiments (replayable adversarial
 //! schedules) and this runtime for wall-clock benchmarks and the networked
@@ -24,9 +34,13 @@
 #![warn(missing_docs)]
 
 mod cluster;
+mod executor;
 mod router;
+mod shard;
 mod storage;
 
-pub use cluster::Cluster;
+pub use cluster::{Cluster, NodeGone};
+pub use executor::ExecutorStats;
 pub use router::{FixedDelay, LinkAction, LinkPolicy, NoDelay};
+pub use shard::ShardedStore;
 pub use storage::{ProtocolKind, StorageCluster};

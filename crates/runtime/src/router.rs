@@ -1,18 +1,21 @@
-//! The message router: a dedicated thread moving messages between nodes,
-//! with a pluggable link policy for delay and loss injection.
+//! Link policies: per-message delay and loss injection.
+//!
+//! The runtime twin of the simulator's latency model + adversary. Every
+//! message crossing a link is submitted to the cluster's [`LinkPolicy`],
+//! which decides its fate; delayed messages park in the owning worker's
+//! timer wheel (see `executor.rs`) until due. The seed design ran these
+//! decisions on a dedicated router thread that moved one message per
+//! channel op and polled every 50 ms — both jobs folded into the worker
+//! pool's sweep/flush cycle.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-use std::time::{Duration, Instant};
-
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
 
 use vrr_sim::ProcessId;
 
 /// What to do with a message crossing a link.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum LinkAction {
-    /// Deliver as fast as the channels allow.
+    /// Deliver as fast as the mailboxes allow.
     Deliver,
     /// Deliver after an artificial delay.
     DeliverAfter(Duration),
@@ -47,159 +50,21 @@ impl<M> LinkPolicy<M> for FixedDelay {
     }
 }
 
-pub(crate) struct RoutedMsg<M> {
-    pub from: ProcessId,
-    pub to: ProcessId,
-    pub msg: M,
-}
-
-pub(crate) enum RouterCmd<M> {
-    Send(RoutedMsg<M>),
-    Shutdown,
-}
-
-struct Scheduled<M> {
-    due: Instant,
-    seq: u64,
-    msg: RoutedMsg<M>,
-}
-
-impl<M> PartialEq for Scheduled<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.due == other.due && self.seq == other.seq
-    }
-}
-impl<M> Eq for Scheduled<M> {}
-impl<M> PartialOrd for Scheduled<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Scheduled<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.due, self.seq).cmp(&(other.due, other.seq))
-    }
-}
-
-/// Spawns the router thread. `deliver` hands a due message to its
-/// destination node.
-pub(crate) fn spawn_router<M: Send + 'static>(
-    mut policy: Box<dyn LinkPolicy<M>>,
-    deliver: impl Fn(RoutedMsg<M>) + Send + 'static,
-) -> (Sender<RouterCmd<M>>, std::thread::JoinHandle<()>) {
-    let (tx, rx): (Sender<RouterCmd<M>>, Receiver<RouterCmd<M>>) = unbounded();
-    let handle = std::thread::Builder::new()
-        .name("vrr-router".into())
-        .spawn(move || {
-            let mut heap: BinaryHeap<Reverse<Scheduled<M>>> = BinaryHeap::new();
-            let mut seq = 0u64;
-            loop {
-                // Flush everything due.
-                let now = Instant::now();
-                while heap.peek().is_some_and(|Reverse(s)| s.due <= now) {
-                    let Reverse(s) = heap.pop().expect("peeked");
-                    deliver(s.msg);
-                }
-                // Wait for the next command or the next due message.
-                let wait = heap
-                    .peek()
-                    .map(|Reverse(s)| s.due.saturating_duration_since(now))
-                    .unwrap_or(Duration::from_millis(50));
-                match rx.recv_timeout(wait) {
-                    Ok(RouterCmd::Send(m)) => match policy.action(m.from, m.to, &m.msg) {
-                        LinkAction::Deliver => deliver(m),
-                        LinkAction::DeliverAfter(d) => {
-                            heap.push(Reverse(Scheduled {
-                                due: Instant::now() + d,
-                                seq,
-                                msg: m,
-                            }));
-                            seq += 1;
-                        }
-                        LinkAction::Drop => {}
-                    },
-                    Ok(RouterCmd::Shutdown) => break,
-                    Err(RecvTimeoutError::Timeout) => {}
-                    Err(RecvTimeoutError::Disconnected) => break,
-                }
-            }
-        })
-        .expect("spawn router thread");
-    (tx, handle)
-}
-
 #[cfg(test)]
 mod tests {
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Arc;
-
     use super::*;
 
     #[test]
-    fn immediate_delivery() {
-        let got = Arc::new(AtomicUsize::new(0));
-        let got2 = got.clone();
-        let (tx, handle) = spawn_router::<u32>(Box::new(NoDelay), move |m| {
-            got2.fetch_add(m.msg as usize, Ordering::SeqCst);
-        });
-        for i in 0..10u32 {
-            tx.send(RouterCmd::Send(RoutedMsg {
-                from: ProcessId(0),
-                to: ProcessId(1),
-                msg: i,
-            }))
-            .unwrap();
-        }
-        std::thread::sleep(Duration::from_millis(50));
-        tx.send(RouterCmd::Shutdown).unwrap();
-        handle.join().unwrap();
-        assert_eq!(got.load(Ordering::SeqCst), 45);
-    }
-
-    #[test]
-    fn delayed_delivery_happens_after_delay() {
-        let got = Arc::new(AtomicUsize::new(0));
-        let got2 = got.clone();
-        let (tx, handle) =
-            spawn_router::<u32>(Box::new(FixedDelay(Duration::from_millis(30))), move |_m| {
-                got2.fetch_add(1, Ordering::SeqCst);
-            });
-        tx.send(RouterCmd::Send(RoutedMsg {
-            from: ProcessId(0),
-            to: ProcessId(1),
-            msg: 1,
-        }))
-        .unwrap();
-        std::thread::sleep(Duration::from_millis(5));
-        assert_eq!(got.load(Ordering::SeqCst), 0, "not yet due");
-        std::thread::sleep(Duration::from_millis(60));
-        assert_eq!(got.load(Ordering::SeqCst), 1, "delivered after the delay");
-        tx.send(RouterCmd::Shutdown).unwrap();
-        handle.join().unwrap();
-    }
-
-    #[test]
-    fn dropping_policy_loses_messages() {
-        struct DropAll;
-        impl LinkPolicy<u32> for DropAll {
-            fn action(&mut self, _: ProcessId, _: ProcessId, _: &u32) -> LinkAction {
-                LinkAction::Drop
-            }
-        }
-        let got = Arc::new(AtomicUsize::new(0));
-        let got2 = got.clone();
-        let (tx, handle) = spawn_router::<u32>(Box::new(DropAll), move |_| {
-            got2.fetch_add(1, Ordering::SeqCst);
-        });
-        tx.send(RouterCmd::Send(RoutedMsg {
-            from: ProcessId(0),
-            to: ProcessId(1),
-            msg: 1,
-        }))
-        .unwrap();
-        std::thread::sleep(Duration::from_millis(30));
-        tx.send(RouterCmd::Shutdown).unwrap();
-        handle.join().unwrap();
-        assert_eq!(got.load(Ordering::SeqCst), 0);
+    fn policies_decide_actions() {
+        let p = ProcessId(0);
+        assert_eq!(
+            <NoDelay as LinkPolicy<u32>>::action(&mut NoDelay, p, p, &1),
+            LinkAction::Deliver
+        );
+        let d = Duration::from_millis(3);
+        assert_eq!(
+            <FixedDelay as LinkPolicy<u32>>::action(&mut FixedDelay(d), p, p, &1),
+            LinkAction::DeliverAfter(d)
+        );
     }
 }

@@ -1,0 +1,301 @@
+//! Sharded multi-register storage: a key→register map over one shared
+//! worker-pool [`Cluster`].
+//!
+//! The paper emulates *one* single-writer multi-reader register. A
+//! key-value workload funnelled through that single register serializes
+//! every key behind one writer automaton. [`ShardedStore`] deploys a fixed
+//! pool of independent register *shards* — each with its own writer, `S`
+//! base objects and `R` readers — on one shared cluster, and assigns every
+//! distinct key its own shard on first write. Operations on different keys
+//! run through disjoint automata and proceed in parallel across the worker
+//! pool; operations on one key keep the paper's SWMR semantics (the
+//! per-shard write lock *is* the single writer).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use parking_lot::Mutex;
+
+use vrr_sim::{Automaton, ProcessId};
+
+use vrr_core::{Msg, ReadReport, StorageConfig, Value, WriteReport};
+
+use crate::cluster::Cluster;
+use crate::router::LinkPolicy;
+use crate::storage::{
+    blocking_read, blocking_write, spawn_register_group, ProtocolKind, RegisterGroup,
+};
+
+/// One register shard plus the client-side locks that keep its automata
+/// single-invocation (SWMR writer; one outstanding read per reader).
+struct Shard {
+    group: RegisterGroup,
+    write_lock: Mutex<()>,
+    reader_locks: Vec<Mutex<()>>,
+}
+
+/// A multi-key register store: each key is served by its own register
+/// shard (writer + objects + readers) on one shared worker-pool cluster.
+///
+/// Shards are provisioned up front (`capacity`) and bound to keys on first
+/// write, so the id space stays dense and the cluster can seal; writes to
+/// more than `capacity` distinct keys panic. Reads of never-written keys
+/// return `None` without touching the network.
+///
+/// # Examples
+///
+/// ```
+/// use vrr_runtime::{ShardedStore, ProtocolKind, NoDelay};
+/// use vrr_core::StorageConfig;
+///
+/// let cfg = StorageConfig::optimal(1, 1, 1);
+/// let store: ShardedStore<&'static str, u64> =
+///     ShardedStore::deploy(cfg, ProtocolKind::RegularOptimized, Box::new(NoDelay), 4);
+/// store.write("alpha", 1);
+/// store.write("beta", 2);
+/// assert_eq!(store.read(&"alpha", 0).unwrap().value, Some(1));
+/// assert_eq!(store.read(&"beta", 0).unwrap().value, Some(2));
+/// assert_eq!(store.read(&"gamma", 0), None);
+/// ```
+pub struct ShardedStore<K: Eq + Hash, V: Value> {
+    cluster: Cluster<Msg<V>>,
+    kind: ProtocolKind,
+    cfg: StorageConfig,
+    shards: Vec<Shard>,
+    /// key → shard slot, assigned on first write.
+    index: Mutex<HashMap<K, usize>>,
+}
+
+impl<K: Eq + Hash, V: Value> ShardedStore<K, V> {
+    /// Deploys `capacity` register shards — each `cfg.s` objects, one
+    /// writer and `cfg.readers` readers running `kind` — over one shared
+    /// cluster with one worker per available CPU.
+    pub fn deploy(
+        cfg: StorageConfig,
+        kind: ProtocolKind,
+        policy: Box<dyn LinkPolicy<Msg<V>>>,
+        capacity: usize,
+    ) -> Self {
+        Self::deploy_with_objects(cfg, kind, policy, capacity, |_shard, _i| None)
+    }
+
+    /// Like [`ShardedStore::deploy`], but `factory(shard, i)` may
+    /// substitute the automaton of object `i` in `shard` — the hook for
+    /// deploying Byzantine objects on selected shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn deploy_with_objects(
+        cfg: StorageConfig,
+        kind: ProtocolKind,
+        policy: Box<dyn LinkPolicy<Msg<V>>>,
+        capacity: usize,
+        mut factory: impl FnMut(usize, usize) -> Option<Box<dyn Automaton<Msg<V>>>>,
+    ) -> Self {
+        assert!(capacity > 0, "a sharded store needs at least one shard");
+        let mut cluster: Cluster<Msg<V>> = Cluster::new(policy);
+        let shards: Vec<Shard> = (0..capacity)
+            .map(|s| {
+                let group = spawn_register_group(&mut cluster, cfg, kind, |i| factory(s, i));
+                Shard {
+                    group,
+                    write_lock: Mutex::new(()),
+                    reader_locks: (0..cfg.readers).map(|_| Mutex::new(())).collect(),
+                }
+            })
+            .collect();
+        cluster.seal();
+        ShardedStore {
+            cluster,
+            kind,
+            cfg,
+            shards,
+            index: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The per-shard sizing.
+    pub fn config(&self) -> StorageConfig {
+        self.cfg
+    }
+
+    /// The protocol variant.
+    pub fn kind(&self) -> ProtocolKind {
+        self.kind
+    }
+
+    /// Number of provisioned shards.
+    pub fn capacity(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of keys bound to a shard so far.
+    pub fn len(&self) -> usize {
+        self.index.lock().len()
+    }
+
+    /// Whether no key was written yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The shard slot serving `key`, if it was ever written.
+    pub fn shard_of(&self, key: &K) -> Option<usize> {
+        self.index.lock().get(key).copied()
+    }
+
+    /// Blocking `WRITE(key, value)`; binds `key` to a fresh shard on first
+    /// use. Writes to different keys proceed in parallel; writes to one
+    /// key serialize (the register is single-writer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if all `capacity` shards are bound to other keys, or if the
+    /// write does not complete within the operation timeout.
+    pub fn write(&self, key: K, value: V) -> WriteReport {
+        let slot = {
+            let mut index = self.index.lock();
+            match index.get(&key) {
+                Some(&slot) => slot,
+                None => {
+                    let next = index.len();
+                    assert!(
+                        next < self.shards.len(),
+                        "ShardedStore over capacity: {} shards, {} distinct keys",
+                        self.shards.len(),
+                        next + 1,
+                    );
+                    index.insert(key, next);
+                    next
+                }
+            }
+        };
+        let shard = &self.shards[slot];
+        let _writing = shard.write_lock.lock();
+        blocking_write(&self.cluster, shard.group.writer, value)
+    }
+
+    /// Blocking `READ(key)` at reader index `j` of the key's shard, or
+    /// `None` if `key` was never written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= cfg.readers` or the read does not complete within
+    /// the operation timeout.
+    pub fn read(&self, key: &K, j: usize) -> Option<ReadReport<V>> {
+        let slot = self.shard_of(key)?;
+        let shard = &self.shards[slot];
+        let _reading = shard.reader_locks[j].lock();
+        Some(blocking_read(
+            &self.cluster,
+            self.kind,
+            shard.group.readers[j],
+        ))
+    }
+
+    /// Crashes object `idx` of shard `slot` (fault injection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` or `idx` is out of range.
+    pub fn crash_object(&self, slot: usize, idx: usize) {
+        self.cluster.crash(self.shards[slot].group.objects[idx]);
+    }
+
+    /// The object process ids of shard `slot` (for fault injection).
+    pub fn objects(&self, slot: usize) -> &[ProcessId] {
+        &self.shards[slot].group.objects
+    }
+
+    /// Access to the underlying cluster (fault injection, stats).
+    pub fn cluster(&self) -> &Cluster<Msg<V>> {
+        &self.cluster
+    }
+}
+
+impl<K: Eq + Hash, V: Value> std::fmt::Debug for ShardedStore<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedStore")
+            .field("kind", &self.kind)
+            .field("cfg", &self.cfg)
+            .field("capacity", &self.capacity())
+            .field("keys", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::NoDelay;
+
+    #[test]
+    fn distinct_keys_use_distinct_shards() {
+        let cfg = StorageConfig::optimal(1, 1, 1);
+        let store: ShardedStore<String, u64> =
+            ShardedStore::deploy(cfg, ProtocolKind::Regular, Box::new(NoDelay), 8);
+        for k in 0..8u64 {
+            store.write(format!("key-{k}"), k * 100);
+        }
+        assert_eq!(store.len(), 8);
+        for k in 0..8u64 {
+            let r = store.read(&format!("key-{k}"), 0).expect("written key");
+            assert_eq!(r.value, Some(k * 100));
+            assert_eq!(r.rounds, 2);
+        }
+        // All shards distinct.
+        let slots: std::collections::BTreeSet<usize> = (0..8u64)
+            .map(|k| store.shard_of(&format!("key-{k}")).unwrap())
+            .collect();
+        assert_eq!(slots.len(), 8);
+    }
+
+    #[test]
+    fn rewrites_to_one_key_stay_on_its_shard() {
+        let cfg = StorageConfig::optimal(1, 1, 2);
+        let store: ShardedStore<&'static str, u64> =
+            ShardedStore::deploy(cfg, ProtocolKind::RegularOptimized, Box::new(NoDelay), 2);
+        for gen in 1..=5u64 {
+            store.write("config", gen);
+            for j in 0..2 {
+                assert_eq!(store.read(&"config", j).unwrap().value, Some(gen));
+            }
+        }
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn unwritten_key_reads_none() {
+        let cfg = StorageConfig::optimal(1, 1, 1);
+        let store: ShardedStore<&'static str, u64> =
+            ShardedStore::deploy(cfg, ProtocolKind::Safe, Box::new(NoDelay), 1);
+        assert_eq!(store.read(&"ghost", 0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "over capacity")]
+    fn capacity_overflow_panics() {
+        let cfg = StorageConfig::optimal(1, 1, 1);
+        let store: ShardedStore<u64, u64> =
+            ShardedStore::deploy(cfg, ProtocolKind::Safe, Box::new(NoDelay), 2);
+        store.write(1, 1);
+        store.write(2, 2);
+        store.write(3, 3);
+    }
+
+    #[test]
+    fn shard_survives_crashes_within_budget() {
+        let cfg = StorageConfig::optimal(2, 1, 1); // S = 6, t = 2
+        let store: ShardedStore<&'static str, u64> =
+            ShardedStore::deploy(cfg, ProtocolKind::Safe, Box::new(NoDelay), 2);
+        store.write("a", 1);
+        store.write("b", 2);
+        let slot = store.shard_of(&"a").unwrap();
+        store.crash_object(slot, 0);
+        store.crash_object(slot, 3);
+        store.write("a", 10);
+        assert_eq!(store.read(&"a", 0).unwrap().value, Some(10));
+        assert_eq!(store.read(&"b", 0).unwrap().value, Some(2));
+    }
+}

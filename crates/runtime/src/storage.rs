@@ -29,6 +29,113 @@ pub enum ProtocolKind {
 /// policies.
 const OP_TIMEOUT: Duration = Duration::from_secs(30);
 
+/// Blocking `WRITE(value)` against `writer`, shared by [`StorageCluster`]
+/// and [`crate::ShardedStore`]: invoke the write, then await its outcome
+/// via a watcher.
+pub(crate) fn blocking_write<V: Value>(
+    cluster: &Cluster<Msg<V>>,
+    writer: ProcessId,
+    value: V,
+) -> WriteReport {
+    let id = cluster.invoke(writer, move |w: &mut Writer<V>, ctx| {
+        w.invoke_write(value, ctx)
+    });
+    let rx = cluster.watch(writer, move |w: &Writer<V>| {
+        w.outcome(id).map(|o| WriteReport {
+            ts: o.ts,
+            rounds: o.rounds,
+        })
+    });
+    rx.recv_timeout(OP_TIMEOUT)
+        .expect("WRITE must complete (wait-freedom)")
+}
+
+/// Blocking `READ()` against `reader`, shared by [`StorageCluster`] and
+/// [`crate::ShardedStore`].
+pub(crate) fn blocking_read<V: Value>(
+    cluster: &Cluster<Msg<V>>,
+    kind: ProtocolKind,
+    reader: ProcessId,
+) -> ReadReport<V> {
+    match kind {
+        ProtocolKind::Safe => {
+            let id = cluster.invoke(reader, |r: &mut SafeReader<V>, ctx| r.invoke_read(ctx));
+            let rx = cluster.watch(reader, move |r: &SafeReader<V>| {
+                r.outcome(id).map(|o| ReadReport {
+                    value: o.value.clone(),
+                    ts: o.ts,
+                    rounds: o.rounds,
+                })
+            });
+            rx.recv_timeout(OP_TIMEOUT)
+                .expect("READ must complete (wait-freedom)")
+        }
+        ProtocolKind::Regular | ProtocolKind::RegularOptimized => {
+            let id = cluster.invoke(reader, |r: &mut RegularReader<V>, ctx| r.invoke_read(ctx));
+            let rx = cluster.watch(reader, move |r: &RegularReader<V>| {
+                r.outcome(id).map(|o| ReadReport {
+                    value: o.value.clone(),
+                    ts: o.ts,
+                    rounds: o.rounds,
+                })
+            });
+            rx.recv_timeout(OP_TIMEOUT)
+                .expect("READ must complete (wait-freedom)")
+        }
+    }
+}
+
+/// Spawns the automata of one register group — `cfg.s` base objects, one
+/// writer, `cfg.readers` readers — onto `cluster`, consulting `factory`
+/// for Byzantine object substitutions. Shared by [`StorageCluster`] (one
+/// group) and [`crate::ShardedStore`] (one group per shard).
+pub(crate) fn spawn_register_group<V: Value>(
+    cluster: &mut Cluster<Msg<V>>,
+    cfg: StorageConfig,
+    kind: ProtocolKind,
+    mut factory: impl FnMut(usize) -> Option<Box<dyn Automaton<Msg<V>>>>,
+) -> RegisterGroup {
+    let objects: Vec<ProcessId> = (0..cfg.s)
+        .map(|i| -> ProcessId {
+            let automaton: Box<dyn Automaton<Msg<V>>> = match factory(i) {
+                Some(byzantine) => byzantine,
+                None => match kind {
+                    ProtocolKind::Safe => Box::new(SafeObject::<V>::new()),
+                    ProtocolKind::Regular | ProtocolKind::RegularOptimized => {
+                        Box::new(RegularObject::<V>::new())
+                    }
+                },
+            };
+            cluster.spawn(automaton)
+        })
+        .collect();
+    let writer = cluster.spawn(Box::new(Writer::<V>::new(cfg, objects.clone())));
+    let readers: Vec<ProcessId> = (0..cfg.readers)
+        .map(|j| {
+            let automaton: Box<dyn Automaton<Msg<V>>> = match kind {
+                ProtocolKind::Safe => Box::new(SafeReader::<V>::new(cfg, j, objects.clone())),
+                ProtocolKind::Regular => Box::new(RegularReader::<V>::new(cfg, j, objects.clone())),
+                ProtocolKind::RegularOptimized => {
+                    Box::new(RegularReader::<V>::new_optimized(cfg, j, objects.clone()))
+                }
+            };
+            cluster.spawn(automaton)
+        })
+        .collect();
+    RegisterGroup {
+        objects,
+        writer,
+        readers,
+    }
+}
+
+/// Process ids of one spawned register group.
+pub(crate) struct RegisterGroup {
+    pub(crate) objects: Vec<ProcessId>,
+    pub(crate) writer: ProcessId,
+    pub(crate) readers: Vec<ProcessId>,
+}
+
 /// A storage deployment on OS threads with a blocking client API.
 ///
 /// # Examples
@@ -72,46 +179,18 @@ impl<V: Value> StorageCluster<V> {
         cfg: StorageConfig,
         kind: ProtocolKind,
         policy: Box<dyn LinkPolicy<Msg<V>>>,
-        mut factory: impl FnMut(usize) -> Option<Box<dyn Automaton<Msg<V>>>>,
+        factory: impl FnMut(usize) -> Option<Box<dyn Automaton<Msg<V>>>>,
     ) -> Self {
         let mut cluster: Cluster<Msg<V>> = Cluster::new(policy);
-        let objects: Vec<ProcessId> = (0..cfg.s)
-            .map(|i| -> ProcessId {
-                let automaton: Box<dyn Automaton<Msg<V>>> = match factory(i) {
-                    Some(byzantine) => byzantine,
-                    None => match kind {
-                        ProtocolKind::Safe => Box::new(SafeObject::<V>::new()),
-                        ProtocolKind::Regular | ProtocolKind::RegularOptimized => {
-                            Box::new(RegularObject::<V>::new())
-                        }
-                    },
-                };
-                cluster.spawn(automaton)
-            })
-            .collect();
-        let writer = cluster.spawn(Box::new(Writer::<V>::new(cfg, objects.clone())));
-        let readers: Vec<ProcessId> = (0..cfg.readers)
-            .map(|j| {
-                let automaton: Box<dyn Automaton<Msg<V>>> = match kind {
-                    ProtocolKind::Safe => Box::new(SafeReader::<V>::new(cfg, j, objects.clone())),
-                    ProtocolKind::Regular => {
-                        Box::new(RegularReader::<V>::new(cfg, j, objects.clone()))
-                    }
-                    ProtocolKind::RegularOptimized => {
-                        Box::new(RegularReader::<V>::new_optimized(cfg, j, objects.clone()))
-                    }
-                };
-                cluster.spawn(automaton)
-            })
-            .collect();
+        let group = spawn_register_group(&mut cluster, cfg, kind, factory);
         cluster.seal();
         StorageCluster {
             cluster,
             kind,
             cfg,
-            objects,
-            writer,
-            readers,
+            objects: group.objects,
+            writer: group.writer,
+            readers: group.readers,
         }
     }
 
@@ -137,19 +216,7 @@ impl<V: Value> StorageCluster<V> {
     /// Panics if the write does not complete within the operation timeout —
     /// with at most `t` injected faults that is a wait-freedom violation.
     pub fn write(&self, value: V) -> WriteReport {
-        let id = self
-            .cluster
-            .invoke(self.writer, move |w: &mut Writer<V>, ctx| {
-                w.invoke_write(value, ctx)
-            });
-        let rx = self.cluster.watch(self.writer, move |w: &Writer<V>| {
-            w.outcome(id).map(|o| WriteReport {
-                ts: o.ts,
-                rounds: o.rounds,
-            })
-        });
-        rx.recv_timeout(OP_TIMEOUT)
-            .expect("WRITE must complete (wait-freedom)")
+        blocking_write(&self.cluster, self.writer, value)
     }
 
     /// Blocking `READ()` at reader `j`.
@@ -159,37 +226,7 @@ impl<V: Value> StorageCluster<V> {
     /// Panics if `j` is out of range or the read does not complete within
     /// the operation timeout.
     pub fn read(&self, j: usize) -> ReadReport<V> {
-        let reader = self.readers[j];
-        match self.kind {
-            ProtocolKind::Safe => {
-                let id = self
-                    .cluster
-                    .invoke(reader, |r: &mut SafeReader<V>, ctx| r.invoke_read(ctx));
-                let rx = self.cluster.watch(reader, move |r: &SafeReader<V>| {
-                    r.outcome(id).map(|o| ReadReport {
-                        value: o.value.clone(),
-                        ts: o.ts,
-                        rounds: o.rounds,
-                    })
-                });
-                rx.recv_timeout(OP_TIMEOUT)
-                    .expect("READ must complete (wait-freedom)")
-            }
-            ProtocolKind::Regular | ProtocolKind::RegularOptimized => {
-                let id = self
-                    .cluster
-                    .invoke(reader, |r: &mut RegularReader<V>, ctx| r.invoke_read(ctx));
-                let rx = self.cluster.watch(reader, move |r: &RegularReader<V>| {
-                    r.outcome(id).map(|o| ReadReport {
-                        value: o.value.clone(),
-                        ts: o.ts,
-                        rounds: o.rounds,
-                    })
-                });
-                rx.recv_timeout(OP_TIMEOUT)
-                    .expect("READ must complete (wait-freedom)")
-            }
-        }
+        blocking_read(&self.cluster, self.kind, self.readers[j])
     }
 
     /// Crashes object `idx`.

@@ -15,7 +15,7 @@
 //! |---|---|---|
 //! | [`core`] | `vrr-core` | the paper's safe (§4) and regular (§5, §5.1) protocols |
 //! | [`sim`] | `vrr-sim` | deterministic discrete-event simulator with a programmable adversary |
-//! | [`runtime`] | `vrr-runtime` | the same automata on OS threads with real message passing |
+//! | [`runtime`] | `vrr-runtime` | the same automata on a sharded worker-pool executor with batched mailboxes and multi-register storage |
 //! | [`baselines`] | `vrr-baselines` | ABD, masking-quorum fast reads, passive `b+1`-round reads |
 //! | [`checker`] | `vrr-checker` | safety / regularity / atomicity history oracles |
 //! | [`lowerbound`] | `vrr-lowerbound` | the Figure-1 impossibility as an executable harness |
@@ -55,7 +55,7 @@ pub mod sim {
     pub use vrr_sim::*;
 }
 
-/// Thread-based runtime (re-export of `vrr-runtime`).
+/// Worker-pool runtime (re-export of `vrr-runtime`).
 pub mod runtime {
     pub use vrr_runtime::*;
 }

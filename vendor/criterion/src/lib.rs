@@ -10,7 +10,40 @@
 #![warn(missing_docs)]
 
 use std::fmt::Display;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
+
+/// Whether this process already truncated the `CRITERION_JSON` file (each
+/// bench run starts the file fresh, then appends one line per benchmark).
+static JSON_STARTED: AtomicBool = AtomicBool::new(false);
+
+/// Appends one result line to the file named by `CRITERION_JSON`, if set.
+///
+/// The format is JSON Lines: one object per line with `group`, `id`,
+/// `iters` and `mean_ns` fields — enough for shape checks (relative
+/// comparisons) without a JSON parser dependency.
+fn record_json(group: &str, id: &str, iters: u64, mean_ns: u128) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    let fresh = !JSON_STARTED.swap(true, Ordering::SeqCst);
+    let file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(!fresh)
+        .truncate(fresh)
+        .write(true)
+        .open(&path);
+    match file {
+        Ok(mut f) => {
+            let _ = writeln!(
+                f,
+                "{{\"group\":\"{group}\",\"id\":\"{id}\",\"iters\":{iters},\"mean_ns\":{mean_ns}}}"
+            );
+        }
+        Err(e) => eprintln!("criterion shim: cannot write {path}: {e}"),
+    }
+}
 
 /// Prevents the optimizer from discarding a value (best-effort).
 pub fn black_box<T>(value: T) -> T {
@@ -101,6 +134,7 @@ impl BenchmarkGroup<'_> {
         f(&mut b);
         let per_iter = b.elapsed.as_nanos() / u128::from(b.iters.max(1));
         println!("{}/{}: {} iters, mean {} ns/iter", self.name, id.id, b.iters, per_iter);
+        record_json(&self.name, &id.id, b.iters, per_iter);
         self
     }
 
@@ -133,6 +167,7 @@ impl Criterion {
         f(&mut b);
         let per_iter = b.elapsed.as_nanos() / u128::from(b.iters.max(1));
         println!("{}: {} iters, mean {} ns/iter", name, b.iters, per_iter);
+        record_json("", name, b.iters, per_iter);
         self
     }
 }
