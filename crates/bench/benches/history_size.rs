@@ -1,17 +1,31 @@
-//! **B-HIST** — read cost versus history length (§5 vs §5.1).
+//! **B-HIST** — read cost versus history length (§5 vs §5.1 vs ack GC).
 //!
 //! Pre-loads a regular storage with `W` writes, then benchmarks a single
-//! read. The full-history variant's read time grows with `W` (every ACK
-//! ships the whole history); the §5.1 suffix variant stays flat once the
-//! reader's cache is warm — the measured twin of the `sec51_histsize`
-//! table.
+//! read. Three variants:
+//!
+//! * `full` — paper-faithful §5: every ACK ships the whole history, so
+//!   read time grows with `W`;
+//! * `suffix` — §5.1: cached reader + suffix transfers, flat once the
+//!   cache is warm;
+//! * `gcfull` — an *unoptimized* (full-history) reader over objects
+//!   running reader-ack GC, pre-loaded under steady-state load (a read
+//!   every few writes keeps the acks advancing). The ACK still ships the
+//!   whole retained history — but GC keeps that history bounded by the
+//!   read cadence, so read time stays flat without the §5.1 reader cache.
+//!
+//! The measured twin of the `sec51_histsize` table; `bench_shape` checks
+//! that `full` grows while `suffix` and `gcfull` stay flat.
 
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
+use vrr_core::regular::HistoryRetention;
 use vrr_core::{run_read, run_write, RegisterProtocol, RegularProtocol, StorageConfig};
 use vrr_sim::World;
+
+/// Steady-state read cadence for the GC variant (one read per N writes).
+const READ_EVERY: u64 = 8;
 
 fn bench_history_growth(c: &mut Criterion) {
     let mut group = c.benchmark_group("history/read");
@@ -19,23 +33,30 @@ fn bench_history_growth(c: &mut Criterion) {
         .sample_size(20)
         .measurement_time(Duration::from_secs(3));
     for writes in [10u64, 100, 500] {
-        for optimized in [false, true] {
-            let protocol = if optimized {
-                RegularProtocol::optimized()
-            } else {
-                RegularProtocol::full()
-            };
+        for (label, protocol) in [
+            ("full", RegularProtocol::full()),
+            ("suffix", RegularProtocol::optimized()),
+            (
+                "gcfull",
+                RegularProtocol::full().with_retention(HistoryRetention::reader_ack(1)),
+            ),
+        ] {
             let cfg = StorageConfig::optimal(1, 1, 1);
             let mut world: World<vrr_core::Msg<u64>> = World::new(9);
             let dep = RegisterProtocol::<u64>::deploy(&protocol, cfg, &mut world);
             world.start();
             for k in 1..=writes {
                 run_write(&protocol, &dep, &mut world, k);
+                // Steady-state load for the GC variant: interleaved reads
+                // keep the ack floor advancing so histories stay short.
+                if label == "gcfull" && k % READ_EVERY == 0 {
+                    run_read::<u64, _>(&protocol, &dep, &mut world, 0);
+                }
             }
-            // Warm the cache so the optimized variant ships short suffixes.
+            // Warm the cache so the optimized variant ships short suffixes
+            // (and, for gcfull, advertise the final ack to the objects).
             run_read::<u64, _>(&protocol, &dep, &mut world, 0);
 
-            let label = if optimized { "suffix" } else { "full" };
             group.bench_function(BenchmarkId::new(label, writes), |bch| {
                 bch.iter(|| {
                     let rep = run_read::<u64, _>(&protocol, &dep, &mut world, 0);

@@ -12,8 +12,9 @@
 //! cannot weaken the thresholds and stay safe at all).
 //!
 //! Also quantifies: message cost per read across protocols, and the
-//! history-GC extension (`HistoryRetention::KeepLast`) bounding object
-//! memory without touching round counts.
+//! history-GC policies (`HistoryRetention::ReaderAck` — the principled
+//! reader-ack truncation — and the `KeepLast` escape hatch) bounding
+//! object memory without touching round counts.
 //!
 //! Run with `cargo run --release -p vrr-bench --bin ablation`.
 
@@ -185,6 +186,8 @@ fn main() {
         HistoryRetention::KeepAll,
         HistoryRetention::KeepLast(8),
         HistoryRetention::KeepLast(2),
+        HistoryRetention::reader_ack(1),
+        HistoryRetention::reader_ack_capped(1, 8),
     ] {
         let protocol = RegularProtocol {
             optimized: true,
@@ -197,6 +200,11 @@ fn main() {
         let writes = 200u64;
         for k in 1..=writes {
             run_write(&protocol, &dep, &mut world, k);
+            // Periodic reads keep the ReaderAck floor advancing (and change
+            // nothing for the other policies).
+            if k % 25 == 0 {
+                run_read::<u64, _>(&protocol, &dep, &mut world, 0);
+            }
         }
         let rep = run_read::<u64, _>(&protocol, &dep, &mut world, 0);
         let hist_len = world.inspect(dep.objects[0], |o: &RegularObject<u64>| o.history().len());

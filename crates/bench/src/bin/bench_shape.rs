@@ -215,6 +215,23 @@ fn main() -> ExitCode {
         "suffix read far below full read at 500 writes",
     );
 
+    println!("shape: reader-ack GC keeps full-history reads flat");
+    // The gcfull variant ships *whole* histories (no §5.1 reader cache),
+    // but ack GC bounds those histories by the read cadence: its read
+    // cost must not scale with W and must sit far below keep-all.
+    c.le(
+        "history/read/gcfull/500",
+        "history/read/gcfull/10",
+        3.0,
+        "ack-GC read cost flat in run length",
+    );
+    c.le(
+        "history/read/gcfull/500",
+        "history/read/full/500",
+        0.35,
+        "ack-GC far below keep-all at 500 writes",
+    );
+
     if c.failures.is_empty() {
         println!("bench shape: all {} relations hold", c.checks);
         ExitCode::SUCCESS

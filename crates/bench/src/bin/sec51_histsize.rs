@@ -1,18 +1,27 @@
-//! **E-51 — §5.1 performance optimization**: objects can ship history
-//! *suffixes* against a reader-side cache instead of full histories.
+//! **E-51 — §5.1 performance optimization and reader-ack history GC**:
+//! objects can ship history *suffixes* against a reader-side cache instead
+//! of full histories, and — the repo's extension — truncate their own
+//! histories below the floor every reader has acknowledged.
 //!
-//! For increasing run lengths (number of writes `W`), performs one read
-//! per variant and measures the read's network cost: bytes delivered to
-//! the reader, average/max `READk_ACK` size, and the object-side history
-//! length. Round counts stay at 2 in both variants.
+//! Part 1: for increasing run lengths (number of writes `W`), performs one
+//! read per variant and measures the read's network cost: bytes delivered
+//! to the reader, average/max `READk_ACK` size, and the object-side
+//! history length. Round counts stay at 2 in both variants.
 //!
 //! Expected shape (paper §5.1): the unoptimized ack size grows linearly in
 //! `W` ("storage exhaustion" caveat), while the optimized variant's acks
 //! stay O(1) once the cache is warm — a "drastic decrease" in message
-//! size. Run with `cargo run --release -p vrr-bench --bin sec51_histsize`.
+//! size.
+//!
+//! Part 2: steady-state load (reads interleaved with writes, so reader
+//! acks keep advancing) under `KeepAll` vs. `ReaderAck` retention. §5.1
+//! alone bounds only the *transfer*; the object history still grows
+//! linearly in `W`. With ack GC the history length goes **flat** — bounded
+//! by the read cadence (reader concurrency), not the run length. Run with
+//! `cargo run --release -p vrr-bench --bin sec51_histsize`.
 
 use vrr_bench::{f2, Table};
-use vrr_core::regular::RegularObject;
+use vrr_core::regular::{HistoryRetention, RegularObject};
 use vrr_core::{Msg, RegisterProtocol, RegularProtocol, StorageConfig};
 use vrr_sim::World;
 
@@ -69,6 +78,38 @@ fn probe(optimized: bool, writes: u64) -> Probe {
     }
 }
 
+/// How often the steady-state reader reads (and thereby acks): one read
+/// per `READ_EVERY` writes.
+const READ_EVERY: u64 = 8;
+
+/// Steady-state run: `writes` writes with a read every [`READ_EVERY`]
+/// writes (so acks keep advancing), then one final read. Reports the
+/// worst object-side history length at the end of the run.
+fn probe_steady(retention: HistoryRetention, writes: u64) -> usize {
+    let protocol = RegularProtocol::optimized().with_retention(retention);
+    let cfg = StorageConfig::optimal(1, 1, 1); // S = 4, R = 1
+    let mut world: World<Msg<u64>> = World::new(13);
+    let dep = RegisterProtocol::<u64>::deploy(&protocol, cfg, &mut world);
+    world.start();
+
+    for k in 1..=writes {
+        vrr_core::run_write(&protocol, &dep, &mut world, k);
+        if k % READ_EVERY == 0 {
+            let rep = vrr_core::run_read::<u64, _>(&protocol, &dep, &mut world, 0);
+            assert_eq!(rep.value, Some(k), "steady-state read must see the tip");
+            assert_eq!(rep.rounds, 2, "GC must not cost rounds");
+        }
+    }
+    let rep = vrr_core::run_read::<u64, _>(&protocol, &dep, &mut world, 0);
+    assert_eq!(rep.value, Some(writes));
+
+    dep.objects
+        .iter()
+        .map(|&o| world.inspect(o, |obj: &RegularObject<u64>| obj.history().len()))
+        .max()
+        .unwrap_or(0)
+}
+
 fn main() {
     let mut table = Table::new(&[
         "W (writes)",
@@ -116,5 +157,52 @@ fn main() {
     println!(
         "Paper check: ack size grows with history in §5, stays flat under §5.1, \
          rounds unchanged at 2. ✔"
+    );
+
+    // ---- Part 2: object-side memory under steady-state load. -------------
+    let mut gc_table = Table::new(&["W (writes)", "retention", "max object history len"]);
+    let mut lens = std::collections::HashMap::new();
+    for writes in [100u64, 400, 1000] {
+        for (label, retention) in [
+            ("keep-all", HistoryRetention::KeepAll),
+            ("reader-ack", HistoryRetention::reader_ack(1)),
+        ] {
+            let len = probe_steady(retention, writes);
+            lens.insert((label, writes), len);
+            gc_table.row_owned(vec![writes.to_string(), label.to_string(), len.to_string()]);
+        }
+    }
+    gc_table.print("History GC: object memory, keep-all vs. reader-ack truncation");
+
+    let full_100 = lens[&("keep-all", 100u64)];
+    let full_1000 = lens[&("keep-all", 1000u64)];
+    let gc_100 = lens[&("reader-ack", 100u64)];
+    let gc_400 = lens[&("reader-ack", 400u64)];
+    let gc_1000 = lens[&("reader-ack", 1000u64)];
+    assert!(
+        full_1000 > full_100 + 800,
+        "keep-all must grow linearly in W: {full_100} -> {full_1000}"
+    );
+    // 400 and 1000 end at the same phase of the read cadence (both are
+    // multiples of READ_EVERY): the retained suffix must be identical —
+    // flat in W, where keep-all grew by 600 entries.
+    assert_eq!(
+        gc_400, gc_1000,
+        "reader-ack history length must be flat in W"
+    );
+    // And at *every* W it is bounded by the cadence, never the run length.
+    for gc in [gc_100, gc_400, gc_1000] {
+        assert!(
+            gc <= READ_EVERY as usize + 3,
+            "reader-ack history bounded by the read cadence, got {gc}"
+        );
+    }
+    println!(
+        "\nmax history len at W=1000: keep-all={full_1000} reader-ack={gc_1000} (flat; \
+         bounded by the read cadence of one read per {READ_EVERY} writes)"
+    );
+    println!(
+        "GC check: §5.1 bounds the transfer, reader acks bound the storage — \
+         object memory is O(reader concurrency), not O(run length). ✔"
     );
 }

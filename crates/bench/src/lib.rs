@@ -1,7 +1,7 @@
 //! # vrr-bench: experiment binaries and benches for every paper claim
 //!
 //! Each binary under `src/bin/` regenerates one figure/claim of the paper
-//! (see `DESIGN.md` §4 for the index); the Criterion benches under
+//! (see `ARCHITECTURE.md` for the index); the Criterion benches under
 //! `benches/` measure wall-clock behaviour on the thread runtime. This
 //! library hosts the small shared toolkit: an aligned-table printer and
 //! common scenario helpers.

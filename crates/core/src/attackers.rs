@@ -36,16 +36,22 @@ pub enum AttackerKind {
     Stale,
     /// Alternates between a phantom value and honest answers.
     Equivocator,
+    /// Lies about history suffixes: answers every read with an *empty*
+    /// history, as if garbage collection had already discarded everything
+    /// the reader asked for. (Against the safe protocol, which has no
+    /// histories, this degenerates to [`AttackerKind::Stale`].)
+    Truncator,
 }
 
 impl AttackerKind {
     /// All attacker kinds, for sweep experiments.
-    pub const ALL: [AttackerKind; 5] = [
+    pub const ALL: [AttackerKind; 6] = [
         AttackerKind::Mute,
         AttackerKind::Inflator,
         AttackerKind::Conflicter,
         AttackerKind::Stale,
         AttackerKind::Equivocator,
+        AttackerKind::Truncator,
     ];
 
     /// Builds this attacker against the safe protocol.
@@ -54,7 +60,7 @@ impl AttackerKind {
             AttackerKind::Mute => Box::new(vrr_sim::Mute),
             AttackerKind::Inflator => inflating_safe_object(forged),
             AttackerKind::Conflicter => conflicting_safe_object(cfg, forged),
-            AttackerKind::Stale => stale_safe_object(),
+            AttackerKind::Stale | AttackerKind::Truncator => stale_safe_object(),
             AttackerKind::Equivocator => equivocating_safe_object(forged),
         }
     }
@@ -71,6 +77,7 @@ impl AttackerKind {
             AttackerKind::Conflicter => conflicting_regular_object(cfg, forged),
             AttackerKind::Stale => stale_regular_object(),
             AttackerKind::Equivocator => equivocating_regular_object(forged),
+            AttackerKind::Truncator => truncating_regular_object(),
         }
     }
 }
@@ -239,6 +246,31 @@ pub fn conflicting_regular_object<V: Value>(
                     history,
                 }
             }
+            other => other,
+        };
+        vec![(to, msg)]
+    }))
+}
+
+/// Regular-protocol attacker: lies about suffixes — every read ACK claims
+/// an *empty* history, as if ack-driven GC had already truncated every
+/// entry the reader asked about (including entries the reader's own acks
+/// can not possibly have released).
+///
+/// Correct readers absorb this: an object reporting no entry at a
+/// candidate's position merely counts toward `invalid(c)`, never toward
+/// `safe(c)`, so the attacker can neither confirm phantoms nor starve a
+/// genuine candidate of its `b + 1` confirmations from correct objects
+/// (which retain everything at or above the true ack floor minus the
+/// window).
+pub fn truncating_regular_object<V: Value>() -> Box<dyn Automaton<Msg<V>>> {
+    Box::new(Tamper::new(RegularObject::<V>::new(), move |to, msg| {
+        let msg = match msg {
+            Msg::ReadAckRegular { round, tsr, .. } => Msg::ReadAckRegular {
+                round,
+                tsr,
+                history: crate::types::History::empty(),
+            },
             other => other,
         };
         vec![(to, msg)]

@@ -183,6 +183,26 @@ impl RegularProtocol {
             retention: HistoryRetention::KeepAll,
         }
     }
+
+    /// This protocol with a different object-side retention policy.
+    ///
+    /// `RegularProtocol::optimized().with_retention(HistoryRetention::reader_ack(r))`
+    /// is the bounded-memory production configuration: suffix transfers
+    /// (§5.1) bound message size, reader-ack GC bounds object memory.
+    #[must_use]
+    pub fn with_retention(mut self, retention: HistoryRetention) -> Self {
+        self.retention = retention;
+        self
+    }
+
+    /// The §5.1-optimized variant with reader-ack history GC for
+    /// `readers` reader clients (pass `cfg.readers`).
+    pub fn optimized_gc(readers: usize) -> Self {
+        RegularProtocol {
+            optimized: true,
+            retention: HistoryRetention::reader_ack(readers),
+        }
+    }
 }
 
 impl<V: Value> RegisterProtocol<V> for RegularProtocol {
@@ -198,6 +218,18 @@ impl<V: Value> RegisterProtocol<V> for RegularProtocol {
 
     fn deploy(&self, cfg: StorageConfig, world: &mut World<Msg<V>>) -> Deployment {
         let retention = self.retention;
+        if let HistoryRetention::ReaderAck { readers, .. } = retention {
+            // A policy covering fewer readers than are deployed would let
+            // the covered readers' acks truncate entries the un-gated
+            // readers still need — exactly the hole the min(acks) floor
+            // exists to close.
+            assert!(
+                readers >= cfg.readers,
+                "ReaderAck must gate on every deployed reader: policy covers \
+                 {readers}, deployment has {}",
+                cfg.readers
+            );
+        }
         let objects: Vec<ProcessId> = (0..cfg.s)
             .map(|i| {
                 world.spawn_named(

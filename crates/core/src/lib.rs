@@ -17,7 +17,10 @@
 //!   only ever return genuinely written values, and a read succeeding a
 //!   write returns it or something newer. Objects store full histories; the
 //!   §5.1 optimization ([`regular::RegularReader::new_optimized`]) ships
-//!   history suffixes against a reader-side cache.
+//!   history suffixes against a reader-side cache, and reader-ack–driven
+//!   garbage collection ([`regular::HistoryRetention::ReaderAck`]) bounds
+//!   object-side memory — the safety argument is in the [`regular`] module
+//!   docs.
 //!
 //! The automata are transport-agnostic ([`vrr_sim::Automaton`]) and run both
 //! under the deterministic simulator (`vrr-sim`) and the thread runtime

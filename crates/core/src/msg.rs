@@ -68,6 +68,14 @@ pub enum Msg<V> {
     /// `since` is `None` in the paper-faithful protocols; the §5.1
     /// optimization sets it to the reader's cached timestamp so objects ship
     /// only a history suffix.
+    ///
+    /// `ack` is the history-GC acknowledgement (an extension over the
+    /// paper): the highest write timestamp this reader has *returned* from
+    /// a completed READ. Regular objects running
+    /// [`crate::regular::HistoryRetention::ReaderAck`] collect these into a
+    /// per-reader ack vector and truncate history entries every reader has
+    /// moved past; the safe protocol keeps no history and always sends
+    /// [`Timestamp::ZERO`].
     Read {
         /// Round this request opens.
         round: ReadRound,
@@ -77,6 +85,10 @@ pub enum Msg<V> {
         tsr: u64,
         /// History suffix start for the optimized regular protocol.
         since: Option<Timestamp>,
+        /// Highest write timestamp the reader has safely returned
+        /// (history-GC acknowledgement; `Timestamp::ZERO` before the first
+        /// completed read and in the safe protocol).
+        ack: Timestamp,
     },
     /// `READk_ACK⟨tsr, pw, w⟩`: safe-protocol reply (Figure 3 line 16).
     ReadAckSafe {
@@ -112,10 +124,14 @@ impl<V: fmt::Debug> fmt::Debug for Msg<V> {
                 reader,
                 tsr,
                 since,
+                ack,
             } => {
                 write!(f, "READ{}⟨r{reader},tsr{tsr}", round.number())?;
                 if let Some(s) = since {
                     write!(f, ",since {s:?}")?;
+                }
+                if *ack > Timestamp::ZERO {
+                    write!(f, ",ack {ack:?}")?;
                 }
                 write!(f, "⟩")
             }
@@ -145,7 +161,7 @@ impl<V: Value> SimMessage for Msg<V> {
             Msg::Pw { pw, w, .. } | Msg::W { pw, w, .. } => 8 + pw.wire_size() + w.wire_size(),
             Msg::PwAck { tsr, .. } => 8 + tsr.len() * 16,
             Msg::WAck { .. } => 8,
-            Msg::Read { since, .. } => 8 + 8 + 8 + if since.is_some() { 8 } else { 0 },
+            Msg::Read { since, .. } => 8 + 8 + 8 + 8 + if since.is_some() { 8 } else { 0 },
             Msg::ReadAckSafe { pw, w, .. } => 8 + pw.wire_size() + w.wire_size(),
             Msg::ReadAckRegular { history, .. } => 8 + history.wire_size(),
         }
@@ -213,8 +229,17 @@ mod tests {
             reader: 2,
             tsr: 7,
             since: None,
+            ack: Timestamp::ZERO,
         };
         assert_eq!(format!("{m:?}"), "READ1⟨r2,tsr7⟩");
+        let m: Msg<u64> = Msg::Read {
+            round: ReadRound::R2,
+            reader: 0,
+            tsr: 8,
+            since: None,
+            ack: Timestamp(5),
+        };
+        assert_eq!(format!("{m:?}"), "READ2⟨r0,tsr8,ack ts5⟩");
         let m: Msg<u64> = Msg::WAck { ts: Timestamp(4) };
         assert_eq!(format!("{m:?}"), "W_ACK⟨ts4⟩");
     }

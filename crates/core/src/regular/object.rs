@@ -5,6 +5,15 @@
 //! timestamp to the `⟨pw, w⟩` recorded for that write. Read ACKs carry the
 //! history — the whole map in the paper-faithful mode, or the suffix from
 //! the reader's cached timestamp under the §5.1 optimization.
+//!
+//! "The entire run" is the paper's storage-exhaustion caveat. This module
+//! adds the repo's answer: a [`HistoryRetention`] policy, whose
+//! [`ReaderAck`](HistoryRetention::ReaderAck) variant implements the
+//! reader-ack–driven truncation the paper sketches — every `READk`
+//! message piggybacks the highest timestamp its reader has safely
+//! returned, and the object drops entries strictly below
+//! `min(acks) − window`. The safety argument (why this preserves
+//! regularity) lives in the [`crate::regular`] module docs.
 
 use std::collections::BTreeMap;
 
@@ -16,9 +25,22 @@ use crate::types::{HistEntry, History, Timestamp, Value};
 /// Garbage-collection policy for object histories.
 ///
 /// `KeepAll` is the paper's model (§5 explicitly accepts the storage-
-/// exhaustion risk). `KeepLast(n)` is an *extension* for long-running
-/// deployments: it bounds history length at the cost of occasionally
-/// forcing the optimized reader onto its cached value.
+/// exhaustion risk). The other two variants are *extensions* for
+/// long-running deployments:
+///
+/// * [`ReaderAck`](HistoryRetention::ReaderAck) — the principled policy:
+///   readers piggyback the highest timestamp they have safely returned
+///   onto every `READk` message, the object keeps a per-reader ack
+///   vector, and truncates every entry strictly below
+///   `min(acks) − window`. See the safety argument in
+///   [`crate::regular`]: no correct reader can ever again need a
+///   truncated entry, so reads remain regular.
+/// * [`KeepLast`](HistoryRetention::KeepLast) — the ad-hoc escape hatch:
+///   keep the `n` newest entries unconditionally. Not ack-driven, so a
+///   read concurrent with many writes can in principle be forced onto a
+///   stale-but-written value; useful as a hard memory bound when a
+///   reader may have crashed and stopped acking (see the `cap` field of
+///   `ReaderAck`, which composes both).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum HistoryRetention {
     /// Keep every entry (paper-faithful).
@@ -26,6 +48,48 @@ pub enum HistoryRetention {
     KeepAll,
     /// Keep only the `n` highest-timestamp entries (`n ≥ 1`).
     KeepLast(usize),
+    /// Reader-ack–driven truncation: drop entries strictly below
+    /// `min(acks over all `readers`) − window`.
+    ReaderAck {
+        /// Number of reader clients `R` whose acknowledgements gate
+        /// truncation. A reader that has never completed a read counts as
+        /// ack 0, so nothing is truncated until every reader has returned
+        /// at least once.
+        readers: usize,
+        /// Concurrency window: extra entries kept below the ack floor
+        /// (`≥ 1`). A reader that returned timestamp `a` proves only that
+        /// write `a − 1` *completed* before its next read begins (write
+        /// `a` itself may still be in flight), so entries down to
+        /// `min(acks) − 1` must survive; `window = 1` is the tight bound.
+        window: u64,
+        /// Optional hard length cap (`KeepLast`-style) applied on top, so
+        /// a crashed reader that never acks cannot pin the history
+        /// forever. `None` = unbounded staleness protection, bounded
+        /// memory only while every reader keeps acking.
+        cap: Option<usize>,
+    },
+}
+
+impl HistoryRetention {
+    /// The reader-ack GC policy with the tight concurrency window
+    /// (`window = 1`) and no length cap.
+    pub fn reader_ack(readers: usize) -> Self {
+        HistoryRetention::ReaderAck {
+            readers,
+            window: 1,
+            cap: None,
+        }
+    }
+
+    /// [`HistoryRetention::reader_ack`] plus a hard length cap, so a
+    /// crashed (never-acking) reader cannot block truncation forever.
+    pub fn reader_ack_capped(readers: usize, cap: usize) -> Self {
+        HistoryRetention::ReaderAck {
+            readers,
+            window: 1,
+            cap: Some(cap),
+        }
+    }
 }
 
 /// A correct base object of the regular protocol.
@@ -34,6 +98,9 @@ pub struct RegularObject<V> {
     ts: Timestamp,
     history: History<V>,
     tsr: BTreeMap<usize, u64>,
+    /// Per-reader GC acknowledgements: highest write timestamp reader `j`
+    /// reported having returned (extension; feeds `ReaderAck` retention).
+    acks: BTreeMap<usize, Timestamp>,
     retention: HistoryRetention,
 }
 
@@ -48,15 +115,36 @@ impl<V: Value> RegularObject<V> {
     ///
     /// # Panics
     ///
-    /// Panics if the policy is `KeepLast(0)`.
+    /// Panics if the policy is `KeepLast(0)`, or a `ReaderAck` with
+    /// `readers == 0`, `window == 0`, or `cap == Some(0)`.
     pub fn with_retention(retention: HistoryRetention) -> Self {
-        if let HistoryRetention::KeepLast(n) = retention {
-            assert!(n >= 1, "KeepLast must retain at least one entry");
+        match retention {
+            HistoryRetention::KeepAll => {}
+            HistoryRetention::KeepLast(n) => {
+                assert!(n >= 1, "KeepLast must retain at least one entry");
+            }
+            HistoryRetention::ReaderAck {
+                readers,
+                window,
+                cap,
+            } => {
+                assert!(readers >= 1, "ReaderAck needs at least one reader");
+                assert!(
+                    window >= 1,
+                    "ReaderAck window must be at least one entry: a reader's \
+                     ack a only proves write a-1 completed"
+                );
+                assert!(
+                    cap != Some(0),
+                    "ReaderAck cap must retain at least one entry"
+                );
+            }
         }
         RegularObject {
             ts: Timestamp::ZERO,
             history: History::initial(),
             tsr: BTreeMap::new(),
+            acks: BTreeMap::new(),
             retention,
         }
     }
@@ -76,15 +164,64 @@ impl<V: Value> RegularObject<V> {
         self.tsr.get(&j).copied().unwrap_or(0)
     }
 
+    /// The GC acknowledgement recorded for reader `j`
+    /// ([`Timestamp::ZERO`] if the reader never completed a read).
+    pub fn reader_ack(&self, j: usize) -> Timestamp {
+        self.acks.get(&j).copied().unwrap_or(Timestamp::ZERO)
+    }
+
+    /// The retention policy this object runs.
+    pub fn retention(&self) -> HistoryRetention {
+        self.retention
+    }
+
+    /// `min(acks)` over the first `readers` reader indices — the highest
+    /// timestamp *every* reader has moved past.
+    fn ack_floor(&self, readers: usize) -> Timestamp {
+        (0..readers)
+            .map(|j| self.reader_ack(j))
+            .min()
+            .unwrap_or(Timestamp::ZERO)
+    }
+
+    /// Records reader `j`'s piggybacked ack (monotone: stale or reordered
+    /// READ messages can only repeat lower values, never regress it).
+    fn record_ack(&mut self, j: usize, ack: Timestamp) {
+        let slot = self.acks.entry(j).or_insert(Timestamp::ZERO);
+        if ack > *slot {
+            *slot = ack;
+        }
+    }
+
+    /// Drops everything but the `n` highest-timestamp entries.
+    fn keep_last(&mut self, n: usize) {
+        if self.history.len() > n {
+            let keep_from = {
+                let mut keys: Vec<Timestamp> = self.history.iter().map(|(ts, _)| ts).collect();
+                keys.sort_unstable();
+                keys[keys.len() - n]
+            };
+            self.history.retain_from(keep_from);
+        }
+    }
+
     fn apply_retention(&mut self) {
-        if let HistoryRetention::KeepLast(n) = self.retention {
-            if self.history.len() > n {
-                let keep_from = {
-                    let mut keys: Vec<Timestamp> = self.history.iter().map(|(ts, _)| ts).collect();
-                    keys.sort_unstable();
-                    keys[keys.len() - n]
-                };
-                self.history.retain_from(keep_from);
+        match self.retention {
+            HistoryRetention::KeepAll => {}
+            HistoryRetention::KeepLast(n) => self.keep_last(n),
+            HistoryRetention::ReaderAck {
+                readers,
+                window,
+                cap,
+            } => {
+                let floor = self.ack_floor(readers);
+                let cut = Timestamp(floor.0.saturating_sub(window));
+                if cut > Timestamp::ZERO {
+                    self.history.retain_from(cut);
+                }
+                if let Some(n) = cap {
+                    self.keep_last(n);
+                }
             }
         }
     }
@@ -100,8 +237,7 @@ impl<V: Value> Automaton<Msg<V>> for RegularObject<V> {
     fn on_message(&mut self, from: ProcessId, msg: Msg<V>, ctx: &mut Context<'_, Msg<V>>) {
         match msg {
             // Figure 5 lines 4–9 (with the §5 prose indexing: history[ts'],
-            // history[ts'−1]; the figure's `history[ts]` is a typo — see
-            // DESIGN.md).
+            // history[ts'−1]; the figure's `history[ts]` is a typo).
             Msg::Pw { ts, pw, w } => {
                 if ts > self.ts {
                     self.history.insert(ts, HistEntry { pw, w: None });
@@ -134,13 +270,20 @@ impl<V: Value> Automaton<Msg<V>> for RegularObject<V> {
                     ctx.send(from, Msg::WAck { ts });
                 }
             }
-            // Figure 5 lines 15–19, plus the §5.1 suffix optimization.
+            // Figure 5 lines 15–19, plus the §5.1 suffix optimization and
+            // the reader-ack GC extension.
             Msg::Read {
                 round,
                 reader,
                 tsr,
                 since,
+                ack,
             } => {
+                // Harvest the GC ack before the freshness check: acks are
+                // monotone, so even a stale or reordered READ carries
+                // information safe to record.
+                self.record_ack(reader, ack);
+                self.apply_retention();
                 if tsr > self.tsr(reader) {
                     self.tsr.insert(reader, tsr);
                     let history = match since {
@@ -202,6 +345,16 @@ mod tests {
         }
     }
 
+    fn read_msg(reader: usize, tsr: u64, since: Option<u64>, ack: u64) -> Msg<u64> {
+        Msg::Read {
+            round: ReadRound::R1,
+            reader,
+            tsr,
+            since: since.map(Timestamp),
+            ack: Timestamp(ack),
+        }
+    }
+
     #[test]
     fn initial_history_has_entry_zero() {
         let obj: RegularObject<u64> = RegularObject::new();
@@ -248,15 +401,7 @@ mod tests {
         let mut obj = RegularObject::new();
         step(&mut obj, pw_msg(1, 10, WTuple::initial()));
         step(&mut obj, w_msg(1, 10));
-        let out = step(
-            &mut obj,
-            Msg::Read {
-                round: ReadRound::R1,
-                reader: 0,
-                tsr: 1,
-                since: None,
-            },
-        );
+        let out = step(&mut obj, read_msg(0, 1, None, 0));
         match &out[..] {
             [(_, Msg::ReadAckRegular { history, .. })] => {
                 assert_eq!(history.len(), 2, "entries 0 and 1");
@@ -272,15 +417,7 @@ mod tests {
             step(&mut obj, pw_msg(k, k * 10, tuple(k - 1, (k - 1) * 10)));
             step(&mut obj, w_msg(k, k * 10));
         }
-        let out = step(
-            &mut obj,
-            Msg::Read {
-                round: ReadRound::R1,
-                reader: 0,
-                tsr: 1,
-                since: Some(Timestamp(4)),
-            },
-        );
+        let out = step(&mut obj, read_msg(0, 1, Some(4), 0));
         match &out[..] {
             [(_, Msg::ReadAckRegular { history, .. })] => {
                 assert_eq!(history.len(), 2, "entries 4 and 5 only");
@@ -293,24 +430,8 @@ mod tests {
     #[test]
     fn stale_reader_timestamp_gets_no_reply() {
         let mut obj: RegularObject<u64> = RegularObject::new();
-        step(
-            &mut obj,
-            Msg::Read {
-                round: ReadRound::R1,
-                reader: 0,
-                tsr: 4,
-                since: None,
-            },
-        );
-        let out = step(
-            &mut obj,
-            Msg::Read {
-                round: ReadRound::R1,
-                reader: 0,
-                tsr: 4,
-                since: None,
-            },
-        );
+        step(&mut obj, read_msg(0, 4, None, 0));
+        let out = step(&mut obj, read_msg(0, 4, None, 0));
         assert!(out.is_empty());
     }
 
@@ -332,5 +453,116 @@ mod tests {
     #[should_panic(expected = "at least one entry")]
     fn keep_last_zero_rejected() {
         let _ = RegularObject::<u64>::with_retention(HistoryRetention::KeepLast(0));
+    }
+
+    // ---- Reader-ack–driven GC ---------------------------------------------
+
+    /// Object with ack GC for 2 readers, preloaded with writes 1..=n.
+    fn gc_obj(readers: usize, n: u64) -> RegularObject<u64> {
+        let mut obj = RegularObject::with_retention(HistoryRetention::reader_ack(readers));
+        for k in 1..=n {
+            step(&mut obj, pw_msg(k, k * 10, tuple(k - 1, (k - 1) * 10)));
+            step(&mut obj, w_msg(k, k * 10));
+        }
+        obj
+    }
+
+    #[test]
+    fn reader_ack_truncates_below_floor_minus_window() {
+        let mut obj = gc_obj(1, 10);
+        assert_eq!(obj.history().len(), 11, "entries 0..=10 before any ack");
+        step(&mut obj, read_msg(0, 1, None, 8));
+        assert_eq!(obj.reader_ack(0), Timestamp(8));
+        // floor = 8, window = 1: entries 7..=10 survive.
+        assert_eq!(obj.history().len(), 4);
+        assert!(obj.history().get(Timestamp(7)).is_some());
+        assert!(obj.history().get(Timestamp(6)).is_none());
+        assert!(obj.history().get(Timestamp::ZERO).is_none());
+    }
+
+    #[test]
+    fn slowest_reader_gates_the_floor() {
+        let mut obj = gc_obj(2, 10);
+        // Only reader 0 acks: reader 1's implicit ack 0 pins the floor.
+        step(&mut obj, read_msg(0, 1, None, 9));
+        assert_eq!(obj.history().len(), 11, "min(9, 0) - 1 < 1: nothing cut");
+        // Reader 1 catches up to 5: floor = min(9, 5) = 5, cut below 4.
+        step(&mut obj, read_msg(1, 1, None, 5));
+        assert_eq!(obj.history().len(), 7, "entries 4..=10");
+        assert!(obj.history().get(Timestamp(4)).is_some());
+        assert!(obj.history().get(Timestamp(3)).is_none());
+    }
+
+    #[test]
+    fn acks_are_monotone_under_reordered_reads() {
+        let mut obj = gc_obj(1, 10);
+        step(&mut obj, read_msg(0, 5, None, 8));
+        let len_after = obj.history().len();
+        // A reordered older READ (stale tsr, lower ack) must not regress
+        // the ack or resurrect anything — and gets no reply.
+        let out = step(&mut obj, read_msg(0, 3, None, 2));
+        assert!(out.is_empty(), "stale tsr still gets no reply");
+        assert_eq!(obj.reader_ack(0), Timestamp(8));
+        assert_eq!(obj.history().len(), len_after);
+    }
+
+    #[test]
+    fn truncation_never_loses_the_newest_entry() {
+        let mut obj = gc_obj(1, 3);
+        // Ack far beyond anything written (impossible for a correct
+        // reader, but the object must stay well-defined).
+        step(&mut obj, read_msg(0, 1, None, 100));
+        assert_eq!(obj.history().len(), 1);
+        assert!(obj.history().get(Timestamp(3)).is_some());
+    }
+
+    #[test]
+    fn crashed_reader_blocks_truncation_without_cap() {
+        // Reader 1 never acks; with no cap the history grows forever.
+        let mut obj = gc_obj(2, 50);
+        step(&mut obj, read_msg(0, 1, None, 50));
+        assert_eq!(obj.history().len(), 51, "floor stuck at crashed reader");
+    }
+
+    #[test]
+    fn cap_bounds_history_despite_crashed_reader() {
+        let mut obj = RegularObject::with_retention(HistoryRetention::reader_ack_capped(2, 8));
+        for k in 1..=50u64 {
+            step(&mut obj, pw_msg(k, k, tuple(k - 1, k - 1)));
+            step(&mut obj, w_msg(k, k));
+        }
+        // Reader 1 is crashed (never acks), yet memory stays bounded.
+        assert!(obj.history().len() <= 8);
+        assert!(obj.history().get(Timestamp(50)).is_some());
+    }
+
+    #[test]
+    fn reads_after_truncation_ship_the_retained_suffix() {
+        let mut obj = gc_obj(1, 10);
+        step(&mut obj, read_msg(0, 1, None, 8));
+        let out = step(&mut obj, read_msg(0, 2, None, 8));
+        match &out[..] {
+            [(_, Msg::ReadAckRegular { history, .. })] => {
+                assert_eq!(history.len(), 4, "entries 7..=10");
+                assert_eq!(history.max_ts(), Some(Timestamp(10)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be at least one entry")]
+    fn reader_ack_zero_window_rejected() {
+        let _ = RegularObject::<u64>::with_retention(HistoryRetention::ReaderAck {
+            readers: 1,
+            window: 0,
+            cap: None,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one reader")]
+    fn reader_ack_zero_readers_rejected() {
+        let _ = RegularObject::<u64>::with_retention(HistoryRetention::reader_ack(0));
     }
 }

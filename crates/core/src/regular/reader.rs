@@ -80,6 +80,12 @@ pub struct RegularReader<V> {
     tuning: RegularTuning,
     /// `cache_j`: last returned pair (§5.1). `⟨0, ⊥⟩` initially.
     cache: TsVal<V>,
+    /// Highest write timestamp ever returned by this reader — piggybacked
+    /// as the history-GC acknowledgement on every `READk` message
+    /// (extension; see [`crate::regular::HistoryRetention::ReaderAck`]).
+    /// Monotone, unlike per-read return values, which regularity allows
+    /// to go back in time between reads.
+    acked: Timestamp,
     op: Option<RegOp<V>>,
     outcomes: HashMap<ReadId, ReadOutcome<V>>,
     next_id: u64,
@@ -129,6 +135,7 @@ impl<V: Value> RegularReader<V> {
             optimized,
             tuning,
             cache: TsVal::bottom(),
+            acked: Timestamp::ZERO,
             op: None,
             outcomes: HashMap::new(),
             next_id: 0,
@@ -163,6 +170,7 @@ impl<V: Value> RegularReader<V> {
             reader: self.j,
             tsr: tsr_fr,
             since: self.optimized.then_some(self.cache.ts),
+            ack: self.acked,
         };
         ctx.broadcast(self.objects.iter().copied(), msg);
         id
@@ -191,6 +199,12 @@ impl<V: Value> RegularReader<V> {
     /// Whether this reader runs the §5.1 optimization.
     pub fn is_optimized(&self) -> bool {
         self.optimized
+    }
+
+    /// The highest write timestamp this reader has returned — the GC
+    /// acknowledgement piggybacked on its `READk` messages.
+    pub fn acked(&self) -> Timestamp {
+        self.acked
     }
 
     // ---- Figure 6 predicates ------------------------------------------------
@@ -309,6 +323,7 @@ impl<V: Value> RegularReader<V> {
                 reader: j,
                 tsr,
                 since,
+                ack: self.acked,
             };
             ctx.broadcast(self.objects.iter().copied(), msg);
         }
@@ -335,6 +350,8 @@ impl<V: Value> RegularReader<V> {
                         rounds,
                     },
                 );
+                // No acked update: acked >= cache.ts is invariant (the
+                // cache is only ever set alongside an acked raise).
                 self.op = None;
             }
             return;
@@ -362,6 +379,7 @@ impl<V: Value> RegularReader<V> {
                     rounds,
                 },
             );
+            self.acked = self.acked.max(cret.ts());
             if self.optimized {
                 self.cache = cret.tsval.clone();
             }
@@ -745,6 +763,73 @@ mod tests {
             "cache returned; the below-since forgery died"
         );
         assert_eq!(got.ts, Timestamp(2));
+    }
+
+    #[test]
+    fn reads_piggyback_the_highest_returned_timestamp() {
+        let mut r = reader();
+        assert_eq!(r.acked(), Timestamp::ZERO);
+        let (_, out) = invoke(&mut r);
+        assert!(
+            matches!(
+                out[0].1,
+                Msg::Read {
+                    ack: Timestamp::ZERO,
+                    ..
+                }
+            ),
+            "no read completed yet: ack 0"
+        );
+        for i in 0..3 {
+            deliver(&mut r, i, ack(ReadRound::R1, 1, full_history(3)));
+        }
+        assert_eq!(r.acked(), Timestamp(3), "ack tracks the returned ts");
+
+        // The next read advertises ack 3 in round 1...
+        let (_, out2) = invoke(&mut r);
+        assert!(matches!(
+            out2[0].1,
+            Msg::Read {
+                ack: Timestamp(3),
+                ..
+            }
+        ));
+        // ...and in round 2.
+        let mut round2 = Vec::new();
+        for i in 0..3 {
+            round2.extend(deliver(&mut r, i, ack(ReadRound::R1, 3, full_history(3))));
+        }
+        assert!(round2.iter().any(|(_, m)| matches!(
+            m,
+            Msg::Read {
+                round: ReadRound::R2,
+                ack: Timestamp(3),
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn acked_never_regresses_when_reads_go_back_in_time() {
+        // Regularity lets a later read return an older (concurrently
+        // written) value; the GC ack must keep the high-water mark, or
+        // objects could truncate entries the reader just proved it needs.
+        let mut r = reader();
+        let (id1, _) = invoke(&mut r);
+        for i in 0..3 {
+            deliver(&mut r, i, ack(ReadRound::R1, 1, full_history(5)));
+        }
+        assert_eq!(r.outcome(id1).unwrap().ts, Timestamp(5));
+        assert_eq!(r.acked(), Timestamp(5));
+
+        // Second read: objects now report only up to write 3 (e.g. the
+        // first answer quorum was different).
+        let (id2, _) = invoke(&mut r);
+        for i in 0..3 {
+            deliver(&mut r, i, ack(ReadRound::R1, 3, full_history(3)));
+        }
+        assert_eq!(r.outcome(id2).unwrap().ts, Timestamp(3));
+        assert_eq!(r.acked(), Timestamp(5), "high-water mark kept");
     }
 
     #[test]

@@ -231,6 +231,7 @@ mod tests {
                 reader: 3,
                 tsr: 5,
                 since: None,
+                ack: Timestamp::ZERO,
             },
         );
         assert_eq!(obj.tsr(3), 5);
@@ -260,6 +261,7 @@ mod tests {
                 reader: 0,
                 tsr: 5,
                 since: None,
+                ack: Timestamp::ZERO,
             },
         );
         let out = step(
@@ -269,6 +271,7 @@ mod tests {
                 reader: 0,
                 tsr: 5,
                 since: None,
+                ack: Timestamp::ZERO,
             },
         );
         assert!(out.is_empty(), "equal tsr must be rejected (strict >)");
@@ -285,6 +288,7 @@ mod tests {
                 reader: 0,
                 tsr: 9,
                 since: None,
+                ack: Timestamp::ZERO,
             },
         );
         let out = step(
@@ -294,6 +298,7 @@ mod tests {
                 reader: 1,
                 tsr: 1,
                 since: None,
+                ack: Timestamp::ZERO,
             },
         );
         assert_eq!(out.len(), 1, "other readers' timestamps must not interfere");
@@ -312,6 +317,7 @@ mod tests {
                 reader: 0,
                 tsr: 2,
                 since: None,
+                ack: Timestamp::ZERO,
             },
         );
         let snap = obj.snapshot();

@@ -183,6 +183,8 @@ impl<V: Value> SafeReader<V> {
             reader: self.j,
             tsr: tsr_fr,
             since: None,
+            // The safe object keeps no history, so there is nothing to GC.
+            ack: Timestamp::ZERO,
         };
         ctx.broadcast(self.objects.iter().copied(), msg); // line 10
         id
@@ -319,6 +321,7 @@ impl<V: Value> SafeReader<V> {
                 reader: j,
                 tsr,
                 since: None,
+                ack: Timestamp::ZERO,
             };
             ctx.broadcast(self.objects.iter().copied(), msg);
         }

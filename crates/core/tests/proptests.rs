@@ -1,15 +1,16 @@
-//! Property tests on the core data structures and the conflict-free
-//! subset solver.
+//! Property tests on the core data structures, the conflict-free subset
+//! solver, and end-to-end regularity under random history-GC schedules.
 
 use proptest::prelude::*;
 
-use vrr_core::regular::RegularObject;
+use vrr_core::regular::{HistoryRetention, RegularObject};
 use vrr_core::safe::SafeObject;
 use vrr_core::{
-    conflict_free_of_size, max_conflict_free, HistEntry, History, Msg, ReadRound, Timestamp, TsVal,
-    TsrMatrix, WTuple,
+    conflict_free_of_size, max_conflict_free, run_read, run_write, HistEntry, History, Msg,
+    ReadRound, RegisterProtocol, RegularProtocol, StorageConfig, Timestamp, TsVal, TsrMatrix,
+    WTuple,
 };
-use vrr_sim::{Automaton, Context, ProcessId};
+use vrr_sim::{Automaton, Context, ProcessId, World};
 
 // ---------------------------------------------------------------------------
 // History
@@ -151,6 +152,7 @@ enum ObjStimulus {
         round: bool,
         reader: usize,
         tsr: u64,
+        ack: u64,
     },
 }
 
@@ -158,10 +160,13 @@ fn obj_stimulus() -> impl Strategy<Value = ObjStimulus> {
     prop_oneof![
         (1u64..50, any::<u64>()).prop_map(|(ts, v)| ObjStimulus::Pw { ts, v }),
         (1u64..50, any::<u64>()).prop_map(|(ts, v)| ObjStimulus::W { ts, v }),
-        (any::<bool>(), 0usize..3, 1u64..50).prop_map(|(round, reader, tsr)| ObjStimulus::Read {
-            round,
-            reader,
-            tsr
+        (any::<bool>(), 0usize..3, 1u64..50, 0u64..50).prop_map(|(round, reader, tsr, ack)| {
+            ObjStimulus::Read {
+                round,
+                reader,
+                tsr,
+                ack,
+            }
         }),
     ]
 }
@@ -181,11 +186,17 @@ fn to_msg(s: &ObjStimulus) -> Msg<u64> {
                 w: WTuple::new(tsval, TsrMatrix::empty()),
             }
         }
-        ObjStimulus::Read { round, reader, tsr } => Msg::Read {
+        ObjStimulus::Read {
+            round,
+            reader,
+            tsr,
+            ack,
+        } => Msg::Read {
             round: if round { ReadRound::R2 } else { ReadRound::R1 },
             reader,
             tsr,
             since: None,
+            ack: Timestamp(ack),
         },
     }
 }
@@ -233,6 +244,95 @@ proptest! {
             prop_assert!(obj.history().len() >= last_len, "history shrank under KeepAll");
             last_len = obj.history().len();
             prop_assert!(obj.history().get(Timestamp::ZERO).is_some(), "entry 0 must persist");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end regularity under random truncation schedules: whatever the GC
+// parameters and the interleaving of writes and reads, every read returns
+// the latest completed write (the sequential harness leaves no concurrency,
+// so regularity degenerates to exactly that), and once every reader has
+// acked, object histories shrink to the concurrency window.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum GcOp {
+    Write,
+    Read(usize),
+}
+
+fn gc_ops() -> impl Strategy<Value = Vec<GcOp>> {
+    proptest::collection::vec(
+        prop_oneof![Just(GcOp::Write), (0usize..2).prop_map(GcOp::Read),],
+        1..30,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn reads_stay_regular_under_random_truncation_schedules(
+        seed in 0u64..1 << 48,
+        window in 1u64..4,
+        cap in proptest::option::of(2usize..8),
+        optimized in any::<bool>(),
+        ops in gc_ops(),
+    ) {
+        let retention = HistoryRetention::ReaderAck { readers: 2, window, cap };
+        let protocol = RegularProtocol {
+            optimized,
+            retention,
+        };
+        let cfg = StorageConfig::optimal(1, 1, 2); // S = 4, R = 2
+        let mut world: World<Msg<u64>> = World::new(seed);
+        let dep = RegisterProtocol::<u64>::deploy(&protocol, cfg, &mut world);
+        world.start();
+
+        let mut written: u64 = 0;
+        for op in &ops {
+            match op {
+                GcOp::Write => {
+                    written += 1;
+                    run_write(&protocol, &dep, &mut world, written);
+                }
+                GcOp::Read(j) => {
+                    let rep = run_read::<u64, _>(&protocol, &dep, &mut world, *j);
+                    // Sequential harness: the read is concurrent with
+                    // nothing, so regularity demands exactly the latest
+                    // completed write (or ⊥ before the first write).
+                    let expect = (written > 0).then_some(written);
+                    prop_assert_eq!(
+                        rep.value, expect,
+                        "GC broke regularity (window {}, cap {:?}, optimized {})",
+                        window, cap, optimized
+                    );
+                    prop_assert_eq!(rep.rounds, 2, "GC must not cost rounds");
+                }
+            }
+        }
+
+        // Drive both readers until their acks reach the final write, then
+        // check the histories collapsed to the window (two reads each: the
+        // first advances acked, the second advertises it to the objects).
+        for _ in 0..2 {
+            for j in 0..2 {
+                let rep = run_read::<u64, _>(&protocol, &dep, &mut world, j);
+                let expect = (written > 0).then_some(written);
+                prop_assert_eq!(rep.value, expect);
+            }
+        }
+        // Deliver any READ broadcasts still in flight to the slowest
+        // object before inspecting histories.
+        world.run_to_quiescence(200_000);
+        let bound = (window as usize + 1).min(cap.unwrap_or(usize::MAX));
+        for &obj in &dep.objects {
+            let len = world.inspect(obj, |o: &RegularObject<u64>| o.history().len());
+            prop_assert!(
+                len <= bound,
+                "history len {} exceeds bound {} after full acks (window {}, cap {:?})",
+                len, bound, window, cap
+            );
         }
     }
 }

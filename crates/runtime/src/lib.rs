@@ -16,6 +16,15 @@
 //! objects and readers) over one shared [`Cluster`], giving key-value
 //! workloads true multi-key parallelism.
 //!
+//! Long-running regular deployments should pair the §5.1 suffix transfers
+//! with reader-ack history GC —
+//! [`StorageCluster::deploy_with_retention`] /
+//! [`ShardedStore::deploy_with_retention`] with
+//! [`vrr_core::regular::HistoryRetention::reader_ack`] — so object memory
+//! is bounded by reader concurrency instead of run length; the safety
+//! argument lives in the [`vrr_core::regular`] module docs, and
+//! `history_lens` exposes the observable both deployments are tested on.
+//!
 //! Use the simulator for correctness experiments (replayable adversarial
 //! schedules) and this runtime for wall-clock benchmarks and the networked
 //! examples — the protocol code is identical in both.

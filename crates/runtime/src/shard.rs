@@ -18,6 +18,7 @@ use parking_lot::Mutex;
 
 use vrr_sim::{Automaton, ProcessId};
 
+use vrr_core::regular::HistoryRetention;
 use vrr_core::{Msg, ReadReport, StorageConfig, Value, WriteReport};
 
 use crate::cluster::Cluster;
@@ -79,6 +80,24 @@ impl<K: Eq + Hash, V: Value> ShardedStore<K, V> {
         Self::deploy_with_objects(cfg, kind, policy, capacity, |_shard, _i| None)
     }
 
+    /// Like [`ShardedStore::deploy`], but every shard's regular objects
+    /// run `retention` instead of the paper-faithful
+    /// [`HistoryRetention::KeepAll`] — the bounded-memory configuration
+    /// for long-running multi-key deployments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn deploy_with_retention(
+        cfg: StorageConfig,
+        kind: ProtocolKind,
+        policy: Box<dyn LinkPolicy<Msg<V>>>,
+        capacity: usize,
+        retention: HistoryRetention,
+    ) -> Self {
+        Self::deploy_inner(cfg, kind, policy, capacity, retention, |_shard, _i| None)
+    }
+
     /// Like [`ShardedStore::deploy`], but `factory(shard, i)` may
     /// substitute the automaton of object `i` in `shard` — the hook for
     /// deploying Byzantine objects on selected shards.
@@ -91,13 +110,32 @@ impl<K: Eq + Hash, V: Value> ShardedStore<K, V> {
         kind: ProtocolKind,
         policy: Box<dyn LinkPolicy<Msg<V>>>,
         capacity: usize,
+        factory: impl FnMut(usize, usize) -> Option<Box<dyn Automaton<Msg<V>>>>,
+    ) -> Self {
+        Self::deploy_inner(
+            cfg,
+            kind,
+            policy,
+            capacity,
+            HistoryRetention::KeepAll,
+            factory,
+        )
+    }
+
+    fn deploy_inner(
+        cfg: StorageConfig,
+        kind: ProtocolKind,
+        policy: Box<dyn LinkPolicy<Msg<V>>>,
+        capacity: usize,
+        retention: HistoryRetention,
         mut factory: impl FnMut(usize, usize) -> Option<Box<dyn Automaton<Msg<V>>>>,
     ) -> Self {
         assert!(capacity > 0, "a sharded store needs at least one shard");
         let mut cluster: Cluster<Msg<V>> = Cluster::new(policy);
         let shards: Vec<Shard> = (0..capacity)
             .map(|s| {
-                let group = spawn_register_group(&mut cluster, cfg, kind, |i| factory(s, i));
+                let group =
+                    spawn_register_group(&mut cluster, cfg, kind, retention, |i| factory(s, i));
                 Shard {
                     group,
                     write_lock: Mutex::new(()),
@@ -208,6 +246,20 @@ impl<K: Eq + Hash, V: Value> ShardedStore<K, V> {
         &self.shards[slot].group.objects
     }
 
+    /// The current history length of every regular object in shard
+    /// `slot` — the memory-bound observable of the reader-ack GC
+    /// experiments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range, the store runs
+    /// `ProtocolKind::Safe`, or an inspected object is not a live honest
+    /// [`vrr_core::regular::RegularObject`] (crashed or
+    /// Byzantine-substituted).
+    pub fn history_lens(&self, slot: usize) -> Vec<usize> {
+        crate::storage::history_lens(&self.cluster, self.kind, &self.shards[slot].group.objects)
+    }
+
     /// Access to the underlying cluster (fault injection, stats).
     pub fn cluster(&self) -> &Cluster<Msg<V>> {
         &self.cluster
@@ -271,6 +323,34 @@ mod tests {
         let store: ShardedStore<&'static str, u64> =
             ShardedStore::deploy(cfg, ProtocolKind::Safe, Box::new(NoDelay), 1);
         assert_eq!(store.read(&"ghost", 0), None);
+    }
+
+    #[test]
+    fn reader_ack_gc_bounds_history_per_shard() {
+        let cfg = StorageConfig::optimal(1, 1, 1);
+        let store: ShardedStore<&'static str, u64> = ShardedStore::deploy_with_retention(
+            cfg,
+            ProtocolKind::RegularOptimized,
+            Box::new(NoDelay),
+            2,
+            HistoryRetention::reader_ack(1),
+        );
+        for k in 1..=60u64 {
+            store.write("hot", k);
+            assert_eq!(store.read(&"hot", 0).unwrap().value, Some(k));
+            if k % 10 == 0 {
+                store.write("cold", k);
+                assert_eq!(store.read(&"cold", 0).unwrap().value, Some(k));
+            }
+        }
+        for slot in [
+            store.shard_of(&"hot").unwrap(),
+            store.shard_of(&"cold").unwrap(),
+        ] {
+            for len in store.history_lens(slot) {
+                assert!(len <= 5, "shard {slot} history len {len} unbounded");
+            }
+        }
     }
 
     #[test]

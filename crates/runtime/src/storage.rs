@@ -6,7 +6,7 @@ use std::time::Duration;
 
 use vrr_sim::{Automaton, ProcessId};
 
-use vrr_core::regular::{RegularObject, RegularReader};
+use vrr_core::regular::{HistoryRetention, RegularObject, RegularReader};
 use vrr_core::safe::{SafeObject, SafeReader};
 use vrr_core::{Msg, ReadReport, StorageConfig, Value, WriteReport, Writer};
 
@@ -87,14 +87,28 @@ pub(crate) fn blocking_read<V: Value>(
 
 /// Spawns the automata of one register group — `cfg.s` base objects, one
 /// writer, `cfg.readers` readers — onto `cluster`, consulting `factory`
-/// for Byzantine object substitutions. Shared by [`StorageCluster`] (one
-/// group) and [`crate::ShardedStore`] (one group per shard).
+/// for Byzantine object substitutions. Regular objects are deployed with
+/// `retention` (ignored by the safe protocol). Shared by
+/// [`StorageCluster`] (one group) and [`crate::ShardedStore`] (one group
+/// per shard).
 pub(crate) fn spawn_register_group<V: Value>(
     cluster: &mut Cluster<Msg<V>>,
     cfg: StorageConfig,
     kind: ProtocolKind,
+    retention: HistoryRetention,
     mut factory: impl FnMut(usize) -> Option<Box<dyn Automaton<Msg<V>>>>,
 ) -> RegisterGroup {
+    if let HistoryRetention::ReaderAck { readers, .. } = retention {
+        // A policy covering fewer readers than are deployed would let the
+        // covered readers' acks truncate entries the un-gated readers
+        // still need — exactly the hole the min(acks) floor closes.
+        assert!(
+            readers >= cfg.readers,
+            "ReaderAck must gate on every deployed reader: policy covers \
+             {readers}, deployment has {}",
+            cfg.readers
+        );
+    }
     let objects: Vec<ProcessId> = (0..cfg.s)
         .map(|i| -> ProcessId {
             let automaton: Box<dyn Automaton<Msg<V>>> = match factory(i) {
@@ -102,7 +116,7 @@ pub(crate) fn spawn_register_group<V: Value>(
                 None => match kind {
                     ProtocolKind::Safe => Box::new(SafeObject::<V>::new()),
                     ProtocolKind::Regular | ProtocolKind::RegularOptimized => {
-                        Box::new(RegularObject::<V>::new())
+                        Box::new(RegularObject::<V>::with_retention(retention))
                     }
                 },
             };
@@ -134,6 +148,26 @@ pub(crate) struct RegisterGroup {
     pub(crate) objects: Vec<ProcessId>,
     pub(crate) writer: ProcessId,
     pub(crate) readers: Vec<ProcessId>,
+}
+
+/// History length of every regular object in `objects`, shared by
+/// [`StorageCluster::history_lens`] and [`crate::ShardedStore::history_lens`].
+///
+/// # Panics
+///
+/// Panics if `kind` is `ProtocolKind::Safe` (safe objects keep no
+/// history) or an inspected object is not a live honest
+/// [`RegularObject`] (crashed or Byzantine-substituted).
+pub(crate) fn history_lens<V: Value>(
+    cluster: &Cluster<Msg<V>>,
+    kind: ProtocolKind,
+    objects: &[ProcessId],
+) -> Vec<usize> {
+    assert!(kind != ProtocolKind::Safe, "safe objects keep no history");
+    objects
+        .iter()
+        .map(|&pid| cluster.invoke(pid, |o: &mut RegularObject<V>, _ctx| o.history().len()))
+        .collect()
 }
 
 /// A storage deployment on OS threads with a blocking client API.
@@ -171,6 +205,21 @@ impl<V: Value> StorageCluster<V> {
         Self::deploy_with_objects(cfg, kind, policy, |_i| None)
     }
 
+    /// Like [`StorageCluster::deploy`], but regular objects run `retention`
+    /// instead of the paper-faithful
+    /// [`HistoryRetention::KeepAll`]. Deploying
+    /// `ProtocolKind::RegularOptimized` with
+    /// `HistoryRetention::reader_ack(cfg.readers)` is the bounded-memory
+    /// production configuration (suffix transfers + reader-ack GC).
+    pub fn deploy_with_retention(
+        cfg: StorageConfig,
+        kind: ProtocolKind,
+        policy: Box<dyn LinkPolicy<Msg<V>>>,
+        retention: HistoryRetention,
+    ) -> Self {
+        Self::deploy_inner(cfg, kind, policy, retention, |_i| None)
+    }
+
     /// Like [`StorageCluster::deploy`], but `factory` may substitute the
     /// automaton of any object index — the hook for deploying Byzantine
     /// objects (e.g. from [`vrr_core::attackers`]) on the thread runtime.
@@ -181,8 +230,18 @@ impl<V: Value> StorageCluster<V> {
         policy: Box<dyn LinkPolicy<Msg<V>>>,
         factory: impl FnMut(usize) -> Option<Box<dyn Automaton<Msg<V>>>>,
     ) -> Self {
+        Self::deploy_inner(cfg, kind, policy, HistoryRetention::KeepAll, factory)
+    }
+
+    fn deploy_inner(
+        cfg: StorageConfig,
+        kind: ProtocolKind,
+        policy: Box<dyn LinkPolicy<Msg<V>>>,
+        retention: HistoryRetention,
+        factory: impl FnMut(usize) -> Option<Box<dyn Automaton<Msg<V>>>>,
+    ) -> Self {
         let mut cluster: Cluster<Msg<V>> = Cluster::new(policy);
-        let group = spawn_register_group(&mut cluster, cfg, kind, factory);
+        let group = spawn_register_group(&mut cluster, cfg, kind, retention, factory);
         cluster.seal();
         StorageCluster {
             cluster,
@@ -236,6 +295,18 @@ impl<V: Value> StorageCluster<V> {
     /// Panics if `idx` is out of range.
     pub fn crash_object(&self, idx: usize) {
         self.cluster.crash(self.objects[idx]);
+    }
+
+    /// The current history length of every (honest, live) regular object —
+    /// the memory-bound observable of the reader-ack GC experiments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the deployment is `ProtocolKind::Safe` (safe objects keep
+    /// no history) or an inspected object is not a live honest
+    /// [`RegularObject`] (crashed or Byzantine-substituted).
+    pub fn history_lens(&self) -> Vec<usize> {
+        history_lens(&self.cluster, self.kind, &self.objects)
     }
 
     /// Access to the underlying cluster (fault injection, raw sends).
@@ -297,6 +368,41 @@ mod tests {
         assert_eq!(storage.read(0).value, Some(5));
         storage.write(6);
         assert_eq!(storage.read(0).value, Some(6));
+    }
+
+    #[test]
+    fn reader_ack_gc_bounds_history_on_threads() {
+        let cfg = StorageConfig::optimal(1, 1, 1);
+        let storage: StorageCluster<u64> = StorageCluster::deploy_with_retention(
+            cfg,
+            ProtocolKind::RegularOptimized,
+            Box::new(NoDelay),
+            HistoryRetention::reader_ack(1),
+        );
+        for k in 1..=100u64 {
+            storage.write(k);
+            assert_eq!(storage.read(0).value, Some(k));
+        }
+        // Acks ride on the READ broadcasts, which are flushed before the
+        // inspection command is enqueued: every object has truncated down
+        // to the concurrency window by now.
+        for len in storage.history_lens() {
+            assert!(len <= 5, "history len {len} not bounded after 100 writes");
+        }
+    }
+
+    #[test]
+    fn keep_all_history_grows_on_threads() {
+        // The paper-faithful default really does grow — the control for
+        // the GC test above.
+        let cfg = StorageConfig::optimal(1, 1, 1);
+        let storage: StorageCluster<u64> =
+            StorageCluster::deploy(cfg, ProtocolKind::RegularOptimized, Box::new(NoDelay));
+        for k in 1..=30u64 {
+            storage.write(k);
+            assert_eq!(storage.read(0).value, Some(k));
+        }
+        assert!(storage.history_lens().into_iter().all(|len| len == 31));
     }
 
     #[test]

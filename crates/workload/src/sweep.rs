@@ -61,8 +61,8 @@ mod tests {
     fn grid_respects_b_le_t() {
         let points = grid(&[1, 2], &[1, 2], 0..3);
         assert!(points.iter().all(|p| p.b <= p.t && p.b >= 1));
-        // (1,1), (2,1), (2,2) = 3 combos × 3 seeds × (1 + 5 attackers).
-        assert_eq!(points.len(), 3 * 3 * 6);
+        // (1,1), (2,1), (2,2) = 3 combos × 3 seeds × (1 + 6 attackers).
+        assert_eq!(points.len(), 3 * 3 * (1 + AttackerKind::ALL.len()));
     }
 
     #[test]

@@ -41,7 +41,8 @@
 //!
 //! See `examples/` for a quickstart, a Byzantine-attack study, the
 //! lower-bound demo, and a networked key-value service on threads; see
-//! `EXPERIMENTS.md` for the full paper-versus-measured index.
+//! `ARCHITECTURE.md` for the full paper-artifact ↔ module/test/experiment
+//! index.
 
 #![warn(missing_docs)]
 

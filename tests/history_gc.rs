@@ -1,0 +1,230 @@
+//! End-to-end coverage of reader-ack–driven history garbage collection:
+//! flat memory under steady-state load in the simulator and on the thread
+//! runtime, the crashed-reader escape hatch, and Byzantine objects lying
+//! about suffixes — with reads staying regular and 2-round throughout.
+
+use vrr::core::attackers::AttackerKind;
+use vrr::core::regular::{HistoryRetention, RegularObject, RegularReader};
+use vrr::core::{
+    corrupt_object, run_read, run_write, Msg, RegisterProtocol, RegularProtocol, StorageConfig,
+    Timestamp,
+};
+use vrr::runtime::{NoDelay, ProtocolKind, ShardedStore, StorageCluster};
+use vrr::sim::World;
+
+/// Worst object-side history length across the deployment.
+fn max_history_len(world: &World<Msg<u64>>, dep: &vrr::core::Deployment) -> usize {
+    dep.objects
+        .iter()
+        .map(|&o| world.inspect(o, |obj: &RegularObject<u64>| obj.history().len()))
+        .max()
+        .unwrap_or(0)
+}
+
+#[test]
+fn steady_state_memory_is_flat_in_run_length() {
+    // The acceptance-criteria shape, as a regression test: under
+    // steady-state load the history length depends on the read cadence,
+    // not on how long the system has been running.
+    for optimized in [false, true] {
+        let protocol = RegularProtocol {
+            optimized,
+            retention: HistoryRetention::reader_ack(1),
+        };
+        let cfg = StorageConfig::optimal(1, 1, 1);
+        let mut lens = Vec::new();
+        for writes in [64u64, 256] {
+            let mut world: World<Msg<u64>> = World::new(17);
+            let dep = RegisterProtocol::<u64>::deploy(&protocol, cfg, &mut world);
+            world.start();
+            for k in 1..=writes {
+                run_write(&protocol, &dep, &mut world, k);
+                if k % 8 == 0 {
+                    let rep = run_read::<u64, _>(&protocol, &dep, &mut world, 0);
+                    assert_eq!(rep.value, Some(k));
+                    assert_eq!(rep.rounds, 2, "GC must not cost rounds");
+                }
+            }
+            lens.push(max_history_len(&world, &dep));
+        }
+        assert_eq!(
+            lens[0], lens[1],
+            "history length must be flat in run length (optimized={optimized})"
+        );
+        assert!(lens[1] <= 11, "bounded by the read cadence: {}", lens[1]);
+    }
+}
+
+#[test]
+fn crashed_reader_pins_the_floor_and_the_cap_unpins_it() {
+    // Reader 1 crashes before ever completing a read. Without a cap its
+    // implicit ack 0 blocks all truncation — the documented conservative
+    // behaviour. With the escape-hatch cap, memory stays bounded anyway
+    // and the live reader's reads remain correct.
+    let cfg = StorageConfig::optimal(1, 1, 2); // R = 2
+    for (retention, bounded) in [
+        (HistoryRetention::reader_ack(2), false),
+        (HistoryRetention::reader_ack_capped(2, 8), true),
+    ] {
+        let protocol = RegularProtocol {
+            optimized: true,
+            retention,
+        };
+        let mut world: World<Msg<u64>> = World::new(23);
+        let dep = RegisterProtocol::<u64>::deploy(&protocol, cfg, &mut world);
+        world.start();
+        // Reader 1 never reads (a crashed client takes no steps).
+        for k in 1..=100u64 {
+            run_write(&protocol, &dep, &mut world, k);
+            if k % 10 == 0 {
+                assert_eq!(
+                    run_read::<u64, _>(&protocol, &dep, &mut world, 0).value,
+                    Some(k),
+                    "live reader must stay correct despite the crashed one"
+                );
+            }
+        }
+        let len = max_history_len(&world, &dep);
+        if bounded {
+            assert!(len <= 8, "cap must bound memory, got {len}");
+        } else {
+            assert!(len >= 100, "never-acking reader blocks truncation: {len}");
+        }
+    }
+}
+
+#[test]
+fn late_reader_catches_up_after_truncation() {
+    // Reader 1 sleeps through 50 writes while reader 0's acks would allow
+    // truncation down to its own floor; since min(acks) gates GC, reader
+    // 1's first read still finds everything it needs and returns the tip.
+    let cfg = StorageConfig::optimal(1, 1, 2);
+    let protocol = RegularProtocol {
+        optimized: true,
+        retention: HistoryRetention::reader_ack(2),
+    };
+    let mut world: World<Msg<u64>> = World::new(29);
+    let dep = RegisterProtocol::<u64>::deploy(&protocol, cfg, &mut world);
+    world.start();
+    for k in 1..=50u64 {
+        run_write(&protocol, &dep, &mut world, k);
+        if k % 5 == 0 {
+            run_read::<u64, _>(&protocol, &dep, &mut world, 0);
+        }
+    }
+    let rep = run_read::<u64, _>(&protocol, &dep, &mut world, 1);
+    assert_eq!(rep.value, Some(50), "late reader reads the tip");
+    assert_eq!(rep.rounds, 2);
+    // Its ack now unblocks truncation: one more round of reads from both
+    // readers collapses the histories.
+    for j in [0usize, 1] {
+        run_read::<u64, _>(&protocol, &dep, &mut world, j);
+        run_read::<u64, _>(&protocol, &dep, &mut world, j);
+    }
+    world.run_to_quiescence(200_000);
+    assert!(max_history_len(&world, &dep) <= 2);
+}
+
+#[test]
+fn truncation_liar_cannot_corrupt_gc_reads() {
+    // A Byzantine object lies about suffixes (reports empty histories, as
+    // if GC had discarded everything) while the honest objects run real
+    // ack-driven GC. Reads must stay correct and 2-round, and the honest
+    // objects must still truncate.
+    for optimized in [false, true] {
+        let protocol = RegularProtocol {
+            optimized,
+            retention: HistoryRetention::reader_ack(1),
+        };
+        let cfg = StorageConfig::optimal(1, 1, 1);
+        let mut world: World<Msg<u64>> = World::new(31);
+        let dep = RegisterProtocol::<u64>::deploy(&protocol, cfg, &mut world);
+        world.start();
+        corrupt_object(
+            &dep,
+            &mut world,
+            1,
+            AttackerKind::Truncator.build_regular(cfg, 0xBADu64),
+        );
+        for k in 1..=40u64 {
+            run_write(&protocol, &dep, &mut world, k);
+            if k % 4 == 0 {
+                let rep = run_read::<u64, _>(&protocol, &dep, &mut world, 0);
+                assert_eq!(rep.value, Some(k), "truncation liar corrupted a read");
+                assert_eq!(rep.rounds, 2);
+            }
+        }
+        world.run_to_quiescence(200_000);
+        for (i, &o) in dep.objects.iter().enumerate() {
+            if i == 1 {
+                continue; // the attacker
+            }
+            let len = world.inspect(o, |obj: &RegularObject<u64>| obj.history().len());
+            assert!(len <= 6, "honest object {i} failed to truncate: {len}");
+        }
+    }
+}
+
+#[test]
+fn forged_acks_from_byzantine_objects_do_not_exist_but_forged_suffixes_die() {
+    // Acks travel reader -> object, so a Byzantine *object* cannot forge
+    // them; what it can do is ship history entries below the reader's
+    // suffix request. Under GC retention those forgeries still die by
+    // invalidation: the read returns the genuine tip.
+    let protocol = RegularProtocol {
+        optimized: true,
+        retention: HistoryRetention::reader_ack(1),
+    };
+    let cfg = StorageConfig::optimal(1, 1, 1);
+    let mut world: World<Msg<u64>> = World::new(37);
+    let dep = RegisterProtocol::<u64>::deploy(&protocol, cfg, &mut world);
+    world.start();
+    corrupt_object(
+        &dep,
+        &mut world,
+        3,
+        AttackerKind::Stale.build_regular(cfg, 0xBADu64),
+    );
+    for k in 1..=20u64 {
+        run_write(&protocol, &dep, &mut world, k);
+        let rep = run_read::<u64, _>(&protocol, &dep, &mut world, 0);
+        assert_eq!(rep.value, Some(k));
+    }
+    // The reader's high-water mark matches what it returned.
+    let acked = world.inspect(dep.readers[0], |r: &RegularReader<u64>| r.acked());
+    assert_eq!(acked, Timestamp(20));
+}
+
+#[test]
+fn runtime_cluster_and_sharded_store_run_bounded_memory() {
+    // The worker-pool deployments: same flat-memory property end to end.
+    let cfg = StorageConfig::optimal(1, 1, 1);
+    let storage: StorageCluster<u64> = StorageCluster::deploy_with_retention(
+        cfg,
+        ProtocolKind::RegularOptimized,
+        Box::new(NoDelay),
+        HistoryRetention::reader_ack(1),
+    );
+    for k in 1..=64u64 {
+        storage.write(k);
+        assert_eq!(storage.read(0).value, Some(k));
+    }
+    assert!(storage.history_lens().into_iter().all(|len| len <= 5));
+
+    let store: ShardedStore<&'static str, u64> = ShardedStore::deploy_with_retention(
+        cfg,
+        ProtocolKind::RegularOptimized,
+        Box::new(NoDelay),
+        2,
+        HistoryRetention::reader_ack(1),
+    );
+    for k in 1..=32u64 {
+        store.write("a", k);
+        store.write("b", k * 2);
+        assert_eq!(store.read(&"a", 0).unwrap().value, Some(k));
+        assert_eq!(store.read(&"b", 0).unwrap().value, Some(k * 2));
+    }
+    for slot in 0..2 {
+        assert!(store.history_lens(slot).into_iter().all(|len| len <= 5));
+    }
+}
