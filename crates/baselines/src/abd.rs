@@ -189,6 +189,7 @@ impl<V: Value> AbdReader<V> {
                 value: best.value,
                 ts: best.ts,
                 rounds,
+                fast: rounds == 1,
             },
         );
         self.op = None;

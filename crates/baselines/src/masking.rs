@@ -220,6 +220,7 @@ impl<V: Value> Automaton<LiteMsg<V>> for MaskingReader<V> {
                         value: best.value,
                         ts: best.ts,
                         rounds: 1,
+                        fast: true,
                     },
                 );
                 self.op = None;

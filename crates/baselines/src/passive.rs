@@ -368,6 +368,7 @@ impl<V: Value> Automaton<LiteMsg<V>> for PassiveReader<V> {
                         value: pair.value,
                         ts: pair.ts,
                         rounds,
+                        fast: rounds == 1,
                     },
                 );
                 self.op = None;

@@ -13,8 +13,9 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use vrr_core::attackers::AttackerKind;
+use vrr_core::regular::{HistoryRetention, RegularTuning};
 use vrr_core::StorageConfig;
-use vrr_runtime::{NoDelay, ProtocolKind, StorageCluster};
+use vrr_runtime::{NoDelay, ProtocolKind, ReaderTuning, StorageCluster};
 
 fn bench_protocol_variants(c: &mut Criterion) {
     let mut group = c.benchmark_group("latency/variant");
@@ -40,6 +41,42 @@ fn bench_protocol_variants(c: &mut Criterion) {
             b.iter(|| storage.read(0));
         });
     }
+
+    // The one-round fast path: one replica above optimal (S = 2t+2b+1 = 5
+    // instead of 4) buys fault-free reads that finish in round 1. The
+    // fan-out is larger but a whole round-trip is saved, so `read/fast`
+    // must beat the two-round `read/regular-opt` above.
+    let cfg = StorageConfig::fast(1, 1, 1);
+    let storage: StorageCluster<u64> =
+        StorageCluster::deploy(cfg, ProtocolKind::RegularOptimized, Box::new(NoDelay));
+    storage.write(1);
+    assert!(storage.read(0).fast, "fast path must fire fault-free");
+    group.bench_function(BenchmarkId::new("read", "fast"), |b| {
+        b.iter(|| storage.read(0));
+    });
+
+    // The fallback cost: same over-provisioned deployment, but an
+    // unreachable confirmation threshold makes every read arm the fast
+    // path, fail it, and complete through the two-round protocol — the
+    // adversarial worst case, bounded near the plain two-round read.
+    let storage: StorageCluster<u64> = StorageCluster::deploy_with_reader_tuning(
+        cfg,
+        ProtocolKind::RegularOptimized,
+        Box::new(NoDelay),
+        HistoryRetention::KeepAll,
+        ReaderTuning::Regular(RegularTuning {
+            fast_threshold: Some(usize::MAX),
+            ..RegularTuning::default()
+        }),
+    );
+    storage.write(1);
+    assert!(
+        !storage.read(0).fast,
+        "fallback deployment must not fast-fire"
+    );
+    group.bench_function(BenchmarkId::new("read", "fast-fallback"), |b| {
+        b.iter(|| storage.read(0));
+    });
     group.finish();
 }
 

@@ -53,6 +53,13 @@ fn bench_write_read_cycle(c: &mut Criterion) {
     group.bench_function(BenchmarkId::new("protocol", "abd"), |bch| {
         bch.iter(|| cycle::<u64, _>(&AbdProtocol::default(), acfg));
     });
+    // Over-provisioned regular storage (S = 2t+2b+1): the read half of the
+    // cycle completes in one round, trading two extra object automata for
+    // a whole round of read messages.
+    let fcfg = StorageConfig::fast(t, b, 1);
+    group.bench_function(BenchmarkId::new("protocol", "regular-fast"), |bch| {
+        bch.iter(|| cycle::<u64, _>(&RegularProtocol::optimized(), fcfg));
+    });
     group.finish();
 }
 

@@ -161,6 +161,25 @@ fn main() -> ExitCode {
         "full-history read within bounded factor of write",
     );
 
+    println!("shape: the one-round fast path beats the two-round read");
+    // One replica above optimal resilience (S = 2t+2b+1) removes a whole
+    // round-trip: the fast read must be strictly cheaper than the
+    // two-round optimized read despite the larger fan-out, and the forced
+    // fallback (fast-path check fails, two-round protocol completes) must
+    // stay near the plain two-round cost — the check is local arithmetic.
+    c.le(
+        "latency/variant/read/fast",
+        "latency/variant/read/regular-opt",
+        1.0,
+        "one-round fast read beats the two-round read",
+    );
+    c.le(
+        "latency/variant/read/fast-fallback",
+        "latency/variant/read/regular-opt",
+        1.25,
+        "forced fallback near the plain two-round read",
+    );
+
     println!("shape: latency monotone in S (more fan-out, same rounds)");
     c.monotone(
         &[

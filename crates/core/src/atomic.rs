@@ -37,6 +37,8 @@ enum AtomicPhase<V> {
     WriteBack {
         chosen: WTuple<V>,
         acks: BTreeSet<usize>,
+        /// Rounds the inner regular read took (2, or 1 on its fast path).
+        base_rounds: u32,
     },
 }
 
@@ -114,6 +116,7 @@ impl<V: Value> AtomicReader<V> {
                     value: None,
                     ts: Timestamp::ZERO,
                     rounds: inner_outcome.rounds,
+                    fast: inner_outcome.fast,
                 },
             );
             self.op = None;
@@ -140,6 +143,7 @@ impl<V: Value> AtomicReader<V> {
             AtomicPhase::WriteBack {
                 chosen,
                 acks: BTreeSet::new(),
+                base_rounds: inner_outcome.rounds,
             },
         ));
     }
@@ -148,22 +152,31 @@ impl<V: Value> AtomicReader<V> {
 impl<V: Value> Automaton<Msg<V>> for AtomicReader<V> {
     fn on_message(&mut self, from: ProcessId, msg: Msg<V>, ctx: &mut Context<'_, Msg<V>>) {
         match (&mut self.op, &msg) {
-            (Some((id, AtomicPhase::WriteBack { chosen, acks })), Msg::WAck { ts })
-                if *ts == chosen.ts() =>
-            {
+            (
+                Some((
+                    id,
+                    AtomicPhase::WriteBack {
+                        chosen,
+                        acks,
+                        base_rounds,
+                    },
+                )),
+                Msg::WAck { ts },
+            ) if *ts == chosen.ts() => {
                 let Some(&obj) = self.object_index.get(&from) else {
                     return;
                 };
                 acks.insert(obj);
                 if acks.len() >= self.cfg.quorum() {
                     let (id, chosen) = (*id, chosen.clone());
-                    let rounds = 3; // two regular rounds + write-back
+                    let rounds = *base_rounds + 1; // regular rounds + write-back
                     self.outcomes.insert(
                         id,
                         ReadOutcome {
                             value: chosen.tsval.value.clone(),
                             ts: chosen.ts(),
                             rounds,
+                            fast: false,
                         },
                     );
                     self.op = None;
@@ -253,6 +266,7 @@ impl<V: Value> RegisterProtocol<V> for AtomicProtocol {
                 value: o.value.clone(),
                 ts: o.ts,
                 rounds: o.rounds,
+                fast: o.fast,
             })
         })
     }

@@ -97,8 +97,64 @@ impl StorageConfig {
 
     /// The threshold below which fast reads are impossible (Proposition 1):
     /// any `S ≤ 2t + 2b` cannot support single-round reads.
+    ///
+    /// [`StorageConfig::fast_read_quorum`] is the positive counterpart:
+    /// it yields the confirmation count a sound one-round read needs when
+    /// one is possible at all.
     pub fn fast_read_impossible(&self) -> bool {
-        self.s <= 2 * self.t + 2 * self.b
+        self.fast_read_quorum().is_none()
+    }
+
+    /// Round-1 confirmations a sound **one-round fast-path read** needs, or
+    /// `None` where Proposition 1 forbids fast reads (`S ≤ 2t + 2b`).
+    ///
+    /// The count is `2b + 1 + (S − 2t − 2b − 1) = S − 2t`: take the
+    /// `2b + 1` matching replies that guarantee a correct, non-Byzantine
+    /// majority witness, plus one more for every object provisioned beyond
+    /// the `S = 2t + 2b + 1` minimum, so that *any* quorum of `S − t`
+    /// replies a later read collects must intersect the confirming set in
+    /// at least `b + 1` objects — one of them correct.
+    ///
+    /// # Examples
+    ///
+    /// Proposition 1 says single-round reads are impossible with
+    /// `S ≤ 2t + 2b` objects, and in particular at optimal resilience
+    /// `S = 2t + b + 1` (since `b ≥ 1`); one object above the boundary the
+    /// fast path engages with a `2b + 1`-strength confirmation rule:
+    ///
+    /// ```
+    /// use vrr_core::StorageConfig;
+    ///
+    /// // At and below the Prop. 1 boundary: no fast read, ever.
+    /// assert_eq!(StorageConfig::optimal(1, 1, 1).fast_read_quorum(), None);
+    /// assert_eq!(StorageConfig::with_objects(4, 1, 1, 1).fast_read_quorum(), None);
+    ///
+    /// // S = 2t + 2b + 1 = 5: fast reads need S - 2t = 2b + 1 = 3 confirmations.
+    /// let fast = StorageConfig::fast(1, 1, 1);
+    /// assert_eq!(fast.s, 5);
+    /// assert_eq!(fast.fast_read_quorum(), Some(3));
+    ///
+    /// // Each extra object raises the bar by one, keeping the intersection
+    /// // argument intact.
+    /// assert_eq!(StorageConfig::with_objects(6, 1, 1, 1).fast_read_quorum(), Some(4));
+    /// ```
+    pub fn fast_read_quorum(&self) -> Option<usize> {
+        (self.s > 2 * self.t + 2 * self.b).then(|| self.s - 2 * self.t)
+    }
+
+    /// The cheapest sizing at which one-round fast-path reads are sound:
+    /// `S = 2t + 2b + 1`, one object above the Proposition 1 boundary.
+    ///
+    /// Compared to [`StorageConfig::optimal`] this buys the fast path with
+    /// `b` extra base objects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b > t` or `readers == 0`.
+    pub fn fast(t: usize, b: usize, readers: usize) -> Self {
+        let cfg = Self::with_objects(2 * t + 2 * b + 1, t, b, readers);
+        debug_assert_eq!(cfg.fast_read_quorum(), Some(2 * b + 1));
+        cfg
     }
 }
 
@@ -145,6 +201,36 @@ mod tests {
         let above = StorageConfig::with_objects(5, 1, 1, 1);
         assert!(at.fast_read_impossible());
         assert!(!above.fast_read_impossible());
+        assert_eq!(at.fast_read_quorum(), None);
+        assert_eq!(above.fast_read_quorum(), Some(3));
+    }
+
+    #[test]
+    fn fast_quorum_matches_issue_arithmetic() {
+        // The spec formula 2b + 1 + (S - 2t - 2b - 1) must equal S - 2t
+        // wherever the fast path engages.
+        for t in 1..5 {
+            for b in 1..=t {
+                for s in (2 * t + 2 * b + 1)..(2 * t + 2 * b + 5) {
+                    let cfg = StorageConfig::with_objects(s, t, b, 1);
+                    let spec = 2 * b + 1 + (s - 2 * t - 2 * b - 1);
+                    assert_eq!(cfg.fast_read_quorum(), Some(spec), "{cfg}");
+                    // Strong enough to out-vote the liars, and always
+                    // satisfiable by a fault-free quorum.
+                    assert!(spec >= cfg.b_plus_1());
+                    assert!(spec <= cfg.quorum());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_sizing_constructor() {
+        let cfg = StorageConfig::fast(2, 1, 3);
+        assert_eq!(cfg.s, 7);
+        assert_eq!(cfg.readers, 3);
+        assert!(!cfg.is_optimal());
+        assert_eq!(cfg.fast_read_quorum(), Some(3));
     }
 
     #[test]

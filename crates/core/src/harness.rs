@@ -46,6 +46,12 @@ pub struct ReadReport<V> {
     pub ts: Timestamp,
     /// Communication round-trips used.
     pub rounds: u32,
+    /// Completed in a single round-trip via a *sound* one-round rule —
+    /// the paper protocols' fast path (`S ≥ 2t + 2b + 1`; see
+    /// [`StorageConfig::fast_read_quorum`]), or a baseline whose read is
+    /// single-round by design. Mutants that skip round 2 unsoundly report
+    /// `rounds == 1` with `fast == false`.
+    pub fast: bool,
 }
 
 /// A simulated register protocol: how to deploy it and drive operations.
@@ -153,6 +159,7 @@ impl<V: Value> RegisterProtocol<V> for SafeProtocol {
                 value: o.value.clone(),
                 ts: o.ts,
                 rounds: o.rounds,
+                fast: o.fast,
             })
         })
     }
@@ -295,6 +302,7 @@ impl<V: Value> RegisterProtocol<V> for RegularProtocol {
                 value: o.value.clone(),
                 ts: o.ts,
                 rounds: o.rounds,
+                fast: o.fast,
             })
         })
     }

@@ -3,6 +3,12 @@
 //! One message enum serves both the safe protocol (Figures 2–4) and the
 //! regular protocol (Figures 5–6): writes are identical, and read ACKs come
 //! in a safe flavour (current `pw`/`w`) and a regular flavour (a history).
+//!
+//! The one-round fast path (armed at `S ≥ 2t + 2b + 1`, see
+//! [`crate::StorageConfig::fast_read_quorum`]) adds **no** message kinds:
+//! a round-1 `READ_ACK` quorum may simply complete the read without the
+//! `READ2` broadcast ever being sent, so objects cannot tell a fast read
+//! from the first round of a two-round one.
 
 use std::fmt;
 

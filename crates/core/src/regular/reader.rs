@@ -13,7 +13,7 @@ use vrr_sim::{Automaton, Context, ProcessId};
 use crate::config::StorageConfig;
 use crate::mis::conflict_free_of_size;
 use crate::msg::{Msg, ReadRound};
-use crate::safe::{ReadId, ReadOutcome};
+use crate::safe::{FastPathStats, ReadId, ReadOutcome};
 use crate::types::{History, Timestamp, TsVal, Value, WTuple};
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -34,9 +34,25 @@ pub struct RegularTuning {
     pub invalid_threshold: Option<usize>,
     /// Run the round-1 `conflict(i, k)` filter.
     pub conflict_check: bool,
-    /// Perform the second round; `false` yields the fast-read mutant that
-    /// Proposition 1 outlaws.
+    /// Skip the second round *unconditionally* and decide on round-1
+    /// evidence with the unchanged Figure 6 rules — the **unsound**
+    /// one-round *mutant* that Proposition 1 convicts, kept as the
+    /// lower-bound demo (see `thm34_regular` and `lower_bound_demo`). Not
+    /// to be confused with [`RegularTuning::fast_path`], the *sound* fast
+    /// path: it refuses to engage at `S ≤ 2t + 2b`, demands
+    /// [`StorageConfig::fast_read_quorum`] exact confirmations, and falls
+    /// back to the full second round otherwise.
     pub skip_round2: bool,
+    /// Attempt the sound one-round fast path when the sizing permits it
+    /// (`S ≥ 2t + 2b + 1`); at or below the boundary this knob is inert.
+    /// Default `true`.
+    pub fast_path: bool,
+    /// Confirmations the fast path demands; `None` = the derived
+    /// [`StorageConfig::fast_read_quorum`]. Raising it is sound (more
+    /// fallbacks, e.g. `Some(usize::MAX)` benches the pure-fallback
+    /// cost); lowering it below the derived count re-opens the
+    /// Proposition 1 trap — mutation experiments only.
+    pub fast_threshold: Option<usize>,
 }
 
 impl Default for RegularTuning {
@@ -46,6 +62,8 @@ impl Default for RegularTuning {
             invalid_threshold: None,
             conflict_check: true,
             skip_round2: false,
+            fast_path: true,
+            fast_threshold: None,
         }
     }
 }
@@ -89,6 +107,7 @@ pub struct RegularReader<V> {
     op: Option<RegOp<V>>,
     outcomes: HashMap<ReadId, ReadOutcome<V>>,
     next_id: u64,
+    fast_stats: FastPathStats,
 }
 
 impl<V: Value> RegularReader<V> {
@@ -139,6 +158,7 @@ impl<V: Value> RegularReader<V> {
             op: None,
             outcomes: HashMap::new(),
             next_id: 0,
+            fast_stats: FastPathStats::default(),
         }
     }
 
@@ -205,6 +225,11 @@ impl<V: Value> RegularReader<V> {
     /// acknowledgement piggybacked on its `READk` messages.
     pub fn acked(&self) -> Timestamp {
         self.acked
+    }
+
+    /// Cumulative fast-path hit/fallback counters.
+    pub fn fast_stats(&self) -> FastPathStats {
+        self.fast_stats
     }
 
     // ---- Figure 6 predicates ------------------------------------------------
@@ -310,6 +335,14 @@ impl<V: Value> RegularReader<V> {
         if !ok {
             return;
         }
+        // Fast path (extension; the converse of Proposition 1): above the
+        // boundary, a strong-enough exact round-1 confirmation of the
+        // highest candidate finishes the read in one round-trip. Checked
+        // exactly once; on failure the read proceeds to round 2 below,
+        // reusing every history already collected (no restart).
+        if self.try_fast_finish() {
+            return;
+        }
         self.tsr += 1;
         let tsr = self.tsr;
         let since = self.optimized.then_some(self.cache.ts);
@@ -326,6 +359,82 @@ impl<V: Value> RegularReader<V> {
                 ack: self.acked,
             };
             ctx.broadcast(self.objects.iter().copied(), msg);
+        }
+    }
+
+    /// The sound one-round fast path: complete now iff some highest live
+    /// candidate is *fully confirmed* (matching `pw` or `w` at its history
+    /// position) by [`StorageConfig::fast_read_quorum`] round-1 replies.
+    /// Returns whether the read completed.
+    ///
+    /// Soundness mirrors the safe reader's: `need − b ≥ b + 1` correct
+    /// confirmers prove the candidate genuinely written, and any completed
+    /// write sits in at least `S − 2t − b ≥ b + 1` of the quorum's correct
+    /// histories (invalidation cannot erase it: at most `t + b < t + b + 1`
+    /// objects lack it), so the highest candidate is never older than the
+    /// last completed write. In optimized (§5.1) mode suffixes start at
+    /// `cache.ts ≥` every previously returned timestamp, which only
+    /// *raises* the floor; an empty candidate set simply falls back to the
+    /// round-2 cache-return rule.
+    fn try_fast_finish(&mut self) -> bool {
+        if !self.tuning.fast_path {
+            return false;
+        }
+        let Some(need) = self
+            .tuning
+            .fast_threshold
+            .or_else(|| self.cfg.fast_read_quorum())
+        else {
+            return false; // Proposition 1 territory: refuse to engage.
+        };
+        let Some(op) = self.op.as_ref() else {
+            return false;
+        };
+        debug_assert_eq!(op.phase, Phase::Round1);
+        let Some(high) = op.candidates.iter().map(WTuple::ts).max() else {
+            self.fast_stats.fallbacks += 1;
+            return false;
+        };
+        let confirmed = op
+            .candidates
+            .iter()
+            .filter(|c| c.ts() == high)
+            .find(|c| {
+                let ts = c.ts();
+                let exact = op.hist[0]
+                    .keys()
+                    .filter(|&&i| {
+                        Self::entry_of(op, 0, i, ts)
+                            .is_some_and(|e| e.pw == c.tsval || e.w.as_ref() == Some(*c))
+                    })
+                    .count();
+                exact >= need
+            })
+            .cloned();
+        match confirmed {
+            Some(cret) => {
+                let id = op.id;
+                self.outcomes.insert(
+                    id,
+                    ReadOutcome {
+                        value: cret.tsval.value.clone(),
+                        ts: cret.ts(),
+                        rounds: 1,
+                        fast: true,
+                    },
+                );
+                self.acked = self.acked.max(cret.ts());
+                if self.optimized {
+                    self.cache = cret.tsval.clone();
+                }
+                self.op = None;
+                self.fast_stats.hits += 1;
+                true
+            }
+            None => {
+                self.fast_stats.fallbacks += 1;
+                false
+            }
         }
     }
 
@@ -348,6 +457,7 @@ impl<V: Value> RegularReader<V> {
                         value: self.cache.value.clone(),
                         ts: self.cache.ts,
                         rounds,
+                        fast: false,
                     },
                 );
                 // No acked update: acked >= cache.ts is invariant (the
@@ -377,6 +487,7 @@ impl<V: Value> RegularReader<V> {
                     value: cret.tsval.value.clone(),
                     ts: cret.ts(),
                     rounds,
+                    fast: false,
                 },
             );
             self.acked = self.acked.max(cret.ts());
@@ -763,6 +874,152 @@ mod tests {
             "cache returned; the below-since forgery died"
         );
         assert_eq!(got.ts, Timestamp(2));
+    }
+
+    /// S = 5 = 2t+2b+1, t = b = 1: quorum = 4, fast quorum = 3.
+    fn fast_cfg() -> StorageConfig {
+        StorageConfig::fast(1, 1, 1)
+    }
+
+    fn fast_objects() -> Vec<ProcessId> {
+        (0..5).map(ProcessId).collect()
+    }
+
+    #[test]
+    fn fast_path_completes_in_one_round_when_quorum_agrees() {
+        let mut r = RegularReader::<u64>::new(fast_cfg(), 0, fast_objects());
+        let (id, _) = invoke(&mut r);
+        for i in 0..3 {
+            deliver(&mut r, i, ack(ReadRound::R1, 1, full_history(2)));
+            assert!(r.outcome(id).is_none());
+        }
+        let sent = deliver(&mut r, 3, ack(ReadRound::R1, 1, full_history(2)));
+        assert!(sent.is_empty(), "fast path must not broadcast READ2");
+        let got = r.outcome(id).expect("fast read complete");
+        assert_eq!(got.value, Some(20));
+        assert_eq!(got.ts, Timestamp(2));
+        assert_eq!(got.rounds, 1);
+        assert!(got.fast);
+        assert_eq!(r.acked(), Timestamp(2), "fast hits still drive GC acks");
+        assert_eq!(
+            r.fast_stats(),
+            FastPathStats {
+                hits: 1,
+                fallbacks: 0
+            }
+        );
+    }
+
+    #[test]
+    fn optimized_fast_path_updates_cache_and_since() {
+        let mut r = RegularReader::<u64>::new_optimized(fast_cfg(), 0, fast_objects());
+        let (id, _) = invoke(&mut r);
+        for i in 0..4 {
+            deliver(&mut r, i, ack(ReadRound::R1, 1, full_history(3)));
+        }
+        let got = r.outcome(id).expect("complete");
+        assert_eq!(got.rounds, 1);
+        assert!(got.fast);
+        assert_eq!(r.cache().ts, Timestamp(3), "cache updated on fast hit");
+        // The next read asks for the suffix from the fast-returned pair.
+        let (_, out2) = invoke(&mut r);
+        assert!(matches!(
+            out2[0].1,
+            Msg::Read {
+                since: Some(Timestamp(3)),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn fast_path_falls_back_without_restarting_round1() {
+        let mut r = RegularReader::<u64>::new(fast_cfg(), 0, fast_objects());
+        let (id, _) = invoke(&mut r);
+        // Two quorum members missed write 1 (still in flight to them):
+        // 2 < 3 exact confirmations of the highest candidate.
+        deliver(&mut r, 0, ack(ReadRound::R1, 1, full_history(1)));
+        deliver(&mut r, 1, ack(ReadRound::R1, 1, full_history(1)));
+        deliver(&mut r, 2, ack(ReadRound::R1, 1, History::initial()));
+        let sent = deliver(&mut r, 3, ack(ReadRound::R1, 1, History::initial()));
+        assert_eq!(sent.len(), 5, "fallback broadcasts READ2 to all");
+        assert_eq!(
+            r.fast_stats(),
+            FastPathStats {
+                hits: 0,
+                fallbacks: 1
+            }
+        );
+        // The two-round machinery finishes on the reused round-1 evidence
+        // (b+1 = 2 confirmations already satisfy safe(c) at round-2 entry).
+        let got = r.outcome(id).expect("fallback read complete");
+        assert_eq!(got.value, Some(10));
+        assert_eq!(got.rounds, 2);
+        assert!(!got.fast);
+    }
+
+    #[test]
+    fn fast_path_refuses_at_the_proposition1_boundary() {
+        // S = 4 = 2t + 2b: even a unanimous quorum takes two rounds.
+        let mut r = reader();
+        let (id, _) = invoke(&mut r);
+        for i in 0..3 {
+            deliver(&mut r, i, ack(ReadRound::R1, 1, full_history(1)));
+        }
+        let got = r.outcome(id).expect("complete");
+        assert_eq!(got.rounds, 2);
+        assert!(!got.fast);
+        assert_eq!(r.fast_stats(), FastPathStats::default(), "never eligible");
+    }
+
+    #[test]
+    fn forged_high_entry_cannot_fast_fire_with_wrong_value() {
+        // Byzantine object 4 forges history entry 9 on top of the real
+        // write: at quorum close the forgery has 1 < 3 confirmations and
+        // (already) t+b+1 = 3 invalidators, so the genuine write — high
+        // among the live candidates — fast-fires instead.
+        let mut r = RegularReader::<u64>::new(fast_cfg(), 0, fast_objects());
+        let (id, _) = invoke(&mut r);
+        let mut forged = full_history(1);
+        let fv = TsVal::new(Timestamp(9), 666);
+        forged.insert(
+            Timestamp(9),
+            HistEntry {
+                pw: fv.clone(),
+                w: Some(WTuple::new(fv, TsrMatrix::empty())),
+            },
+        );
+        deliver(&mut r, 4, ack(ReadRound::R1, 1, forged));
+        for i in 0..3 {
+            deliver(&mut r, i, ack(ReadRound::R1, 1, full_history(1)));
+        }
+        let got = r.outcome(id).expect("complete");
+        assert_eq!(got.value, Some(10), "never the forged value");
+        assert_eq!(got.ts, Timestamp(1));
+        assert_eq!(got.rounds, 1);
+    }
+
+    #[test]
+    fn unreachable_fast_threshold_always_falls_back() {
+        let tuning = RegularTuning {
+            fast_threshold: Some(usize::MAX),
+            ..RegularTuning::default()
+        };
+        let mut r = RegularReader::<u64>::with_tuning(fast_cfg(), 0, fast_objects(), false, tuning);
+        let (id, _) = invoke(&mut r);
+        for i in 0..4 {
+            deliver(&mut r, i, ack(ReadRound::R1, 1, full_history(1)));
+        }
+        assert_eq!(
+            r.fast_stats(),
+            FastPathStats {
+                hits: 0,
+                fallbacks: 1
+            }
+        );
+        let got = r.outcome(id).expect("complete via the two-round path");
+        assert_eq!(got.rounds, 2);
+        assert!(!got.fast);
     }
 
     #[test]

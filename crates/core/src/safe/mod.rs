@@ -9,4 +9,4 @@ mod object;
 mod reader;
 
 pub use object::{SafeObject, SafeObjectState};
-pub use reader::{ReadId, ReadOutcome, SafeReader, SafeTuning};
+pub use reader::{FastPathStats, ReadId, ReadOutcome, SafeReader, SafeTuning};

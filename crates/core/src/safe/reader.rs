@@ -26,11 +26,14 @@ pub struct ReadId(pub u64);
 
 /// Ablation knobs for the safe reader.
 ///
-/// The defaults are the paper's Figure 4. Each knob removes or weakens one
-/// load-bearing mechanism; the mutation experiments (E-T1) show the
-/// consistency checkers catch the resulting violations, and the ablation
-/// benches quantify what each mechanism costs. **Never deviate from
-/// [`SafeTuning::default`] in production use.**
+/// The defaults are the paper's Figure 4 plus the sound one-round fast
+/// path (which self-disables wherever Proposition 1 applies, so the
+/// default *behaves* exactly like Figure 4 at `S ≤ 2t + 2b`). Each other
+/// knob removes or weakens one load-bearing mechanism; the mutation
+/// experiments (E-T1) show the consistency checkers catch the resulting
+/// violations, and the ablation benches quantify what each mechanism
+/// costs. **Never deviate from [`SafeTuning::default`] in production
+/// use.**
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SafeTuning {
     /// Supporters required by `safe(c)`; `None` = the paper's `b + 1`.
@@ -40,9 +43,24 @@ pub struct SafeTuning {
     pub elim_threshold: Option<usize>,
     /// Run the round-1 `conflict(i, k)` filter (Figure 4 line 11).
     pub conflict_check: bool,
-    /// Perform the second round. `false` yields a *fast read* — exactly
-    /// what Proposition 1 proves unsound at `S ≤ 2t + 2b`.
+    /// Skip the second round *unconditionally* and decide on round-1
+    /// evidence with the unchanged Figure 4 rules — the **unsound**
+    /// one-round *mutant* that Proposition 1 convicts (the lower-bound
+    /// demo). Not to be confused with [`SafeTuning::fast_path`], which is
+    /// the sound fast path: it only fires above the Proposition 1
+    /// boundary, demands [`StorageConfig::fast_read_quorum`] exact
+    /// confirmations, and otherwise falls back to the full second round.
     pub skip_round2: bool,
+    /// Attempt the sound one-round fast path when the sizing permits it
+    /// (`S ≥ 2t + 2b + 1`); at or below the boundary this knob is inert.
+    /// Default `true`.
+    pub fast_path: bool,
+    /// Confirmations the fast path demands; `None` = the derived
+    /// [`StorageConfig::fast_read_quorum`]. Raising it is sound (more
+    /// fallbacks, e.g. `Some(usize::MAX)` benches the pure-fallback
+    /// cost); lowering it below the derived count re-opens the
+    /// Proposition 1 trap — mutation experiments only.
+    pub fast_threshold: Option<usize>,
 }
 
 impl Default for SafeTuning {
@@ -52,8 +70,22 @@ impl Default for SafeTuning {
             elim_threshold: None,
             conflict_check: true,
             skip_round2: false,
+            fast_path: true,
+            fast_threshold: None,
         }
     }
+}
+
+/// Cumulative one-round fast-path counters of a reader.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FastPathStats {
+    /// Reads that completed in one round via the fast path.
+    pub hits: u64,
+    /// Reads that were *eligible* (sizing above the Proposition 1
+    /// boundary, fast path enabled) but lacked the confirmation strength
+    /// at the moment the round-1 quorum closed, and fell back to the full
+    /// two-round protocol.
+    pub fallbacks: u64,
 }
 
 /// The result of a completed READ.
@@ -65,6 +97,10 @@ pub struct ReadOutcome<V> {
     pub ts: Timestamp,
     /// Communication round-trips used.
     pub rounds: u32,
+    /// Completed via the sound one-round fast path (`rounds == 1` without
+    /// any soundness caveat; the unsound `skip_round2` mutant reports
+    /// `rounds == 1` with `fast == false`).
+    pub fast: bool,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -113,6 +149,7 @@ pub struct SafeReader<V> {
     op: Option<ReadOp<V>>,
     outcomes: HashMap<ReadId, ReadOutcome<V>>,
     next_id: u64,
+    fast_stats: FastPathStats,
 }
 
 impl<V: Value> SafeReader<V> {
@@ -150,6 +187,7 @@ impl<V: Value> SafeReader<V> {
             op: None,
             outcomes: HashMap::new(),
             next_id: 0,
+            fast_stats: FastPathStats::default(),
         }
     }
 
@@ -208,6 +246,11 @@ impl<V: Value> SafeReader<V> {
     /// Live candidates (`C`), for harness introspection.
     pub fn candidate_count(&self) -> usize {
         self.op.as_ref().map_or(0, |op| op.candidates.len())
+    }
+
+    /// Cumulative fast-path hit/fallback counters.
+    pub fn fast_stats(&self) -> FastPathStats {
+        self.fast_stats
     }
 
     // ---- Figure 4 predicate implementations --------------------------------
@@ -308,6 +351,16 @@ impl<V: Value> SafeReader<V> {
         if !ok {
             return;
         }
+        // Fast path (extension; the converse of Proposition 1): with
+        // S ≥ 2t + 2b + 1 objects, a sufficiently strong exact
+        // confirmation of the highest candidate already decides the read
+        // here, and the second round is skipped *soundly*. Checked exactly
+        // once, at the moment the conflict-free round-1 quorum closes —
+        // on failure the read proceeds to round 2 below, reusing every
+        // reply already collected (no restart).
+        if self.try_fast_finish() {
+            return;
+        }
         // Lines 12–13: inc(tsr'_j); send READ2 to all objects.
         self.tsr += 1;
         let tsr = self.tsr;
@@ -329,6 +382,83 @@ impl<V: Value> SafeReader<V> {
         // round-1 evidence alone.
     }
 
+    /// The sound one-round fast path: complete now iff the highest live
+    /// candidate has [`StorageConfig::fast_read_quorum`] *exact* round-1
+    /// confirmations. Returns whether the read completed.
+    ///
+    /// Soundness: `need = S − 2t` exact confirmations contain at least
+    /// `need − b ≥ b + 1` correct objects (for `S ≥ 2t + 2b + 1`), so the
+    /// candidate was genuinely written — a forgery musters at most `b`.
+    /// And any completed write `w_k` is held by ≥ `S − t − b` correct
+    /// objects, of which ≥ `S − 2t − b ≥ b + 1 ≥ 1` sit in this round-1
+    /// quorum and cannot be out-shouted by eliminations (elimination needs
+    /// `t + b + 1` dissenters; at most `t + b` objects lack `w_k`), so the
+    /// highest candidate's timestamp is at least `k`: the returned value
+    /// is never older than the last completed write. Only *exact* round-1
+    /// reports count — the `pw`-or-higher leniency of `safe(c)` is for
+    /// round 2, where the conflict machinery backs it up.
+    fn try_fast_finish(&mut self) -> bool {
+        if !self.tuning.fast_path {
+            return false;
+        }
+        let Some(need) = self
+            .tuning
+            .fast_threshold
+            .or_else(|| self.cfg.fast_read_quorum())
+        else {
+            return false; // Proposition 1 territory: refuse to engage.
+        };
+        let Some(op) = self.op.as_ref() else {
+            return false;
+        };
+        debug_assert_eq!(op.phase, Phase::Round1);
+        let Some(high) = op.candidates.iter().map(WTuple::ts).max() else {
+            self.fast_stats.fallbacks += 1;
+            return false;
+        };
+        let confirmed = op
+            .candidates
+            .iter()
+            .filter(|c| c.ts() == high) // highCand(c) only, as in line 14
+            .find(|c| {
+                let exact = op
+                    .resp_first
+                    .iter()
+                    .filter(|&&i| {
+                        op.first_reported_w
+                            .get(&i)
+                            .is_some_and(|set| set.contains(*c))
+                            || op
+                                .reported_pw
+                                .get(&i)
+                                .is_some_and(|set| set.contains(&c.tsval))
+                    })
+                    .count();
+                exact >= need
+            });
+        match confirmed.cloned() {
+            Some(cret) => {
+                let id = op.id;
+                self.outcomes.insert(
+                    id,
+                    ReadOutcome {
+                        value: cret.tsval.value.clone(),
+                        ts: cret.ts(),
+                        rounds: 1,
+                        fast: true,
+                    },
+                );
+                self.op = None;
+                self.fast_stats.hits += 1;
+                true
+            }
+            None => {
+                self.fast_stats.fallbacks += 1;
+                false
+            }
+        }
+    }
+
     /// Line 14: complete once the highest live candidate is safe, or `C`
     /// drained (return `v0`).
     fn try_finish(&mut self) {
@@ -346,6 +476,7 @@ impl<V: Value> SafeReader<V> {
                     value: None,
                     ts: Timestamp::ZERO,
                     rounds,
+                    fast: false,
                 },
             );
             self.op = None;
@@ -372,6 +503,7 @@ impl<V: Value> SafeReader<V> {
                     value: cret.tsval.value.clone(),
                     ts: cret.ts(),
                     rounds,
+                    fast: false,
                 },
             );
             self.op = None;
@@ -654,6 +786,150 @@ mod tests {
         let mut r = reader();
         let (_, _) = invoke(&mut r);
         let (_, _) = invoke(&mut r);
+    }
+
+    /// S = 5 = 2t+2b+1, t = b = 1: quorum = 4, fast quorum = 3.
+    fn fast_cfg() -> StorageConfig {
+        StorageConfig::fast(1, 1, 1)
+    }
+
+    fn fast_reader() -> SafeReader<u64> {
+        SafeReader::new(fast_cfg(), 0, (0..5).map(ProcessId).collect())
+    }
+
+    #[test]
+    fn fast_path_completes_in_one_round_when_quorum_agrees() {
+        let mut r = fast_reader();
+        let (id, out) = invoke(&mut r);
+        assert_eq!(out.len(), 5, "READ1 to all");
+        for i in 0..3 {
+            assert!(deliver(&mut r, i, honest_ack(ReadRound::R1, 1, 1, 42)).is_empty());
+            assert!(r.outcome(id).is_none());
+        }
+        // Fourth matching reply closes the quorum with 4 >= 3 exact
+        // confirmations: the read completes with NO second round.
+        let sent = deliver(&mut r, 3, honest_ack(ReadRound::R1, 1, 1, 42));
+        assert!(sent.is_empty(), "fast path must not broadcast READ2");
+        let got = r.outcome(id).expect("fast read complete");
+        assert_eq!(got.value, Some(42));
+        assert_eq!(got.rounds, 1);
+        assert!(got.fast);
+        assert_eq!(
+            r.fast_stats(),
+            FastPathStats {
+                hits: 1,
+                fallbacks: 0
+            }
+        );
+    }
+
+    #[test]
+    fn fast_path_falls_back_without_restarting_round1() {
+        let mut r = fast_reader();
+        let (id, _) = invoke(&mut r);
+        // Only 2 of the 4 quorum replies confirm the write (the others
+        // missed it, e.g. the write is still in flight to them): 2 < 3.
+        deliver(&mut r, 0, honest_ack(ReadRound::R1, 1, 1, 42));
+        deliver(&mut r, 1, honest_ack(ReadRound::R1, 1, 1, 42));
+        deliver(&mut r, 2, bottom_ack(ReadRound::R1, 1));
+        let sent = deliver(&mut r, 3, bottom_ack(ReadRound::R1, 1));
+        assert_eq!(sent.len(), 5, "fallback broadcasts READ2 to all");
+        assert_eq!(
+            r.fast_stats(),
+            FastPathStats {
+                hits: 0,
+                fallbacks: 1
+            }
+        );
+        // The two-round machinery finishes on the reused round-1 evidence
+        // (b+1 = 2 supporters already satisfy line 14 at round-2 entry).
+        let got = r.outcome(id).expect("fallback read complete");
+        assert_eq!(got.value, Some(42));
+        assert_eq!(got.rounds, 2);
+        assert!(!got.fast);
+    }
+
+    #[test]
+    fn fast_path_refuses_at_the_proposition1_boundary() {
+        // S = 4 = 2t + 2b: Proposition 1 applies, the fast path must not
+        // engage even on a unanimous round-1 quorum.
+        let mut r = reader();
+        let (id, _) = invoke(&mut r);
+        for i in 0..2 {
+            deliver(&mut r, i, honest_ack(ReadRound::R1, 1, 1, 42));
+        }
+        let sent = deliver(&mut r, 2, honest_ack(ReadRound::R1, 1, 1, 42));
+        assert!(!sent.is_empty(), "READ2 must go out at S <= 2t+2b");
+        let got = r.outcome(id).expect("complete");
+        assert_eq!(got.rounds, 2);
+        assert!(!got.fast);
+        assert_eq!(r.fast_stats(), FastPathStats::default(), "never eligible");
+    }
+
+    #[test]
+    fn forged_high_candidate_cannot_fast_fire() {
+        // A Byzantine object forges the highest candidate: with only one
+        // (malicious) exact confirmation the fast path must fall back, and
+        // the two-round machinery must still return the genuine write.
+        let mut r = fast_reader();
+        let (id, _) = invoke(&mut r);
+        deliver(&mut r, 4, honest_ack(ReadRound::R1, 1, 99, 666));
+        deliver(&mut r, 0, honest_ack(ReadRound::R1, 1, 1, 42));
+        deliver(&mut r, 1, honest_ack(ReadRound::R1, 1, 1, 42));
+        deliver(&mut r, 2, honest_ack(ReadRound::R1, 1, 1, 42));
+        // At quorum close the forgery was already eliminated (t+b+1 = 3
+        // objects answered without it), so the honest candidate is high
+        // with 3 >= 3 exact confirmations: the fast path fires — on the
+        // RIGHT value.
+        let got = r.outcome(id).expect("complete");
+        assert_eq!(got.value, Some(42), "never the forged value");
+        assert_eq!(got.rounds, 1);
+        assert!(got.fast);
+    }
+
+    #[test]
+    fn fast_path_disabled_by_tuning_takes_two_rounds() {
+        let tuning = SafeTuning {
+            fast_path: false,
+            ..SafeTuning::default()
+        };
+        let mut r =
+            SafeReader::<u64>::with_tuning(fast_cfg(), 0, (0..5).map(ProcessId).collect(), tuning);
+        let (id, _) = invoke(&mut r);
+        for i in 0..3 {
+            deliver(&mut r, i, honest_ack(ReadRound::R1, 1, 1, 42));
+        }
+        let sent = deliver(&mut r, 3, honest_ack(ReadRound::R1, 1, 1, 42));
+        assert_eq!(sent.len(), 5, "READ2 goes out with the fast path off");
+        deliver(&mut r, 0, honest_ack(ReadRound::R2, 2, 1, 42));
+        deliver(&mut r, 1, honest_ack(ReadRound::R2, 2, 1, 42));
+        let got = r.outcome(id).expect("complete");
+        assert_eq!(got.rounds, 2);
+        assert_eq!(r.fast_stats(), FastPathStats::default());
+    }
+
+    #[test]
+    fn unreachable_fast_threshold_always_falls_back() {
+        let tuning = SafeTuning {
+            fast_threshold: Some(usize::MAX),
+            ..SafeTuning::default()
+        };
+        let mut r =
+            SafeReader::<u64>::with_tuning(fast_cfg(), 0, (0..5).map(ProcessId).collect(), tuning);
+        let (id, _) = invoke(&mut r);
+        for i in 0..4 {
+            deliver(&mut r, i, honest_ack(ReadRound::R1, 1, 1, 42));
+        }
+        assert_eq!(
+            r.fast_stats(),
+            FastPathStats {
+                hits: 0,
+                fallbacks: 1
+            }
+        );
+        let got = r.outcome(id).expect("complete via the two-round path");
+        assert_eq!(got.rounds, 2);
+        assert!(!got.fast);
     }
 
     #[test]

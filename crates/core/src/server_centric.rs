@@ -183,6 +183,7 @@ mod tests {
                         value: o.value,
                         ts: o.ts,
                         rounds: o.rounds,
+                        fast: o.fast,
                     })
             })
         }

@@ -52,4 +52,4 @@ pub use cluster::{Cluster, NodeGone};
 pub use executor::ExecutorStats;
 pub use router::{FixedDelay, LinkAction, LinkPolicy, NoDelay};
 pub use shard::ShardedStore;
-pub use storage::{ProtocolKind, StorageCluster};
+pub use storage::{ProtocolKind, ReaderTuning, StorageCluster};

@@ -19,12 +19,12 @@ use parking_lot::Mutex;
 use vrr_sim::{Automaton, ProcessId};
 
 use vrr_core::regular::HistoryRetention;
-use vrr_core::{Msg, ReadReport, StorageConfig, Value, WriteReport};
+use vrr_core::{FastPathStats, Msg, ReadReport, StorageConfig, Value, WriteReport};
 
 use crate::cluster::Cluster;
 use crate::router::LinkPolicy;
 use crate::storage::{
-    blocking_read, blocking_write, spawn_register_group, ProtocolKind, RegisterGroup,
+    blocking_read, blocking_write, spawn_register_group, ProtocolKind, ReaderTuning, RegisterGroup,
 };
 
 /// One register shard plus the client-side locks that keep its automata
@@ -95,7 +95,44 @@ impl<K: Eq + Hash, V: Value> ShardedStore<K, V> {
         capacity: usize,
         retention: HistoryRetention,
     ) -> Self {
-        Self::deploy_inner(cfg, kind, policy, capacity, retention, |_shard, _i| None)
+        Self::deploy_inner(
+            cfg,
+            kind,
+            policy,
+            capacity,
+            retention,
+            None,
+            |_shard, _i| None,
+        )
+    }
+
+    /// Like [`ShardedStore::deploy_with_retention`], but every reader of
+    /// every shard runs `tuning` — the multi-key counterpart of
+    /// [`crate::StorageCluster::deploy_with_reader_tuning`].
+    /// Over-provision with [`StorageConfig::fast`] to arm the one-round
+    /// fast path on every shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or the [`ReaderTuning`] variant does not
+    /// match `kind`.
+    pub fn deploy_with_reader_tuning(
+        cfg: StorageConfig,
+        kind: ProtocolKind,
+        policy: Box<dyn LinkPolicy<Msg<V>>>,
+        capacity: usize,
+        retention: HistoryRetention,
+        tuning: ReaderTuning,
+    ) -> Self {
+        Self::deploy_inner(
+            cfg,
+            kind,
+            policy,
+            capacity,
+            retention,
+            Some(tuning),
+            |_shard, _i| None,
+        )
     }
 
     /// Like [`ShardedStore::deploy`], but `factory(shard, i)` may
@@ -118,6 +155,7 @@ impl<K: Eq + Hash, V: Value> ShardedStore<K, V> {
             policy,
             capacity,
             HistoryRetention::KeepAll,
+            None,
             factory,
         )
     }
@@ -128,14 +166,16 @@ impl<K: Eq + Hash, V: Value> ShardedStore<K, V> {
         policy: Box<dyn LinkPolicy<Msg<V>>>,
         capacity: usize,
         retention: HistoryRetention,
+        tuning: Option<ReaderTuning>,
         mut factory: impl FnMut(usize, usize) -> Option<Box<dyn Automaton<Msg<V>>>>,
     ) -> Self {
         assert!(capacity > 0, "a sharded store needs at least one shard");
         let mut cluster: Cluster<Msg<V>> = Cluster::new(policy);
         let shards: Vec<Shard> = (0..capacity)
             .map(|s| {
-                let group =
-                    spawn_register_group(&mut cluster, cfg, kind, retention, |i| factory(s, i));
+                let group = spawn_register_group(&mut cluster, cfg, kind, retention, tuning, |i| {
+                    factory(s, i)
+                });
                 Shard {
                     group,
                     write_lock: Mutex::new(()),
@@ -260,6 +300,19 @@ impl<K: Eq + Hash, V: Value> ShardedStore<K, V> {
         crate::storage::history_lens(&self.cluster, self.kind, &self.shards[slot].group.objects)
     }
 
+    /// Sum of the one-round fast-path counters over every reader of every
+    /// shard (hits = reads finished in round 1, fallbacks = reads that
+    /// armed the fast path but completed through the two-round protocol).
+    pub fn fast_path_stats(&self) -> FastPathStats {
+        let mut total = FastPathStats::default();
+        for shard in &self.shards {
+            let s = crate::storage::fast_path_stats(&self.cluster, self.kind, &shard.group.readers);
+            total.hits += s.hits;
+            total.fallbacks += s.fallbacks;
+        }
+        total
+    }
+
     /// Access to the underlying cluster (fault injection, stats).
     pub fn cluster(&self) -> &Cluster<Msg<V>> {
         &self.cluster
@@ -351,6 +404,24 @@ mod tests {
                 assert!(len <= 5, "shard {slot} history len {len} unbounded");
             }
         }
+    }
+
+    #[test]
+    fn over_provisioned_shards_serve_one_round_reads() {
+        let cfg = StorageConfig::fast(1, 1, 1); // S = 5 per shard
+        let store: ShardedStore<&'static str, u64> =
+            ShardedStore::deploy(cfg, ProtocolKind::RegularOptimized, Box::new(NoDelay), 2);
+        store.write("a", 1);
+        store.write("b", 2);
+        for (k, v) in [("a", 1u64), ("b", 2)] {
+            let r = store.read(&k, 0).expect("written key");
+            assert_eq!(r.value, Some(v));
+            assert_eq!(r.rounds, 1);
+            assert!(r.fast);
+        }
+        let stats = store.fast_path_stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.fallbacks, 0);
     }
 
     #[test]

@@ -6,9 +6,9 @@ use std::time::Duration;
 
 use vrr_sim::{Automaton, ProcessId};
 
-use vrr_core::regular::{HistoryRetention, RegularObject, RegularReader};
-use vrr_core::safe::{SafeObject, SafeReader};
-use vrr_core::{Msg, ReadReport, StorageConfig, Value, WriteReport, Writer};
+use vrr_core::regular::{HistoryRetention, RegularObject, RegularReader, RegularTuning};
+use vrr_core::safe::{SafeObject, SafeReader, SafeTuning};
+use vrr_core::{FastPathStats, Msg, ReadReport, StorageConfig, Value, WriteReport, Writer};
 
 use crate::cluster::Cluster;
 use crate::router::LinkPolicy;
@@ -22,6 +22,25 @@ pub enum ProtocolKind {
     Regular,
     /// §5.1 optimized regular storage (suffix histories + reader cache).
     RegularOptimized,
+}
+
+/// A reader-tuning override for a whole deployment, applied to every
+/// reader spawned by [`StorageCluster::deploy_with_reader_tuning`] (and
+/// its [`crate::ShardedStore`] counterpart). The variant must match the
+/// deployment's [`ProtocolKind`].
+///
+/// The headline use is steering the one-round fast path: the default
+/// tunings already enable it (it self-arms only at `S ≥ 2t + 2b + 1`,
+/// per [`StorageConfig::fast_read_quorum`]), so this override is for
+/// disabling it, or for forcing the fallback path deterministically in
+/// benchmarks via an unreachable `fast_threshold`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReaderTuning {
+    /// Tuning for [`ProtocolKind::Safe`] readers.
+    Safe(SafeTuning),
+    /// Tuning for [`ProtocolKind::Regular`] /
+    /// [`ProtocolKind::RegularOptimized`] readers.
+    Regular(RegularTuning),
 }
 
 /// How long a blocking operation may take before the cluster is declared
@@ -65,6 +84,7 @@ pub(crate) fn blocking_read<V: Value>(
                     value: o.value.clone(),
                     ts: o.ts,
                     rounds: o.rounds,
+                    fast: o.fast,
                 })
             });
             rx.recv_timeout(OP_TIMEOUT)
@@ -77,6 +97,7 @@ pub(crate) fn blocking_read<V: Value>(
                     value: o.value.clone(),
                     ts: o.ts,
                     rounds: o.rounds,
+                    fast: o.fast,
                 })
             });
             rx.recv_timeout(OP_TIMEOUT)
@@ -96,8 +117,27 @@ pub(crate) fn spawn_register_group<V: Value>(
     cfg: StorageConfig,
     kind: ProtocolKind,
     retention: HistoryRetention,
+    tuning: Option<ReaderTuning>,
     mut factory: impl FnMut(usize) -> Option<Box<dyn Automaton<Msg<V>>>>,
 ) -> RegisterGroup {
+    let safe_tuning = match (kind, tuning) {
+        (ProtocolKind::Safe, Some(ReaderTuning::Safe(t))) => t,
+        (ProtocolKind::Safe, None) => SafeTuning::default(),
+        (ProtocolKind::Safe, Some(other)) => {
+            panic!("reader tuning {other:?} does not fit ProtocolKind::Safe")
+        }
+        _ => SafeTuning::default(),
+    };
+    let regular_tuning = match (kind, tuning) {
+        (
+            ProtocolKind::Regular | ProtocolKind::RegularOptimized,
+            Some(ReaderTuning::Regular(t)),
+        ) => t,
+        (ProtocolKind::Regular | ProtocolKind::RegularOptimized, Some(other)) => {
+            panic!("reader tuning {other:?} does not fit {kind:?}")
+        }
+        _ => RegularTuning::default(),
+    };
     if let HistoryRetention::ReaderAck { readers, .. } = retention {
         // A policy covering fewer readers than are deployed would let the
         // covered readers' acks truncate entries the un-gated readers
@@ -127,11 +167,26 @@ pub(crate) fn spawn_register_group<V: Value>(
     let readers: Vec<ProcessId> = (0..cfg.readers)
         .map(|j| {
             let automaton: Box<dyn Automaton<Msg<V>>> = match kind {
-                ProtocolKind::Safe => Box::new(SafeReader::<V>::new(cfg, j, objects.clone())),
-                ProtocolKind::Regular => Box::new(RegularReader::<V>::new(cfg, j, objects.clone())),
-                ProtocolKind::RegularOptimized => {
-                    Box::new(RegularReader::<V>::new_optimized(cfg, j, objects.clone()))
-                }
+                ProtocolKind::Safe => Box::new(SafeReader::<V>::with_tuning(
+                    cfg,
+                    j,
+                    objects.clone(),
+                    safe_tuning,
+                )),
+                ProtocolKind::Regular => Box::new(RegularReader::<V>::with_tuning(
+                    cfg,
+                    j,
+                    objects.clone(),
+                    false,
+                    regular_tuning,
+                )),
+                ProtocolKind::RegularOptimized => Box::new(RegularReader::<V>::with_tuning(
+                    cfg,
+                    j,
+                    objects.clone(),
+                    true,
+                    regular_tuning,
+                )),
             };
             cluster.spawn(automaton)
         })
@@ -170,6 +225,28 @@ pub(crate) fn history_lens<V: Value>(
         .collect()
 }
 
+/// Sum of the fast-path counters of every reader in `readers`, shared by
+/// [`StorageCluster::fast_path_stats`] and
+/// [`crate::ShardedStore::fast_path_stats`].
+pub(crate) fn fast_path_stats<V: Value>(
+    cluster: &Cluster<Msg<V>>,
+    kind: ProtocolKind,
+    readers: &[ProcessId],
+) -> FastPathStats {
+    let mut total = FastPathStats::default();
+    for &pid in readers {
+        let s = match kind {
+            ProtocolKind::Safe => cluster.invoke(pid, |r: &mut SafeReader<V>, _ctx| r.fast_stats()),
+            ProtocolKind::Regular | ProtocolKind::RegularOptimized => {
+                cluster.invoke(pid, |r: &mut RegularReader<V>, _ctx| r.fast_stats())
+            }
+        };
+        total.hits += s.hits;
+        total.fallbacks += s.fallbacks;
+    }
+    total
+}
+
 /// A storage deployment on OS threads with a blocking client API.
 ///
 /// # Examples
@@ -203,6 +280,27 @@ impl<V: Value> StorageCluster<V> {
         policy: Box<dyn LinkPolicy<Msg<V>>>,
     ) -> Self {
         Self::deploy_with_objects(cfg, kind, policy, |_i| None)
+    }
+
+    /// Like [`StorageCluster::deploy`], but every reader runs `tuning`
+    /// instead of the default. The sanctioned use is steering the
+    /// one-round fast path — e.g. disabling it for a two-round control
+    /// deployment, or setting an unreachable
+    /// [`vrr_core::safe::SafeTuning::fast_threshold`] to measure the pure
+    /// fallback path. Over-provision with [`StorageConfig::fast`] to make
+    /// the default fast path actually fire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the [`ReaderTuning`] variant does not match `kind`.
+    pub fn deploy_with_reader_tuning(
+        cfg: StorageConfig,
+        kind: ProtocolKind,
+        policy: Box<dyn LinkPolicy<Msg<V>>>,
+        retention: HistoryRetention,
+        tuning: ReaderTuning,
+    ) -> Self {
+        Self::deploy_full(cfg, kind, policy, retention, Some(tuning), |_i| None)
     }
 
     /// Like [`StorageCluster::deploy`], but regular objects run `retention`
@@ -240,8 +338,19 @@ impl<V: Value> StorageCluster<V> {
         retention: HistoryRetention,
         factory: impl FnMut(usize) -> Option<Box<dyn Automaton<Msg<V>>>>,
     ) -> Self {
+        Self::deploy_full(cfg, kind, policy, retention, None, factory)
+    }
+
+    fn deploy_full(
+        cfg: StorageConfig,
+        kind: ProtocolKind,
+        policy: Box<dyn LinkPolicy<Msg<V>>>,
+        retention: HistoryRetention,
+        tuning: Option<ReaderTuning>,
+        factory: impl FnMut(usize) -> Option<Box<dyn Automaton<Msg<V>>>>,
+    ) -> Self {
         let mut cluster: Cluster<Msg<V>> = Cluster::new(policy);
-        let group = spawn_register_group(&mut cluster, cfg, kind, retention, factory);
+        let group = spawn_register_group(&mut cluster, cfg, kind, retention, tuning, factory);
         cluster.seal();
         StorageCluster {
             cluster,
@@ -307,6 +416,14 @@ impl<V: Value> StorageCluster<V> {
     /// [`RegularObject`] (crashed or Byzantine-substituted).
     pub fn history_lens(&self) -> Vec<usize> {
         history_lens(&self.cluster, self.kind, &self.objects)
+    }
+
+    /// Sum of the one-round fast-path counters over all readers: how many
+    /// reads finished in round 1 (`hits`) vs. fell back to the two-round
+    /// protocol (`fallbacks`). Both stay zero at optimal resilience, where
+    /// Proposition 1 keeps the fast path disarmed.
+    pub fn fast_path_stats(&self) -> FastPathStats {
+        fast_path_stats(&self.cluster, self.kind, &self.readers)
     }
 
     /// Access to the underlying cluster (fault injection, raw sends).
@@ -403,6 +520,85 @@ mod tests {
             assert_eq!(storage.read(0).value, Some(k));
         }
         assert!(storage.history_lens().into_iter().all(|len| len == 31));
+    }
+
+    #[test]
+    fn over_provisioned_reads_complete_in_one_round() {
+        // S = 2t + 2b + 1 = 5 arms the fast path: fault-free reads finish
+        // in round 1 for both protocol families.
+        let cfg = StorageConfig::fast(1, 1, 1);
+        for kind in [
+            ProtocolKind::Safe,
+            ProtocolKind::Regular,
+            ProtocolKind::RegularOptimized,
+        ] {
+            let storage: StorageCluster<u64> = StorageCluster::deploy(cfg, kind, Box::new(NoDelay));
+            for k in 1..=3u64 {
+                storage.write(k);
+                let r = storage.read(0);
+                assert_eq!(r.value, Some(k), "{kind:?}");
+                assert_eq!(r.rounds, 1, "{kind:?}");
+                assert!(r.fast, "{kind:?}");
+            }
+            let stats = storage.fast_path_stats();
+            assert_eq!(stats.hits, 3, "{kind:?}");
+            assert_eq!(stats.fallbacks, 0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn fast_path_stays_disarmed_at_optimal_resilience() {
+        let cfg = StorageConfig::optimal(1, 1, 1); // S = 2t + 2b: Prop. 1
+        let storage: StorageCluster<u64> =
+            StorageCluster::deploy(cfg, ProtocolKind::RegularOptimized, Box::new(NoDelay));
+        storage.write(7);
+        let r = storage.read(0);
+        assert_eq!(r.value, Some(7));
+        assert_eq!(r.rounds, 2);
+        assert!(!r.fast);
+        assert_eq!(storage.fast_path_stats(), FastPathStats::default());
+    }
+
+    #[test]
+    fn unreachable_threshold_forces_the_fallback_path() {
+        // The deterministic fallback-forcing deployment used by the
+        // `read/fast-fallback` bench: over-provisioned sizing, but a
+        // threshold no quorum can meet, so every read arms the fast path
+        // and then completes through the two-round protocol.
+        let cfg = StorageConfig::fast(1, 1, 1);
+        let storage: StorageCluster<u64> = StorageCluster::deploy_with_reader_tuning(
+            cfg,
+            ProtocolKind::RegularOptimized,
+            Box::new(NoDelay),
+            HistoryRetention::KeepAll,
+            ReaderTuning::Regular(RegularTuning {
+                fast_threshold: Some(usize::MAX),
+                ..RegularTuning::default()
+            }),
+        );
+        for k in 1..=4u64 {
+            storage.write(k);
+            let r = storage.read(0);
+            assert_eq!(r.value, Some(k));
+            assert_eq!(r.rounds, 2);
+            assert!(!r.fast);
+        }
+        let stats = storage.fast_path_stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.fallbacks, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn mismatched_reader_tuning_panics() {
+        let cfg = StorageConfig::fast(1, 1, 1);
+        let _storage: StorageCluster<u64> = StorageCluster::deploy_with_reader_tuning(
+            cfg,
+            ProtocolKind::Safe,
+            Box::new(NoDelay),
+            HistoryRetention::KeepAll,
+            ReaderTuning::Regular(RegularTuning::default()),
+        );
     }
 
     #[test]

@@ -10,6 +10,10 @@
 use vrr::lowerbound::{
     execute_control, execute_prop1, render_all, BlockPartition, LitePairSpec, ReadRule, Verdict,
 };
+use vrr_core::regular::HistoryRetention;
+use vrr_core::regular::RegularTuning;
+use vrr_core::StorageConfig;
+use vrr_runtime::{NoDelay, ProtocolKind, ReaderTuning, StorageCluster};
 
 fn main() {
     let (t, b) = (1usize, 1usize);
@@ -76,4 +80,65 @@ fn main() {
     assert!(control.is_safe());
     println!("\nConclusion: at S ≤ 2t+2b a read needs a second round-trip — which is");
     println!("exactly what the paper's §4 algorithm spends, and no more.");
+
+    // ── The mutant vs. the sound fast path, side by side ────────────────
+    //
+    // Two ways to claim a one-round read at the Proposition-1 boundary:
+    //   * `skip_round2` — the UNSOUND mutant: always skip round 2. It is
+    //     exactly the read rule the construction above convicts.
+    //   * `fast_path` — the SOUND fast path: complete in round 1 only when
+    //     `fast_read_quorum()` is `Some`, i.e. only above the boundary.
+    println!("\n── mutant vs. sound fast path at the boundary ──\n");
+    let boundary = StorageConfig::with_objects(s, t, b, 1); // S = 2t+2b
+    assert_eq!(boundary.fast_read_quorum(), None);
+
+    let mutant: StorageCluster<u64> = StorageCluster::deploy_with_reader_tuning(
+        boundary,
+        ProtocolKind::Regular,
+        Box::new(NoDelay),
+        HistoryRetention::KeepAll,
+        ReaderTuning::Regular(RegularTuning {
+            skip_round2: true,
+            ..RegularTuning::default()
+        }),
+    );
+    mutant.write(42);
+    let r = mutant.read(0);
+    println!(
+        "S = {s} (= 2t+2b), skip_round2 mutant:  rounds = {}, fast = {} — it",
+        r.rounds, r.fast
+    );
+    println!("      answers in one round here, which is precisely what the runs");
+    println!("      above convict. (Fault-free it happens to be right; adversarially");
+    println!("      it cannot be — see `thm34_regular` for the conviction.)");
+
+    let sound: StorageCluster<u64> =
+        StorageCluster::deploy(boundary, ProtocolKind::Regular, Box::new(NoDelay));
+    sound.write(42);
+    let r = sound.read(0);
+    let stats = sound.fast_path_stats();
+    println!(
+        "S = {s} (= 2t+2b), sound fast path:     rounds = {}, fast = {} — it",
+        r.rounds, r.fast
+    );
+    println!(
+        "      refuses to engage below the boundary (hits = {}, fallbacks = {})",
+        stats.hits, stats.fallbacks
+    );
+    assert_eq!(r.rounds, 2);
+    assert!(!r.fast);
+    assert_eq!((stats.hits, stats.fallbacks), (0, 0));
+
+    let fast_cfg = StorageConfig::fast(t, b, 1); // S = 2t+2b+1
+    let fast: StorageCluster<u64> =
+        StorageCluster::deploy(fast_cfg, ProtocolKind::Regular, Box::new(NoDelay));
+    fast.write(42);
+    let r = fast.read(0);
+    println!(
+        "S = {} (= 2t+2b+1), sound fast path:   rounds = {}, fast = {} — one",
+        fast_cfg.s, r.rounds, r.fast
+    );
+    println!("      replica above the boundary buys the one-round read legitimately.");
+    assert_eq!(r.rounds, 1);
+    assert!(r.fast);
 }

@@ -1,0 +1,265 @@
+//! The one-round fast path, end to end: fault-free reads above the
+//! Proposition-1 boundary finish in one round; every attacker in the
+//! catalogue can at worst force a fallback to the two-round protocol,
+//! never a wrong value; and below the boundary the fast path refuses to
+//! engage at all.
+
+use proptest::prelude::*;
+
+use vrr::checker::{check_regularity, check_safety};
+use vrr::core::attackers::AttackerKind;
+use vrr::core::regular::HistoryRetention;
+use vrr::core::{RegularProtocol, SafeProtocol, StorageConfig};
+use vrr::sim::SimTime;
+use vrr::workload::{
+    generate, regular_corruptor, run_schedule, safe_corruptor, FaultPlan, LatencyKind,
+    ScheduleParams,
+};
+
+/// The smallest fast-path sizing: S = 2t + 2b + 1 with t = b = 1.
+fn fast_cfg(readers: usize) -> StorageConfig {
+    let cfg = StorageConfig::fast(1, 1, readers);
+    assert_eq!(cfg.fast_read_quorum(), Some(3));
+    cfg
+}
+
+#[test]
+fn fault_free_reads_complete_in_one_round() {
+    // Sequential (non-contended) schedules, unit latency, no faults: every
+    // read should take the fast path, for all three protocol variants.
+    let cfg = fast_cfg(2);
+    let schedule = generate(ScheduleParams::sequential(4, 4, 2, 9));
+
+    let out = run_schedule(
+        &SafeProtocol,
+        cfg,
+        &schedule,
+        &FaultPlan::none(),
+        LatencyKind::Unit,
+        9,
+        &safe_corruptor,
+    );
+    assert!(out.all_live());
+    assert!(check_safety(&out.history).is_ok());
+    assert!(
+        out.read_rounds.iter().all(|&r| r == 1),
+        "safe: {:?}",
+        out.read_rounds
+    );
+
+    for protocol in [RegularProtocol::full(), RegularProtocol::optimized()] {
+        let out = run_schedule(
+            &protocol,
+            cfg,
+            &schedule,
+            &FaultPlan::none(),
+            LatencyKind::Unit,
+            9,
+            &regular_corruptor,
+        );
+        assert!(out.all_live());
+        assert!(check_regularity(&out.history).is_ok());
+        assert!(
+            out.read_rounds.iter().all(|&r| r == 1),
+            "regular: {:?}",
+            out.read_rounds
+        );
+    }
+}
+
+#[test]
+fn every_attacker_forces_at_worst_a_fallback_safe() {
+    // b Byzantine objects plus t − b crashes: reads must stay safe and
+    // never exceed the two-round fallback, whatever the attacker does.
+    for kind in AttackerKind::ALL {
+        for seed in 0..4u64 {
+            let cfg = fast_cfg(2);
+            let schedule = generate(ScheduleParams::contended(5, 5, 2, seed));
+            let faults = FaultPlan::maximal(&cfg, kind, SimTime::from_ticks(30));
+            let out = run_schedule(
+                &SafeProtocol,
+                cfg,
+                &schedule,
+                &faults,
+                LatencyKind::LongTail,
+                seed,
+                &safe_corruptor,
+            );
+            assert!(out.all_live(), "{kind:?}/{seed}");
+            assert!(check_safety(&out.history).is_ok(), "{kind:?}/{seed}");
+            assert!(out.max_read_rounds() <= 2, "{kind:?}/{seed}");
+        }
+    }
+}
+
+#[test]
+fn every_attacker_forces_at_worst_a_fallback_regular() {
+    for kind in AttackerKind::ALL {
+        for optimized in [false, true] {
+            let protocol = if optimized {
+                RegularProtocol::optimized()
+            } else {
+                RegularProtocol::full()
+            };
+            for seed in 0..3u64 {
+                let cfg = fast_cfg(2);
+                let schedule = generate(ScheduleParams::contended(5, 5, 2, seed));
+                let faults = FaultPlan::maximal(&cfg, kind, SimTime::from_ticks(30));
+                let out = run_schedule(
+                    &protocol,
+                    cfg,
+                    &schedule,
+                    &faults,
+                    LatencyKind::Uniform(1, 10),
+                    seed,
+                    &regular_corruptor,
+                );
+                assert!(out.all_live(), "{kind:?}/{seed}/opt={optimized}");
+                assert!(
+                    check_regularity(&out.history).is_ok(),
+                    "{kind:?}/{seed}/opt={optimized}: {:?}",
+                    check_regularity(&out.history)
+                );
+                assert!(
+                    out.max_read_rounds() <= 2,
+                    "{kind:?}/{seed}/opt={optimized}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn below_the_boundary_every_read_takes_two_rounds() {
+    // At every sizing from optimal (S = 2t + b + 1) up to the boundary
+    // (S = 2t + 2b), the fast path must refuse to engage: even fault-free
+    // sequential reads take two rounds.
+    let (t, b) = (2usize, 2usize);
+    for s in (2 * t + b + 1)..=(2 * t + 2 * b) {
+        let cfg = StorageConfig::with_objects(s, t, b, 2);
+        assert_eq!(cfg.fast_read_quorum(), None, "S = {s}");
+        let schedule = generate(ScheduleParams::sequential(3, 3, 2, 5));
+        let out = run_schedule(
+            &RegularProtocol::optimized(),
+            cfg,
+            &schedule,
+            &FaultPlan::none(),
+            LatencyKind::Unit,
+            5,
+            &regular_corruptor,
+        );
+        assert!(out.all_live(), "S = {s}");
+        assert!(check_regularity(&out.history).is_ok(), "S = {s}");
+        assert!(
+            out.read_rounds.iter().all(|&r| r == 2),
+            "S = {s}: {:?}",
+            out.read_rounds
+        );
+    }
+}
+
+#[test]
+fn fast_path_composes_with_reader_ack_gc() {
+    // The bounded-memory production configuration (suffix transfers +
+    // reader-ack GC) at fast sizing: one-round reads still ack, GC still
+    // truncates, regularity still holds.
+    let cfg = fast_cfg(2);
+    let protocol = RegularProtocol::optimized_gc(2);
+    for seed in 0..4u64 {
+        let schedule = generate(ScheduleParams::contended(8, 8, 2, seed));
+        let out = run_schedule(
+            &protocol,
+            cfg,
+            &schedule,
+            &FaultPlan::none(),
+            LatencyKind::Uniform(1, 6),
+            seed,
+            &regular_corruptor,
+        );
+        assert!(out.all_live(), "seed {seed}");
+        assert!(check_regularity(&out.history).is_ok(), "seed {seed}");
+        assert!(out.max_read_rounds() <= 2, "seed {seed}");
+        assert!(
+            out.read_rounds.contains(&1),
+            "seed {seed}: the fast path never fired: {:?}",
+            out.read_rounds
+        );
+    }
+}
+
+fn latency_strategy() -> impl Strategy<Value = LatencyKind> {
+    prop_oneof![
+        Just(LatencyKind::Unit),
+        (1u64..5, 5u64..30).prop_map(|(a, b)| LatencyKind::Uniform(a, b)),
+        Just(LatencyKind::LongTail),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// Random schedules, fault plans and latency regimes at fast sizing:
+    /// reads mix fast-path completions (quiet moments) with fallbacks
+    /// (contention, faults), and whatever the mix, safety/regularity hold
+    /// and no read exceeds the two-round fallback.
+    #[test]
+    fn fast_sizing_keeps_safety_under_random_schedules(
+        seed in 0u64..10_000,
+        t in 1usize..=3,
+        b_rel in 0usize..=2,
+        writes in 1u64..=6,
+        reads in 1u64..=6,
+        gap in 1u64..=60,
+        latency in latency_strategy(),
+    ) {
+        let b = ((b_rel % t) + 1).min(t);
+        let cfg = StorageConfig::fast(t, b, 2);
+        let schedule = generate(ScheduleParams {
+            writes, reads_per_reader: reads, readers: 2, mean_gap: gap, seed,
+        });
+        let faults = FaultPlan::random(&cfg, 200, seed);
+        let out = run_schedule(
+            &SafeProtocol, cfg, &schedule, &faults, latency, seed, &safe_corruptor,
+        );
+        prop_assert!(out.all_live(), "stalled {}", out.stalled_ops);
+        prop_assert!(check_safety(&out.history).is_ok());
+        prop_assert!(out.max_read_rounds() <= 2);
+    }
+
+    /// The regular counterpart, including the bounded-memory GC
+    /// configuration: concurrent writes, random faults and reader-ack
+    /// truncation cannot make a fast or fallback read violate regularity.
+    #[test]
+    fn fast_sizing_keeps_regularity_under_random_schedules(
+        seed in 0u64..10_000,
+        t in 1usize..=3,
+        optimized in any::<bool>(),
+        gc in any::<bool>(),
+        writes in 1u64..=6,
+        reads in 1u64..=5,
+        gap in 1u64..=40,
+        latency in latency_strategy(),
+    ) {
+        let cfg = StorageConfig::fast(t, 1, 2);
+        let protocol = match (optimized, gc) {
+            (true, true) => RegularProtocol::optimized_gc(2),
+            (true, false) => RegularProtocol::optimized(),
+            (false, _) => RegularProtocol::full()
+                .with_retention(if gc {
+                    HistoryRetention::reader_ack(2)
+                } else {
+                    HistoryRetention::KeepAll
+                }),
+        };
+        let schedule = generate(ScheduleParams {
+            writes, reads_per_reader: reads, readers: 2, mean_gap: gap, seed,
+        });
+        let faults = FaultPlan::random(&cfg, 200, seed);
+        let out = run_schedule(
+            &protocol, cfg, &schedule, &faults, latency, seed, &regular_corruptor,
+        );
+        prop_assert!(out.all_live());
+        prop_assert!(check_regularity(&out.history).is_ok());
+        prop_assert!(out.max_read_rounds() <= 2);
+    }
+}
