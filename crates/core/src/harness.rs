@@ -8,10 +8,11 @@
 
 use vrr_sim::{Automaton, ProcessId, SimMessage, World};
 
+use crate::attackers::AttackerKind;
 use crate::config::StorageConfig;
 use crate::msg::Msg;
 use crate::regular::{HistoryRetention, RegularObject, RegularReader, RegularTuning};
-use crate::safe::{SafeObject, SafeReader, SafeTuning};
+use crate::safe::{FastPathStats, SafeObject, SafeReader, SafeTuning};
 use crate::types::{Timestamp, Value};
 use crate::writer::{WriteId, Writer};
 
@@ -87,6 +88,35 @@ pub trait RegisterProtocol<V: Value> {
         reader: usize,
         op: u64,
     ) -> Option<ReadReport<V>>;
+
+    /// Aggregated fast-path counters across this deployment's readers, or
+    /// `None` for protocols without a one-round fast path.
+    fn fast_path_stats(&self, dep: &Deployment, world: &World<Self::Msg>) -> Option<FastPathStats> {
+        let _ = (dep, world);
+        None
+    }
+
+    /// Per-object stored history lengths, or `None` for protocols whose
+    /// objects keep no history (e.g. safe storage). Objects whose automaton
+    /// was replaced (Byzantine) are skipped — a liar's "history" is
+    /// meaningless.
+    fn history_lens(&self, dep: &Deployment, world: &World<Self::Msg>) -> Option<Vec<usize>> {
+        let _ = (dep, world);
+        None
+    }
+
+    /// An attacker automaton from the catalogue, speaking this protocol's
+    /// wire format and forging `forged` where the attack calls for a fake
+    /// value. `None` for protocols without a catalogue entry.
+    fn corruptor(
+        &self,
+        kind: AttackerKind,
+        cfg: StorageConfig,
+        forged: V,
+    ) -> Option<Box<dyn Automaton<Self::Msg>>> {
+        let _ = (kind, cfg, forged);
+        None
+    }
 }
 
 /// The paper's safe storage (§4) as a [`RegisterProtocol`].
@@ -162,6 +192,25 @@ impl<V: Value> RegisterProtocol<V> for SafeProtocol {
                 fast: o.fast,
             })
         })
+    }
+
+    fn fast_path_stats(&self, dep: &Deployment, world: &World<Msg<V>>) -> Option<FastPathStats> {
+        let mut total = FastPathStats::default();
+        for &pid in &dep.readers {
+            let s = world.inspect(pid, |r: &SafeReader<V>| r.fast_stats());
+            total.hits += s.hits;
+            total.fallbacks += s.fallbacks;
+        }
+        Some(total)
+    }
+
+    fn corruptor(
+        &self,
+        kind: AttackerKind,
+        cfg: StorageConfig,
+        forged: V,
+    ) -> Option<Box<dyn Automaton<Msg<V>>>> {
+        Some(kind.build_safe(cfg, forged))
     }
 }
 
@@ -305,6 +354,34 @@ impl<V: Value> RegisterProtocol<V> for RegularProtocol {
                 fast: o.fast,
             })
         })
+    }
+
+    fn fast_path_stats(&self, dep: &Deployment, world: &World<Msg<V>>) -> Option<FastPathStats> {
+        let mut total = FastPathStats::default();
+        for &pid in &dep.readers {
+            let s = world.inspect(pid, |r: &RegularReader<V>| r.fast_stats());
+            total.hits += s.hits;
+            total.fallbacks += s.fallbacks;
+        }
+        Some(total)
+    }
+
+    fn history_lens(&self, dep: &Deployment, world: &World<Msg<V>>) -> Option<Vec<usize>> {
+        Some(
+            dep.objects
+                .iter()
+                .filter_map(|&pid| world.try_inspect(pid, |o: &RegularObject<V>| o.history().len()))
+                .collect(),
+        )
+    }
+
+    fn corruptor(
+        &self,
+        kind: AttackerKind,
+        cfg: StorageConfig,
+        forged: V,
+    ) -> Option<Box<dyn Automaton<Msg<V>>>> {
+        Some(kind.build_regular(cfg, forged))
     }
 }
 

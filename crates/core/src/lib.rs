@@ -50,10 +50,12 @@ pub mod atomic;
 pub mod attackers;
 mod config;
 mod harness;
+pub mod metrics;
 mod mis;
 mod msg;
 pub mod regular;
 pub mod safe;
+mod scenario;
 pub mod server_centric;
 mod types;
 mod writer;
@@ -66,6 +68,7 @@ pub use harness::{
 pub use mis::{conflict_free_of_size, max_conflict_free};
 pub use msg::{Msg, ReadRound};
 pub use safe::FastPathStats;
+pub use scenario::StorageScenario;
 pub use types::{
     HistEntry, History, ObjectIndex, ReaderIndex, Timestamp, TsVal, TsrMatrix, Value, WTuple,
 };

@@ -1,0 +1,684 @@
+//! A unified metrics layer: counters, gauges and histograms behind a cheap
+//! [`MetricsSink`] trait, with a deterministic Prometheus text-format
+//! encoder.
+//!
+//! Before this module, observability was scattered across ad-hoc structs —
+//! `ExecutorStats` in the runtime, [`FastPathStats`] in the readers, bare
+//! `history_lens()` vectors on the storage clients — each with its own
+//! naming and no way to export a single snapshot. Everything now funnels
+//! into one [`Registry`] under one naming convention:
+//!
+//! > `vrr_<subsystem>_<name>`, lowercase, with counters suffixed `_total`.
+//!
+//! The canonical metric names live in [`names`]; recording through those
+//! constants keeps the sim harness and the thread runtime byte-compatible,
+//! so the same assertions (and the same Grafana panels) work against either.
+//!
+//! Determinism matters here as much as in the simulator: [`Registry`] is
+//! `BTreeMap`-backed, so [`Registry::to_prometheus`] is a pure function of
+//! the recorded values — two identically seeded runs encode to identical
+//! bytes, which the determinism suite asserts.
+//!
+//! ```
+//! use vrr_core::metrics::{names, MetricsSink, Registry};
+//!
+//! let mut reg = Registry::new();
+//! reg.counter_add(names::READER_FAST_HITS, &[], 3);
+//! reg.observe(names::READER_ROUNDS, &[], 1);
+//! reg.observe(names::READER_ROUNDS, &[], 2);
+//! assert_eq!(reg.counter(names::READER_FAST_HITS, &[]), 3);
+//! assert!(reg.to_prometheus().contains("vrr_reader_rounds_bucket{le=\"1\"} 1"));
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::safe::FastPathStats;
+
+/// Canonical metric names — the single `vrr_<subsystem>_<name>` vocabulary
+/// shared by the sim harness and the thread runtime.
+pub mod names {
+    /// Messages handed to the network (sim) — counter.
+    pub const NET_SENT: &str = "vrr_net_sent_total";
+    /// Messages delivered to a live automaton — counter.
+    pub const NET_DELIVERED: &str = "vrr_net_delivered_total";
+    /// Messages held in transit by the adversary — counter.
+    pub const NET_HELD: &str = "vrr_net_held_total";
+    /// Held messages released back into the network — counter.
+    pub const NET_RELEASED: &str = "vrr_net_released_total";
+    /// Messages destroyed by the adversary — counter.
+    pub const NET_DROPPED: &str = "vrr_net_dropped_total";
+    /// Messages addressed to crashed processes — counter.
+    pub const NET_DEAD_LETTERS: &str = "vrr_net_dead_letters_total";
+    /// Wire bytes handed to the network — counter.
+    pub const NET_BYTES_SENT: &str = "vrr_net_bytes_sent_total";
+    /// Wire bytes delivered — counter.
+    pub const NET_BYTES_DELIVERED: &str = "vrr_net_bytes_delivered_total";
+
+    /// Executor mailbox sweeps (runtime) — counter.
+    pub const EXECUTOR_SWEEPS: &str = "vrr_executor_sweeps_total";
+    /// Executor worker wakeups — counter.
+    pub const EXECUTOR_WAKEUPS: &str = "vrr_executor_wakeups_total";
+    /// Commands executed against node automata — counter.
+    pub const EXECUTOR_COMMANDS: &str = "vrr_executor_commands_total";
+
+    /// Reads completed in one round via the sound fast path — counter.
+    pub const READER_FAST_HITS: &str = "vrr_reader_fast_hits_total";
+    /// Fast-path–eligible reads that fell back to two rounds — counter.
+    pub const READER_FAST_FALLBACKS: &str = "vrr_reader_fast_fallbacks_total";
+    /// Rounds per completed READ — histogram (buckets [`ROUND_BUCKETS`]).
+    pub const READER_ROUNDS: &str = "vrr_reader_rounds";
+    /// Rounds per completed WRITE — histogram (buckets [`ROUND_BUCKETS`]).
+    pub const WRITER_ROUNDS: &str = "vrr_writer_rounds";
+    /// READ latency — histogram. Simulated ticks under `vrr-sim`,
+    /// microseconds under `vrr-runtime` (buckets [`LATENCY_BUCKETS`]).
+    pub const READ_LATENCY: &str = "vrr_read_latency_ticks";
+    /// WRITE latency — histogram. Simulated ticks under `vrr-sim`,
+    /// microseconds under `vrr-runtime` (buckets [`LATENCY_BUCKETS`]).
+    pub const WRITE_LATENCY: &str = "vrr_write_latency_ticks";
+
+    /// Per-object stored history length (regular protocol) — gauge,
+    /// labelled `object` (and `shard` under [`ShardedStore`]).
+    ///
+    /// [`ShardedStore`]: https://docs.rs/vrr-runtime
+    pub const OBJECT_HISTORY_LEN: &str = "vrr_object_history_len";
+
+    /// Scenario partitions applied — counter.
+    pub const SCENARIO_PARTITIONS: &str = "vrr_scenario_partitions_total";
+    /// Scenario heals applied — counter.
+    pub const SCENARIO_HEALS: &str = "vrr_scenario_heals_total";
+    /// Scenario crashes injected — counter.
+    pub const SCENARIO_CRASHES: &str = "vrr_scenario_crashes_total";
+    /// Scenario processes turned Byzantine — counter.
+    pub const SCENARIO_BYZANTINE: &str = "vrr_scenario_byzantine_total";
+    /// Current simulated time of the scenario — gauge.
+    pub const SCENARIO_TIME: &str = "vrr_scenario_time_ticks";
+    /// Messages currently held in transit — gauge.
+    pub const SCENARIO_HELD_MSGS: &str = "vrr_scenario_held_msgs";
+
+    /// Bucket bounds for round-count histograms: the paper's protocols
+    /// complete every operation in one or two rounds, so anything above 2
+    /// is already pathological.
+    pub const ROUND_BUCKETS: &[u64] = &[1, 2, 3, 4];
+    /// Bucket bounds for latency histograms (ticks or µs): exponential,
+    /// wide enough for both unit-latency sims and real thread scheduling.
+    pub const LATENCY_BUCKETS: &[u64] = &[
+        1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576,
+    ];
+}
+
+/// A label set: name/value pairs attached to one series, e.g.
+/// `&[("object", "3")]`. Order does not matter — series identity uses the
+/// name-sorted form.
+pub type Labels<'a> = &'a [(&'a str, &'a str)];
+
+/// Anything that can absorb metric updates.
+///
+/// The hot paths record through this trait so instrumented code does not
+/// care whether a real [`Registry`], a [`NullSink`], or something custom is
+/// behind it.
+pub trait MetricsSink {
+    /// Adds `delta` to the counter `name`.
+    fn counter_add(&mut self, name: &'static str, labels: Labels<'_>, delta: u64);
+
+    /// Sets the gauge `name` to `value`.
+    fn gauge_set(&mut self, name: &'static str, labels: Labels<'_>, value: u64);
+
+    /// Records one observation into the histogram `name`.
+    fn observe(&mut self, name: &'static str, labels: Labels<'_>, value: u64);
+}
+
+/// A sink that discards everything (for callers that don't collect).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl MetricsSink for NullSink {
+    fn counter_add(&mut self, _name: &'static str, _labels: Labels<'_>, _delta: u64) {}
+    fn gauge_set(&mut self, _name: &'static str, _labels: Labels<'_>, _value: u64) {}
+    fn observe(&mut self, _name: &'static str, _labels: Labels<'_>, _value: u64) {}
+}
+
+/// A fixed-bucket histogram over `u64` observations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    /// Upper bucket bounds, strictly increasing. An implicit `+Inf` bucket
+    /// follows the last bound.
+    bounds: Vec<u64>,
+    /// Observations `<=` each bound (non-cumulative per slot; cumulated at
+    /// encoding time). `counts.len() == bounds.len() + 1`; the final slot is
+    /// the `+Inf` overflow.
+    counts: Vec<u64>,
+    sum: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// An empty histogram with the given bucket bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn new(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bucket bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0,
+            count: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        let slot = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[slot] += 1;
+        self.sum += value;
+        self.count += 1;
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Observations less than or equal to `bound` (cumulative, like the
+    /// Prometheus `_bucket` series). `u64::MAX` plays `+Inf`.
+    pub fn cumulative_le(&self, bound: u64) -> u64 {
+        self.bounds
+            .iter()
+            .zip(&self.counts)
+            .take_while(|&(&b, _)| b <= bound)
+            .map(|(_, &c)| c)
+            .sum::<u64>()
+            + if bound == u64::MAX {
+                *self.counts.last().expect("overflow slot")
+            } else {
+                0
+            }
+    }
+
+    fn merge_from(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different buckets"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Series {
+    Counter(u64),
+    Gauge(u64),
+    Histogram(Histogram),
+}
+
+impl Series {
+    fn type_str(&self) -> &'static str {
+        match self {
+            Series::Counter(_) => "counter",
+            Series::Gauge(_) => "gauge",
+            Series::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// One metric family: every label-combination series recorded under one
+/// name, keyed by the canonical (name-sorted) label rendering.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct Family {
+    series: BTreeMap<String, Series>,
+}
+
+/// An in-memory metrics registry implementing [`MetricsSink`].
+///
+/// `BTreeMap`-backed throughout, so iteration — and therefore
+/// [`Registry::to_prometheus`] — is deterministic: a pure function of the
+/// recorded values, independent of recording order across families.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Registry {
+    families: BTreeMap<&'static str, Family>,
+    /// Bucket bounds for histograms not pre-declared via
+    /// [`Registry::set_buckets`].
+    buckets: BTreeMap<&'static str, Vec<u64>>,
+}
+
+/// The canonical rendering of a label set: name-sorted `k="v"` pairs.
+fn label_key(labels: Labels<'_>) -> String {
+    let mut pairs: Vec<_> = labels.to_vec();
+    pairs.sort_unstable();
+    let mut out = String::new();
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(v);
+        out.push('"');
+    }
+    out
+}
+
+/// Enforces the one naming convention every exported metric follows.
+fn assert_name(name: &str) {
+    assert!(
+        name.starts_with("vrr_")
+            && name
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_'),
+        "metric name {name:?} violates the vrr_<subsystem>_<name> convention"
+    );
+}
+
+impl Registry {
+    /// An empty registry with default histogram buckets
+    /// ([`names::LATENCY_BUCKETS`] for `*_latency_*` names,
+    /// [`names::ROUND_BUCKETS`] otherwise).
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Declares bucket bounds for the histogram `name` (must be called
+    /// before the first observation to take effect).
+    pub fn set_buckets(&mut self, name: &'static str, bounds: &[u64]) {
+        assert_name(name);
+        self.buckets.insert(name, bounds.to_vec());
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.families.is_empty()
+    }
+
+    /// The value of the counter `name` (0 if never recorded).
+    pub fn counter(&self, name: &str, labels: Labels<'_>) -> u64 {
+        match self.get(name, labels) {
+            Some(Series::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// The value of the gauge `name` (`None` if never recorded).
+    pub fn gauge(&self, name: &str, labels: Labels<'_>) -> Option<u64> {
+        match self.get(name, labels) {
+            Some(Series::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The histogram `name`, if recorded.
+    pub fn histogram(&self, name: &str, labels: Labels<'_>) -> Option<&Histogram> {
+        match self.get(name, labels) {
+            Some(Series::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Every gauge value recorded under `name`, in label order — e.g. all
+    /// per-object history lengths.
+    pub fn gauge_values(&self, name: &str) -> Vec<u64> {
+        let Some(family) = self.families.get(name) else {
+            return Vec::new();
+        };
+        family
+            .series
+            .values()
+            .filter_map(|s| match s {
+                Series::Gauge(v) => Some(*v),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Folds every series of `other` into `self`: counters and histograms
+    /// add, gauges take `other`'s value (last write wins).
+    pub fn merge(&mut self, other: &Registry) {
+        for (name, family) in &other.families {
+            let into = self.families.entry(name).or_default();
+            for (key, series) in &family.series {
+                match into.series.get_mut(key) {
+                    None => {
+                        into.series.insert(key.clone(), series.clone());
+                    }
+                    Some(Series::Counter(a)) => {
+                        if let Series::Counter(b) = series {
+                            *a += b;
+                        }
+                    }
+                    Some(Series::Gauge(a)) => {
+                        if let Series::Gauge(b) = series {
+                            *a = *b;
+                        }
+                    }
+                    Some(Series::Histogram(a)) => {
+                        if let Series::Histogram(b) = series {
+                            a.merge_from(b);
+                        }
+                    }
+                }
+            }
+        }
+        for (name, bounds) in &other.buckets {
+            self.buckets.entry(name).or_insert_with(|| bounds.clone());
+        }
+    }
+
+    /// Encodes the registry in the Prometheus text exposition format.
+    ///
+    /// Deterministic: families sort by name, series by label key, so two
+    /// registries with equal contents encode to identical bytes.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, family) in &self.families {
+            let type_str = family
+                .series
+                .values()
+                .next()
+                .map(Series::type_str)
+                .unwrap_or("untyped");
+            out.push_str(&format!("# TYPE {name} {type_str}\n"));
+            for (key, series) in &family.series {
+                match series {
+                    Series::Counter(v) | Series::Gauge(v) => {
+                        out.push_str(name);
+                        if !key.is_empty() {
+                            out.push('{');
+                            out.push_str(key);
+                            out.push('}');
+                        }
+                        out.push_str(&format!(" {v}\n"));
+                    }
+                    Series::Histogram(h) => {
+                        let mut cumulative = 0u64;
+                        for (i, &bound) in h.bounds.iter().enumerate() {
+                            cumulative += h.counts[i];
+                            out.push_str(&format!(
+                                "{name}_bucket{{{}le=\"{bound}\"}} {cumulative}\n",
+                                if key.is_empty() {
+                                    String::new()
+                                } else {
+                                    format!("{key},")
+                                }
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "{name}_bucket{{{}le=\"+Inf\"}} {}\n",
+                            if key.is_empty() {
+                                String::new()
+                            } else {
+                                format!("{key},")
+                            },
+                            h.count
+                        ));
+                        let suffix = if key.is_empty() {
+                            String::new()
+                        } else {
+                            format!("{{{key}}}")
+                        };
+                        out.push_str(&format!("{name}_sum{suffix} {}\n", h.sum));
+                        out.push_str(&format!("{name}_count{suffix} {}\n", h.count));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn get(&self, name: &str, labels: Labels<'_>) -> Option<&Series> {
+        self.families.get(name)?.series.get(&label_key(labels))
+    }
+
+    fn default_buckets(&self, name: &str) -> Vec<u64> {
+        if let Some(b) = self.buckets.get(name) {
+            return b.clone();
+        }
+        if name.contains("latency") {
+            names::LATENCY_BUCKETS.to_vec()
+        } else {
+            names::ROUND_BUCKETS.to_vec()
+        }
+    }
+}
+
+impl MetricsSink for Registry {
+    fn counter_add(&mut self, name: &'static str, labels: Labels<'_>, delta: u64) {
+        assert_name(name);
+        let series = self
+            .families
+            .entry(name)
+            .or_default()
+            .series
+            .entry(label_key(labels))
+            .or_insert(Series::Counter(0));
+        match series {
+            Series::Counter(v) => *v += delta,
+            other => panic!("{name} already recorded as a {}", other.type_str()),
+        }
+    }
+
+    fn gauge_set(&mut self, name: &'static str, labels: Labels<'_>, value: u64) {
+        assert_name(name);
+        let series = self
+            .families
+            .entry(name)
+            .or_default()
+            .series
+            .entry(label_key(labels))
+            .or_insert(Series::Gauge(0));
+        match series {
+            Series::Gauge(v) => *v = value,
+            other => panic!("{name} already recorded as a {}", other.type_str()),
+        }
+    }
+
+    fn observe(&mut self, name: &'static str, labels: Labels<'_>, value: u64) {
+        assert_name(name);
+        let bounds = self.default_buckets(name);
+        let series = self
+            .families
+            .entry(name)
+            .or_default()
+            .series
+            .entry(label_key(labels))
+            .or_insert_with(|| Series::Histogram(Histogram::new(&bounds)));
+        match series {
+            Series::Histogram(h) => h.observe(value),
+            other => panic!("{name} already recorded as a {}", other.type_str()),
+        }
+    }
+}
+
+// ---- recording helpers for the workspace's existing stat structs ----------
+
+/// Records the simulator's [`vrr_sim::NetStats`] counters under the
+/// `vrr_net_*` names.
+pub fn record_net_stats(sink: &mut dyn MetricsSink, stats: &vrr_sim::NetStats) {
+    sink.counter_add(names::NET_SENT, &[], stats.sent);
+    sink.counter_add(names::NET_DELIVERED, &[], stats.delivered);
+    sink.counter_add(names::NET_HELD, &[], stats.held);
+    sink.counter_add(names::NET_RELEASED, &[], stats.released);
+    sink.counter_add(names::NET_DROPPED, &[], stats.dropped);
+    sink.counter_add(names::NET_DEAD_LETTERS, &[], stats.dead_letters);
+    sink.counter_add(names::NET_BYTES_SENT, &[], stats.bytes_sent);
+    sink.counter_add(names::NET_BYTES_DELIVERED, &[], stats.bytes_delivered);
+}
+
+/// Records the fault counters of a [`vrr_sim::Scenario`] under the
+/// `vrr_scenario_*` names.
+pub fn record_scenario_stats(sink: &mut dyn MetricsSink, stats: &vrr_sim::ScenarioStats) {
+    sink.counter_add(names::SCENARIO_PARTITIONS, &[], stats.partitions);
+    sink.counter_add(names::SCENARIO_HEALS, &[], stats.heals);
+    sink.counter_add(names::SCENARIO_CRASHES, &[], stats.crashes);
+    sink.counter_add(names::SCENARIO_BYZANTINE, &[], stats.byzantine);
+}
+
+/// Records reader fast-path counters under the `vrr_reader_fast_*` names.
+pub fn record_fast_path(sink: &mut dyn MetricsSink, stats: &FastPathStats) {
+    sink.counter_add(names::READER_FAST_HITS, &[], stats.hits);
+    sink.counter_add(names::READER_FAST_FALLBACKS, &[], stats.fallbacks);
+}
+
+/// Records per-object history lengths as [`names::OBJECT_HISTORY_LEN`]
+/// gauges, labelled `object` (and `shard` when given).
+pub fn record_history_lens(sink: &mut dyn MetricsSink, shard: Option<usize>, lens: &[usize]) {
+    for (i, &len) in lens.iter().enumerate() {
+        let object = i.to_string();
+        let len = len as u64;
+        match shard {
+            Some(s) => {
+                let shard = s.to_string();
+                sink.gauge_set(
+                    names::OBJECT_HISTORY_LEN,
+                    &[("object", &object), ("shard", &shard)],
+                    len,
+                );
+            }
+            None => sink.gauge_set(names::OBJECT_HISTORY_LEN, &[("object", &object)], len),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut reg = Registry::new();
+        reg.counter_add(names::NET_SENT, &[], 2);
+        reg.counter_add(names::NET_SENT, &[], 3);
+        assert_eq!(reg.counter(names::NET_SENT, &[]), 5);
+        assert_eq!(reg.counter(names::NET_DELIVERED, &[]), 0);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut reg = Registry::new();
+        reg.gauge_set(names::SCENARIO_TIME, &[], 10);
+        reg.gauge_set(names::SCENARIO_TIME, &[], 7);
+        assert_eq!(reg.gauge(names::SCENARIO_TIME, &[]), Some(7));
+    }
+
+    #[test]
+    fn labels_are_order_insensitive() {
+        let mut reg = Registry::new();
+        reg.gauge_set(
+            names::OBJECT_HISTORY_LEN,
+            &[("object", "1"), ("shard", "0")],
+            4,
+        );
+        assert_eq!(
+            reg.gauge(
+                names::OBJECT_HISTORY_LEN,
+                &[("shard", "0"), ("object", "1")]
+            ),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_and_sum() {
+        let mut reg = Registry::new();
+        for r in [1u64, 1, 2, 2, 2, 3] {
+            reg.observe(names::READER_ROUNDS, &[], r);
+        }
+        let h = reg.histogram(names::READER_ROUNDS, &[]).unwrap();
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 11);
+        assert_eq!(h.cumulative_le(1), 2);
+        assert_eq!(h.cumulative_le(2), 5);
+        assert_eq!(h.cumulative_le(u64::MAX), 6);
+    }
+
+    #[test]
+    fn latency_names_get_latency_buckets() {
+        let mut reg = Registry::new();
+        reg.observe(names::READ_LATENCY, &[], 100_000);
+        let h = reg.histogram(names::READ_LATENCY, &[]).unwrap();
+        assert_eq!(h.cumulative_le(65_536), 0);
+        assert_eq!(h.cumulative_le(262_144), 1);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_histograms() {
+        let mut a = Registry::new();
+        let mut b = Registry::new();
+        a.counter_add(names::READER_FAST_HITS, &[], 1);
+        b.counter_add(names::READER_FAST_HITS, &[], 2);
+        a.observe(names::READER_ROUNDS, &[], 1);
+        b.observe(names::READER_ROUNDS, &[], 2);
+        b.gauge_set(names::SCENARIO_TIME, &[], 9);
+        a.merge(&b);
+        assert_eq!(a.counter(names::READER_FAST_HITS, &[]), 3);
+        assert_eq!(a.histogram(names::READER_ROUNDS, &[]).unwrap().count(), 2);
+        assert_eq!(a.gauge(names::SCENARIO_TIME, &[]), Some(9));
+    }
+
+    #[test]
+    fn prometheus_encoding_shape() {
+        let mut reg = Registry::new();
+        reg.counter_add(names::READER_FAST_HITS, &[], 2);
+        reg.gauge_set(names::OBJECT_HISTORY_LEN, &[("object", "0")], 3);
+        reg.observe(names::READER_ROUNDS, &[], 1);
+        reg.observe(names::READER_ROUNDS, &[], 2);
+        let text = reg.to_prometheus();
+        assert!(text.contains("# TYPE vrr_reader_fast_hits_total counter\n"));
+        assert!(text.contains("vrr_reader_fast_hits_total 2\n"));
+        assert!(text.contains("vrr_object_history_len{object=\"0\"} 3\n"));
+        assert!(text.contains("vrr_reader_rounds_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("vrr_reader_rounds_bucket{le=\"2\"} 2\n"));
+        assert!(text.contains("vrr_reader_rounds_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("vrr_reader_rounds_sum 3\n"));
+        assert!(text.contains("vrr_reader_rounds_count 2\n"));
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let build = |order_flip: bool| {
+            let mut reg = Registry::new();
+            let record = |reg: &mut Registry, which: bool| {
+                if which {
+                    reg.counter_add(names::NET_SENT, &[], 1);
+                } else {
+                    reg.gauge_set(names::SCENARIO_TIME, &[], 5);
+                }
+            };
+            record(&mut reg, order_flip);
+            record(&mut reg, !order_flip);
+            reg.to_prometheus()
+        };
+        assert_eq!(build(false), build(true));
+    }
+
+    #[test]
+    #[should_panic(expected = "convention")]
+    fn misnamed_metrics_are_rejected() {
+        let mut reg = Registry::new();
+        reg.counter_add("requests_total", &[], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already recorded")]
+    fn kind_conflicts_are_rejected() {
+        let mut reg = Registry::new();
+        reg.counter_add(names::NET_SENT, &[], 1);
+        reg.gauge_set(names::NET_SENT, &[], 1);
+    }
+}

@@ -13,18 +13,21 @@
 
 use std::collections::HashMap;
 use std::hash::Hash;
+use std::time::Instant;
 
 use parking_lot::Mutex;
 
 use vrr_sim::{Automaton, ProcessId};
 
+use vrr_core::metrics::{self, Registry};
 use vrr_core::regular::HistoryRetention;
 use vrr_core::{FastPathStats, Msg, ReadReport, StorageConfig, Value, WriteReport};
 
 use crate::cluster::Cluster;
 use crate::router::LinkPolicy;
 use crate::storage::{
-    blocking_read, blocking_write, spawn_register_group, ProtocolKind, ReaderTuning, RegisterGroup,
+    blocking_read, blocking_write, record_executor_stats, record_read, record_write,
+    spawn_register_group, try_history_lens, ProtocolKind, ReaderTuning, RegisterGroup,
 };
 
 /// One register shard plus the client-side locks that keep its automata
@@ -65,6 +68,9 @@ pub struct ShardedStore<K: Eq + Hash, V: Value> {
     shards: Vec<Shard>,
     /// key → shard slot, assigned on first write.
     index: Mutex<HashMap<K, usize>>,
+    /// Store-wide operation metrics (rounds and latency histograms),
+    /// folded into [`ShardedStore::metrics_snapshot`].
+    ops: Mutex<Registry>,
 }
 
 impl<K: Eq + Hash, V: Value> ShardedStore<K, V> {
@@ -190,6 +196,7 @@ impl<K: Eq + Hash, V: Value> ShardedStore<K, V> {
             cfg,
             shards,
             index: Mutex::new(HashMap::new()),
+            ops: Mutex::new(Registry::new()),
         }
     }
 
@@ -251,7 +258,10 @@ impl<K: Eq + Hash, V: Value> ShardedStore<K, V> {
         };
         let shard = &self.shards[slot];
         let _writing = shard.write_lock.lock();
-        blocking_write(&self.cluster, shard.group.writer, value)
+        let started = Instant::now();
+        let report = blocking_write(&self.cluster, shard.group.writer, value);
+        record_write(&self.ops, report.rounds, started);
+        report
     }
 
     /// Blocking `READ(key)` at reader index `j` of the key's shard, or
@@ -265,11 +275,10 @@ impl<K: Eq + Hash, V: Value> ShardedStore<K, V> {
         let slot = self.shard_of(key)?;
         let shard = &self.shards[slot];
         let _reading = shard.reader_locks[j].lock();
-        Some(blocking_read(
-            &self.cluster,
-            self.kind,
-            shard.group.readers[j],
-        ))
+        let started = Instant::now();
+        let report = blocking_read(&self.cluster, self.kind, shard.group.readers[j]);
+        record_read(&self.ops, report.rounds, started);
+        Some(report)
     }
 
     /// Crashes object `idx` of shard `slot` (fault injection).
@@ -311,6 +320,27 @@ impl<K: Eq + Hash, V: Value> ShardedStore<K, V> {
             total.fallbacks += s.fallbacks;
         }
         total
+    }
+
+    /// One snapshot of everything observable about the store, under the
+    /// same canonical `vrr_*` names ([`vrr_core::metrics::names`]) as
+    /// [`crate::StorageCluster::metrics_snapshot`] and the simulator
+    /// harness: operation rounds/latency histograms (latency ticks are
+    /// wall-clock microseconds), worker-pool counters, store-wide
+    /// fast-path counters, and per-object history-length gauges labelled
+    /// with their shard slot (crashed or Byzantine-substituted objects
+    /// are skipped; the safe protocol keeps no histories).
+    pub fn metrics_snapshot(&self) -> Registry {
+        let mut reg = self.ops.lock().clone();
+        record_executor_stats(&mut reg, &self.cluster.stats());
+        metrics::record_fast_path(&mut reg, &self.fast_path_stats());
+        if self.kind != ProtocolKind::Safe {
+            for (slot, shard) in self.shards.iter().enumerate() {
+                let lens = try_history_lens(&self.cluster, self.kind, &shard.group);
+                metrics::record_history_lens(&mut reg, Some(slot), &lens);
+            }
+        }
+        reg
     }
 
     /// Access to the underlying cluster (fault injection, stats).
@@ -422,6 +452,35 @@ mod tests {
         let stats = store.fast_path_stats();
         assert_eq!(stats.hits, 2);
         assert_eq!(stats.fallbacks, 0);
+    }
+
+    #[test]
+    fn metrics_snapshot_labels_histories_by_shard() {
+        use vrr_core::metrics::names;
+
+        let cfg = StorageConfig::optimal(1, 1, 1);
+        let store: ShardedStore<&'static str, u64> =
+            ShardedStore::deploy(cfg, ProtocolKind::Regular, Box::new(NoDelay), 2);
+        store.write("a", 1);
+        store.write("b", 2);
+        store.read(&"a", 0);
+        let snap = store.metrics_snapshot();
+        assert_eq!(
+            snap.histogram(names::WRITER_ROUNDS, &[]).unwrap().count(),
+            2
+        );
+        assert_eq!(
+            snap.histogram(names::READER_ROUNDS, &[]).unwrap().count(),
+            1
+        );
+        // One gauge per object per shard, distinguished by the shard label.
+        assert_eq!(
+            snap.gauge_values(names::OBJECT_HISTORY_LEN).len(),
+            2 * cfg.s
+        );
+        assert!(snap
+            .to_prometheus()
+            .contains("vrr_object_history_len{object=\"0\",shard=\"1\"}"));
     }
 
     #[test]

@@ -2,15 +2,19 @@
 //! runtime: deploy a cluster of base-object threads, then `write`/`read`
 //! synchronously from test or benchmark code.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
 
 use vrr_sim::{Automaton, ProcessId};
 
+use vrr_core::metrics::{self, MetricsSink, Registry};
 use vrr_core::regular::{HistoryRetention, RegularObject, RegularReader, RegularTuning};
 use vrr_core::safe::{SafeObject, SafeReader, SafeTuning};
 use vrr_core::{FastPathStats, Msg, ReadReport, StorageConfig, Value, WriteReport, Writer};
 
 use crate::cluster::Cluster;
+use crate::executor::ExecutorStats;
 use crate::router::LinkPolicy;
 
 /// Which of the paper's protocols a [`StorageCluster`] runs.
@@ -149,10 +153,14 @@ pub(crate) fn spawn_register_group<V: Value>(
             cfg.readers
         );
     }
+    let mut byzantine = Vec::new();
     let objects: Vec<ProcessId> = (0..cfg.s)
         .map(|i| -> ProcessId {
             let automaton: Box<dyn Automaton<Msg<V>>> = match factory(i) {
-                Some(byzantine) => byzantine,
+                Some(substituted) => {
+                    byzantine.push(i);
+                    substituted
+                }
                 None => match kind {
                     ProtocolKind::Safe => Box::new(SafeObject::<V>::new()),
                     ProtocolKind::Regular | ProtocolKind::RegularOptimized => {
@@ -195,6 +203,7 @@ pub(crate) fn spawn_register_group<V: Value>(
         objects,
         writer,
         readers,
+        byzantine,
     }
 }
 
@@ -203,6 +212,10 @@ pub(crate) struct RegisterGroup {
     pub(crate) objects: Vec<ProcessId>,
     pub(crate) writer: ProcessId,
     pub(crate) readers: Vec<ProcessId>,
+    /// Object indices whose automaton the deploy factory substituted —
+    /// skipped by the tolerant history inspection below (a downcast
+    /// mismatch inside an invoke would poison the process).
+    pub(crate) byzantine: Vec<usize>,
 }
 
 /// History length of every regular object in `objects`, shared by
@@ -247,6 +260,57 @@ pub(crate) fn fast_path_stats<V: Value>(
     total
 }
 
+/// Like [`history_lens`], but for metrics snapshots: skips
+/// Byzantine-substituted and crashed objects instead of panicking, and
+/// returns nothing for the history-less safe protocol.
+pub(crate) fn try_history_lens<V: Value>(
+    cluster: &Cluster<Msg<V>>,
+    kind: ProtocolKind,
+    group: &RegisterGroup,
+) -> Vec<usize> {
+    if kind == ProtocolKind::Safe {
+        return Vec::new();
+    }
+    group
+        .objects
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !group.byzantine.contains(i))
+        .filter_map(|(_, &pid)| {
+            cluster
+                .try_invoke(pid, |o: &mut RegularObject<V>, _ctx| o.history().len())
+                .ok()
+        })
+        .collect()
+}
+
+/// Exports the worker-pool activity counters under their canonical
+/// `vrr_executor_*` names.
+pub(crate) fn record_executor_stats(sink: &mut dyn MetricsSink, stats: &ExecutorStats) {
+    sink.counter_add(metrics::names::EXECUTOR_SWEEPS, &[], stats.sweeps);
+    sink.counter_add(metrics::names::EXECUTOR_WAKEUPS, &[], stats.wakeups);
+    sink.counter_add(metrics::names::EXECUTOR_COMMANDS, &[], stats.commands);
+}
+
+/// Records one completed write into `ops`. On the runtime, latency ticks
+/// are wall-clock **microseconds** (the simulator records sim ticks under
+/// the same name; the unit is the harness's to define).
+pub(crate) fn record_write(ops: &Mutex<Registry>, rounds: u32, started: Instant) {
+    let us = started.elapsed().as_micros() as u64;
+    let mut ops = ops.lock();
+    ops.observe(metrics::names::WRITER_ROUNDS, &[], u64::from(rounds));
+    ops.observe(metrics::names::WRITE_LATENCY, &[], us);
+}
+
+/// Records one completed read into `ops` (microsecond latency ticks, see
+/// [`record_write`]).
+pub(crate) fn record_read(ops: &Mutex<Registry>, rounds: u32, started: Instant) {
+    let us = started.elapsed().as_micros() as u64;
+    let mut ops = ops.lock();
+    ops.observe(metrics::names::READER_ROUNDS, &[], u64::from(rounds));
+    ops.observe(metrics::names::READ_LATENCY, &[], us);
+}
+
 /// A storage deployment on OS threads with a blocking client API.
 ///
 /// # Examples
@@ -265,9 +329,10 @@ pub struct StorageCluster<V: Value> {
     cluster: Cluster<Msg<V>>,
     kind: ProtocolKind,
     cfg: StorageConfig,
-    objects: Vec<ProcessId>,
-    writer: ProcessId,
-    readers: Vec<ProcessId>,
+    group: RegisterGroup,
+    /// Client-side operation metrics (rounds and latency histograms),
+    /// folded into [`StorageCluster::metrics_snapshot`].
+    ops: Mutex<Registry>,
 }
 
 impl<V: Value> StorageCluster<V> {
@@ -331,6 +396,21 @@ impl<V: Value> StorageCluster<V> {
         Self::deploy_inner(cfg, kind, policy, HistoryRetention::KeepAll, factory)
     }
 
+    /// The fault-injection soak constructor: combines
+    /// [`StorageCluster::deploy_with_retention`] (bounded-memory GC) with
+    /// [`StorageCluster::deploy_with_objects`] (Byzantine substitution), so
+    /// a single deployment can run GC *and* liars at once — the
+    /// combined-fault configuration the workspace soak drives.
+    pub fn deploy_with_retention_and_objects(
+        cfg: StorageConfig,
+        kind: ProtocolKind,
+        policy: Box<dyn LinkPolicy<Msg<V>>>,
+        retention: HistoryRetention,
+        factory: impl FnMut(usize) -> Option<Box<dyn Automaton<Msg<V>>>>,
+    ) -> Self {
+        Self::deploy_inner(cfg, kind, policy, retention, factory)
+    }
+
     fn deploy_inner(
         cfg: StorageConfig,
         kind: ProtocolKind,
@@ -356,9 +436,8 @@ impl<V: Value> StorageCluster<V> {
             cluster,
             kind,
             cfg,
-            objects: group.objects,
-            writer: group.writer,
-            readers: group.readers,
+            group,
+            ops: Mutex::new(Registry::new()),
         }
     }
 
@@ -374,7 +453,7 @@ impl<V: Value> StorageCluster<V> {
 
     /// The object process ids (for fault injection).
     pub fn objects(&self) -> &[ProcessId] {
-        &self.objects
+        &self.group.objects
     }
 
     /// Blocking `WRITE(value)`.
@@ -384,7 +463,10 @@ impl<V: Value> StorageCluster<V> {
     /// Panics if the write does not complete within the operation timeout —
     /// with at most `t` injected faults that is a wait-freedom violation.
     pub fn write(&self, value: V) -> WriteReport {
-        blocking_write(&self.cluster, self.writer, value)
+        let started = Instant::now();
+        let report = blocking_write(&self.cluster, self.group.writer, value);
+        record_write(&self.ops, report.rounds, started);
+        report
     }
 
     /// Blocking `READ()` at reader `j`.
@@ -394,7 +476,10 @@ impl<V: Value> StorageCluster<V> {
     /// Panics if `j` is out of range or the read does not complete within
     /// the operation timeout.
     pub fn read(&self, j: usize) -> ReadReport<V> {
-        blocking_read(&self.cluster, self.kind, self.readers[j])
+        let started = Instant::now();
+        let report = blocking_read(&self.cluster, self.kind, self.group.readers[j]);
+        record_read(&self.ops, report.rounds, started);
+        report
     }
 
     /// Crashes object `idx`.
@@ -403,7 +488,7 @@ impl<V: Value> StorageCluster<V> {
     ///
     /// Panics if `idx` is out of range.
     pub fn crash_object(&self, idx: usize) {
-        self.cluster.crash(self.objects[idx]);
+        self.cluster.crash(self.group.objects[idx]);
     }
 
     /// The current history length of every (honest, live) regular object —
@@ -415,7 +500,7 @@ impl<V: Value> StorageCluster<V> {
     /// no history) or an inspected object is not a live honest
     /// [`RegularObject`] (crashed or Byzantine-substituted).
     pub fn history_lens(&self) -> Vec<usize> {
-        history_lens(&self.cluster, self.kind, &self.objects)
+        history_lens(&self.cluster, self.kind, &self.group.objects)
     }
 
     /// Sum of the one-round fast-path counters over all readers: how many
@@ -423,7 +508,27 @@ impl<V: Value> StorageCluster<V> {
     /// protocol (`fallbacks`). Both stay zero at optimal resilience, where
     /// Proposition 1 keeps the fast path disarmed.
     pub fn fast_path_stats(&self) -> FastPathStats {
-        fast_path_stats(&self.cluster, self.kind, &self.readers)
+        fast_path_stats(&self.cluster, self.kind, &self.group.readers)
+    }
+
+    /// One deterministic-shape snapshot of everything observable about
+    /// this deployment, under the same canonical `vrr_*` names
+    /// ([`vrr_core::metrics::names`]) the simulator harness exports:
+    /// operation rounds/latency histograms (latency ticks are wall-clock
+    /// microseconds here), worker-pool activity counters, fast-path
+    /// counters and per-object history-length gauges (crashed or
+    /// Byzantine-substituted objects are skipped; the safe protocol keeps
+    /// no histories). Encode with
+    /// [`vrr_core::metrics::Registry::to_prometheus`].
+    pub fn metrics_snapshot(&self) -> Registry {
+        let mut reg = self.ops.lock().clone();
+        record_executor_stats(&mut reg, &self.cluster.stats());
+        metrics::record_fast_path(&mut reg, &self.fast_path_stats());
+        if self.kind != ProtocolKind::Safe {
+            let lens = try_history_lens(&self.cluster, self.kind, &self.group);
+            metrics::record_history_lens(&mut reg, None, &lens);
+        }
+        reg
     }
 
     /// Access to the underlying cluster (fault injection, raw sends).
@@ -599,6 +704,64 @@ mod tests {
             HistoryRetention::KeepAll,
             ReaderTuning::Regular(RegularTuning::default()),
         );
+    }
+
+    #[test]
+    fn metrics_snapshot_reflects_operations() {
+        use vrr_core::metrics::names;
+
+        let cfg = StorageConfig::fast(1, 1, 2);
+        let storage: StorageCluster<u64> = StorageCluster::deploy_with_retention(
+            cfg,
+            ProtocolKind::RegularOptimized,
+            Box::new(NoDelay),
+            HistoryRetention::reader_ack(2),
+        );
+        for k in 1..=4u64 {
+            storage.write(k);
+            storage.read(0);
+            storage.read(1);
+        }
+        let snap = storage.metrics_snapshot();
+        assert_eq!(
+            snap.histogram(names::WRITER_ROUNDS, &[]).unwrap().count(),
+            4
+        );
+        assert_eq!(
+            snap.histogram(names::READER_ROUNDS, &[]).unwrap().count(),
+            8
+        );
+        assert_eq!(snap.histogram(names::READ_LATENCY, &[]).unwrap().count(), 8);
+        let hits = snap.counter(names::READER_FAST_HITS, &[]);
+        let fallbacks = snap.counter(names::READER_FAST_FALLBACKS, &[]);
+        assert_eq!(hits + fallbacks, 8, "every read hit or fell back");
+        assert!(snap.counter(names::EXECUTOR_COMMANDS, &[]) > 0);
+        let lens = snap.gauge_values(names::OBJECT_HISTORY_LEN);
+        assert_eq!(lens.len(), cfg.s, "one history gauge per honest object");
+        // The snapshot speaks the same text format as the sim harness.
+        let text = snap.to_prometheus();
+        assert!(text.contains("# TYPE vrr_writer_rounds histogram"));
+        assert!(text.contains("vrr_object_history_len{object=\"0\"}"));
+    }
+
+    #[test]
+    fn snapshot_tolerates_crashed_and_byzantine_objects() {
+        use vrr_core::attackers::AttackerKind;
+        use vrr_core::metrics::names;
+
+        let cfg = StorageConfig::fast(1, 1, 1);
+        let storage: StorageCluster<u64> = StorageCluster::deploy_with_objects(
+            cfg,
+            ProtocolKind::RegularOptimized,
+            Box::new(NoDelay),
+            |i| (i == 4).then(|| AttackerKind::Inflator.build_regular(cfg, 0xBAD)),
+        );
+        storage.write(1);
+        assert_eq!(storage.read(0).value, Some(1));
+        storage.crash_object(0);
+        let snap = storage.metrics_snapshot();
+        // 5 objects - 1 Byzantine - 1 crashed = 3 inspectable histories.
+        assert_eq!(snap.gauge_values(names::OBJECT_HISTORY_LEN).len(), 3);
     }
 
     #[test]

@@ -51,6 +51,7 @@ mod byzantine;
 mod envelope;
 mod latency;
 mod process;
+mod scenario;
 mod time;
 mod trace;
 mod world;
@@ -60,6 +61,7 @@ pub use byzantine::{from_fn, FnAutomaton, Mute, Tamper};
 pub use envelope::{Envelope, MsgId};
 pub use latency::{Fixed, LatencyModel, LongTail, PerProcess, Uniform};
 pub use process::{Automaton, Context, ProcessId, ProcessStatus, SimMessage};
+pub use scenario::{Scenario, ScenarioStats};
 pub use time::SimTime;
 pub use trace::{NetStats, Trace, TraceEvent, TraceEventKind};
 pub use world::{Quiescence, World};

@@ -171,6 +171,15 @@ impl<M: SimMessage> World<M> {
         self.now
     }
 
+    /// The time of the next queued event, if any.
+    ///
+    /// Held messages do not count: they re-enter the queue only on release.
+    /// Schedulers layered over the world (e.g. [`crate::Scenario`]) use this
+    /// to interleave their own timed actions with the event loop.
+    pub fn next_event_at(&self) -> Option<SimTime> {
+        self.queue.peek().map(|Reverse(q)| q.at)
+    }
+
     /// Number of spawned processes.
     pub fn len(&self) -> usize {
         self.procs.len()
@@ -319,6 +328,23 @@ impl<M: SimMessage> World<M> {
             )
         });
         f(automaton)
+    }
+
+    /// Like [`World::inspect`], but returns `None` when the automaton of
+    /// `pid` is not an `A` (e.g. it was replaced by a Byzantine automaton)
+    /// instead of panicking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` was not spawned in this world.
+    pub fn try_inspect<A: Automaton<M>, R>(
+        &self,
+        pid: ProcessId,
+        f: impl FnOnce(&A) -> R,
+    ) -> Option<R> {
+        let proc = &self.procs[pid.index()];
+        let automaton: &dyn Any = &*proc.automaton;
+        automaton.downcast_ref::<A>().map(f)
     }
 
     /// Injects a message from outside the system (e.g. a test fixture acting

@@ -29,12 +29,13 @@ mod faults;
 mod monitor;
 mod runner;
 mod schedule;
+pub mod soak;
 mod sweep;
 
 pub use faults::FaultPlan;
 pub use monitor::{run_monitored, safe_object_monotonicity, InvariantMonitor, MonitorViolation};
 pub use runner::{
-    regular_corruptor, run_schedule, safe_corruptor, Corruptor, LatencyKind, RunOutcome,
+    regular_corruptor, run_schedule, safe_corruptor, Corruptor, LatencyKind, RunOutcome, SimCase,
 };
 pub use schedule::{generate, ClientPlan, PlannedOp, Schedule, ScheduleParams};
 pub use sweep::{grid, SweepPoint};

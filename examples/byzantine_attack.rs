@@ -6,32 +6,31 @@
 //! crash-only ABD baseline and watches it hand back a phantom value —
 //! the gap the paper's protocols exist to close.
 //!
+//! Every run is scripted through the [`StorageScenario`] builder, which
+//! also exports a metrics snapshot of the attack run.
+//!
 //! Run with `cargo run --example byzantine_attack`.
 
 use vrr::baselines::{AbdProtocol, LiteMsg, LiteObject};
 use vrr::core::attackers::AttackerKind;
-use vrr::core::{
-    corrupt_object, run_read, run_write, RegisterProtocol, SafeProtocol, StorageConfig, Timestamp,
-    TsVal,
-};
-use vrr::sim::{Tamper, World};
+use vrr::core::metrics::names;
+use vrr::core::{SafeProtocol, StorageConfig, StorageScenario, Timestamp, TsVal};
+use vrr::sim::Tamper;
 
 fn main() {
     let cfg = StorageConfig::optimal(2, 2, 1); // S = 7, up to 2 Byzantine
     println!("safe storage under attack: {cfg:?}\n");
 
     for kind in AttackerKind::ALL {
-        let mut world = World::new(7);
-        let dep = RegisterProtocol::<u64>::deploy(&SafeProtocol, cfg, &mut world);
-        world.start();
+        let mut sc = StorageScenario::deploy(SafeProtocol, cfg, 7);
 
         // Corrupt b objects with this attacker.
         for i in 0..cfg.b {
-            corrupt_object(&dep, &mut world, i, kind.build_safe(cfg, 0xDEAD));
+            sc.attack_object(i, kind, 0xDEADu64);
         }
 
-        run_write(&SafeProtocol, &dep, &mut world, 1_000_000);
-        let r = run_read::<u64, _>(&SafeProtocol, &dep, &mut world, 0);
+        sc.write(1_000_000);
+        let r = sc.read(0);
         println!(
             "  {kind:<12?} x{}: READ -> {:?} in {} rounds   (filtered out the lies)",
             cfg.b, r.value, r.rounds
@@ -42,17 +41,21 @@ fn main() {
             "{kind:?} must not corrupt the read"
         );
         assert_eq!(r.rounds, 2, "{kind:?} must not slow the read");
+        // The snapshot carries the fault script alongside the op stats.
+        let snap = sc.metrics_snapshot();
+        assert_eq!(
+            snap.counter(names::SCENARIO_BYZANTINE, &[]),
+            cfg.b as u64,
+            "every substitution is accounted for"
+        );
     }
 
     // The contrast: ABD trusts the highest timestamp it sees.
     println!("\ncrash-only ABD under the same inflation attack:");
     let abd_cfg = StorageConfig::crash_only(2, 1); // S = 5
-    let mut world = World::new(7);
-    let abd = AbdProtocol::default();
-    let dep = RegisterProtocol::<u64>::deploy(&abd, abd_cfg, &mut world);
-    world.start();
-    world.set_byzantine(
-        dep.objects[0],
+    let mut sc = StorageScenario::deploy(AbdProtocol::default(), abd_cfg, 7);
+    sc.byzantine_object(
+        0,
         Box::new(Tamper::new(LiteObject::<u64>::new(), |to, msg| {
             let msg = match msg {
                 LiteMsg::ReadAck { nonce, pw, .. } => LiteMsg::ReadAck {
@@ -65,8 +68,8 @@ fn main() {
             vec![(to, msg)]
         })),
     );
-    run_write(&abd, &dep, &mut world, 1_000_000u64);
-    let r = run_read::<u64, _>(&abd, &dep, &mut world, 0);
+    sc.write(1_000_000u64);
+    let r = sc.read(0);
     println!(
         "  one liar out of {}: READ -> {:?}  <- phantom value believed!",
         abd_cfg.s, r.value

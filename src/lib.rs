@@ -80,3 +80,5 @@ pub mod lowerbound {
 pub mod workload {
     pub use vrr_workload::*;
 }
+
+pub mod soak;

@@ -5,10 +5,7 @@ use vrr::checker::{check_regularity, check_safety};
 use vrr::core::safe::SafeTuning;
 use vrr::core::{MutantSafeProtocol, RegularProtocol, SafeProtocol, StorageConfig};
 use vrr::sim::SimTime;
-use vrr::workload::{
-    generate, regular_corruptor, run_schedule, safe_corruptor, FaultPlan, LatencyKind,
-    ScheduleParams,
-};
+use vrr::workload::{FaultPlan, LatencyKind, ScheduleParams, SimCase};
 
 #[test]
 fn contended_run_holds_state_invariants_online() {
@@ -45,21 +42,15 @@ fn large_configuration_smoke() {
     // sizes, exercising the conflict-free search and quorum machinery at
     // scale.
     let cfg = StorageConfig::optimal(5, 3, 4);
-    let schedule = generate(ScheduleParams::contended(4, 3, 4, 77));
-    let faults = FaultPlan::maximal(
-        &cfg,
-        vrr::core::attackers::AttackerKind::Conflicter,
-        SimTime::from_ticks(25),
-    );
-    let out = run_schedule(
-        &SafeProtocol,
-        cfg,
-        &schedule,
-        &faults,
-        LatencyKind::Uniform(1, 6),
-        77,
-        &safe_corruptor,
-    );
+    let out = SimCase::new(&SafeProtocol, cfg)
+        .schedule(ScheduleParams::contended(4, 3, 4, 77))
+        .faults(FaultPlan::maximal(
+            &cfg,
+            vrr::core::attackers::AttackerKind::Conflicter,
+            SimTime::from_ticks(25),
+        ))
+        .latency(LatencyKind::Uniform(1, 6))
+        .run();
     assert!(out.all_live());
     assert!(check_safety(&out.history).is_ok());
     assert_eq!(out.max_read_rounds(), 2);
@@ -70,17 +61,11 @@ fn safe_storage_is_safe_across_seeds_and_attackers() {
     for seed in 0..6u64 {
         for kind in vrr::core::attackers::AttackerKind::ALL {
             let cfg = StorageConfig::optimal(2, 1, 2);
-            let schedule = generate(ScheduleParams::contended(5, 5, 2, seed));
-            let faults = FaultPlan::maximal(&cfg, kind, SimTime::from_ticks(30));
-            let out = run_schedule(
-                &SafeProtocol,
-                cfg,
-                &schedule,
-                &faults,
-                LatencyKind::LongTail,
-                seed,
-                &safe_corruptor,
-            );
+            let out = SimCase::new(&SafeProtocol, cfg)
+                .schedule(ScheduleParams::contended(5, 5, 2, seed))
+                .faults(FaultPlan::maximal(&cfg, kind, SimTime::from_ticks(30)))
+                .latency(LatencyKind::LongTail)
+                .run();
             assert!(
                 out.all_live(),
                 "{kind:?}/{seed}: stalled {}",
@@ -103,17 +88,11 @@ fn regular_storage_is_regular_across_seeds_and_attackers() {
         for seed in 0..6u64 {
             for kind in vrr::core::attackers::AttackerKind::ALL {
                 let cfg = StorageConfig::optimal(2, 2, 2);
-                let schedule = generate(ScheduleParams::contended(5, 5, 2, seed));
-                let faults = FaultPlan::maximal(&cfg, kind, SimTime::from_ticks(30));
-                let out = run_schedule(
-                    &protocol,
-                    cfg,
-                    &schedule,
-                    &faults,
-                    LatencyKind::Uniform(1, 12),
-                    seed,
-                    &regular_corruptor,
-                );
+                let out = SimCase::new(&protocol, cfg)
+                    .schedule(ScheduleParams::contended(5, 5, 2, seed))
+                    .faults(FaultPlan::maximal(&cfg, kind, SimTime::from_ticks(30)))
+                    .latency(LatencyKind::Uniform(1, 12))
+                    .run();
                 assert!(out.all_live(), "{kind:?}/{seed}/opt={optimized}");
                 assert!(
                     check_regularity(&out.history).is_ok(),
@@ -129,17 +108,11 @@ fn regular_storage_is_regular_across_seeds_and_attackers() {
 fn random_fault_plans_cannot_break_safety() {
     for seed in 0..20u64 {
         let cfg = StorageConfig::optimal(3, 2, 2);
-        let schedule = generate(ScheduleParams::contended(6, 5, 2, seed));
-        let faults = FaultPlan::random(&cfg, 250, seed);
-        let out = run_schedule(
-            &SafeProtocol,
-            cfg,
-            &schedule,
-            &faults,
-            LatencyKind::LongTail,
-            seed,
-            &safe_corruptor,
-        );
+        let out = SimCase::new(&SafeProtocol, cfg)
+            .schedule(ScheduleParams::contended(6, 5, 2, seed))
+            .faults(FaultPlan::random(&cfg, 250, seed))
+            .latency(LatencyKind::LongTail)
+            .run();
         assert!(out.all_live(), "seed {seed}");
         assert!(check_safety(&out.history).is_ok(), "seed {seed}");
     }
@@ -155,21 +128,17 @@ fn mutated_reader_is_caught_by_the_checker() {
     let mut caught = false;
     'outer: for seed in 0..40u64 {
         let cfg = StorageConfig::optimal(2, 2, 2);
-        let schedule = generate(ScheduleParams::contended(5, 6, 2, seed));
-        let faults = FaultPlan::maximal(
-            &cfg,
-            vrr::core::attackers::AttackerKind::Inflator,
-            SimTime::from_ticks(40),
-        );
-        let out = run_schedule(
-            &MutantSafeProtocol(tuning),
-            cfg,
-            &schedule,
-            &faults,
-            LatencyKind::LongTail,
-            seed,
-            &safe_corruptor,
-        );
+        let mutant = MutantSafeProtocol(tuning);
+        let out = SimCase::new(&mutant, cfg)
+            .schedule(ScheduleParams::contended(5, 6, 2, seed))
+            .faults(FaultPlan::maximal(
+                &cfg,
+                vrr::core::attackers::AttackerKind::Inflator,
+                SimTime::from_ticks(40),
+            ))
+            .latency(LatencyKind::LongTail)
+            .corruptor(&vrr::workload::safe_corruptor)
+            .run();
         if check_safety(&out.history).is_err() {
             caught = true;
             break 'outer;

@@ -3,18 +3,19 @@
 //! catalogue can at worst force a fallback to the two-round protocol,
 //! never a wrong value; and below the boundary the fast path refuses to
 //! engage at all.
+//!
+//! All runs go through the [`SimCase`] scenario builder, which supplies
+//! the per-protocol attacker catalogue and a unified metrics snapshot.
 
 use proptest::prelude::*;
 
 use vrr::checker::{check_regularity, check_safety};
 use vrr::core::attackers::AttackerKind;
+use vrr::core::metrics::names;
 use vrr::core::regular::HistoryRetention;
 use vrr::core::{RegularProtocol, SafeProtocol, StorageConfig};
 use vrr::sim::SimTime;
-use vrr::workload::{
-    generate, regular_corruptor, run_schedule, safe_corruptor, FaultPlan, LatencyKind,
-    ScheduleParams,
-};
+use vrr::workload::{FaultPlan, LatencyKind, ScheduleParams, SimCase};
 
 /// The smallest fast-path sizing: S = 2t + 2b + 1 with t = b = 1.
 fn fast_cfg(readers: usize) -> StorageConfig {
@@ -28,17 +29,9 @@ fn fault_free_reads_complete_in_one_round() {
     // Sequential (non-contended) schedules, unit latency, no faults: every
     // read should take the fast path, for all three protocol variants.
     let cfg = fast_cfg(2);
-    let schedule = generate(ScheduleParams::sequential(4, 4, 2, 9));
+    let params = ScheduleParams::sequential(4, 4, 2, 9);
 
-    let out = run_schedule(
-        &SafeProtocol,
-        cfg,
-        &schedule,
-        &FaultPlan::none(),
-        LatencyKind::Unit,
-        9,
-        &safe_corruptor,
-    );
+    let out = SimCase::new(&SafeProtocol, cfg).schedule(params).run();
     assert!(out.all_live());
     assert!(check_safety(&out.history).is_ok());
     assert!(
@@ -46,17 +39,15 @@ fn fault_free_reads_complete_in_one_round() {
         "safe: {:?}",
         out.read_rounds
     );
+    // The metrics snapshot agrees: every read was a fast-path hit.
+    assert_eq!(
+        out.metrics.counter(names::READER_FAST_HITS, &[]),
+        out.read_rounds.len() as u64
+    );
+    assert_eq!(out.metrics.counter(names::READER_FAST_FALLBACKS, &[]), 0);
 
     for protocol in [RegularProtocol::full(), RegularProtocol::optimized()] {
-        let out = run_schedule(
-            &protocol,
-            cfg,
-            &schedule,
-            &FaultPlan::none(),
-            LatencyKind::Unit,
-            9,
-            &regular_corruptor,
-        );
+        let out = SimCase::new(&protocol, cfg).schedule(params).run();
         assert!(out.all_live());
         assert!(check_regularity(&out.history).is_ok());
         assert!(
@@ -64,6 +55,7 @@ fn fault_free_reads_complete_in_one_round() {
             "regular: {:?}",
             out.read_rounds
         );
+        assert_eq!(out.metrics.counter(names::READER_FAST_FALLBACKS, &[]), 0);
     }
 }
 
@@ -74,17 +66,11 @@ fn every_attacker_forces_at_worst_a_fallback_safe() {
     for kind in AttackerKind::ALL {
         for seed in 0..4u64 {
             let cfg = fast_cfg(2);
-            let schedule = generate(ScheduleParams::contended(5, 5, 2, seed));
-            let faults = FaultPlan::maximal(&cfg, kind, SimTime::from_ticks(30));
-            let out = run_schedule(
-                &SafeProtocol,
-                cfg,
-                &schedule,
-                &faults,
-                LatencyKind::LongTail,
-                seed,
-                &safe_corruptor,
-            );
+            let out = SimCase::new(&SafeProtocol, cfg)
+                .schedule(ScheduleParams::contended(5, 5, 2, seed))
+                .faults(FaultPlan::maximal(&cfg, kind, SimTime::from_ticks(30)))
+                .latency(LatencyKind::LongTail)
+                .run();
             assert!(out.all_live(), "{kind:?}/{seed}");
             assert!(check_safety(&out.history).is_ok(), "{kind:?}/{seed}");
             assert!(out.max_read_rounds() <= 2, "{kind:?}/{seed}");
@@ -103,17 +89,11 @@ fn every_attacker_forces_at_worst_a_fallback_regular() {
             };
             for seed in 0..3u64 {
                 let cfg = fast_cfg(2);
-                let schedule = generate(ScheduleParams::contended(5, 5, 2, seed));
-                let faults = FaultPlan::maximal(&cfg, kind, SimTime::from_ticks(30));
-                let out = run_schedule(
-                    &protocol,
-                    cfg,
-                    &schedule,
-                    &faults,
-                    LatencyKind::Uniform(1, 10),
-                    seed,
-                    &regular_corruptor,
-                );
+                let out = SimCase::new(&protocol, cfg)
+                    .schedule(ScheduleParams::contended(5, 5, 2, seed))
+                    .faults(FaultPlan::maximal(&cfg, kind, SimTime::from_ticks(30)))
+                    .latency(LatencyKind::Uniform(1, 10))
+                    .run();
                 assert!(out.all_live(), "{kind:?}/{seed}/opt={optimized}");
                 assert!(
                     check_regularity(&out.history).is_ok(),
@@ -138,16 +118,10 @@ fn below_the_boundary_every_read_takes_two_rounds() {
     for s in (2 * t + b + 1)..=(2 * t + 2 * b) {
         let cfg = StorageConfig::with_objects(s, t, b, 2);
         assert_eq!(cfg.fast_read_quorum(), None, "S = {s}");
-        let schedule = generate(ScheduleParams::sequential(3, 3, 2, 5));
-        let out = run_schedule(
-            &RegularProtocol::optimized(),
-            cfg,
-            &schedule,
-            &FaultPlan::none(),
-            LatencyKind::Unit,
-            5,
-            &regular_corruptor,
-        );
+        let protocol = RegularProtocol::optimized();
+        let out = SimCase::new(&protocol, cfg)
+            .schedule(ScheduleParams::sequential(3, 3, 2, 5))
+            .run();
         assert!(out.all_live(), "S = {s}");
         assert!(check_regularity(&out.history).is_ok(), "S = {s}");
         assert!(
@@ -155,6 +129,10 @@ fn below_the_boundary_every_read_takes_two_rounds() {
             "S = {s}: {:?}",
             out.read_rounds
         );
+        // Below the boundary the fast path never even arms: both counters
+        // stay zero (contrast the fallback counter above the boundary).
+        assert_eq!(out.metrics.counter(names::READER_FAST_HITS, &[]), 0);
+        assert_eq!(out.metrics.counter(names::READER_FAST_FALLBACKS, &[]), 0);
     }
 }
 
@@ -166,16 +144,10 @@ fn fast_path_composes_with_reader_ack_gc() {
     let cfg = fast_cfg(2);
     let protocol = RegularProtocol::optimized_gc(2);
     for seed in 0..4u64 {
-        let schedule = generate(ScheduleParams::contended(8, 8, 2, seed));
-        let out = run_schedule(
-            &protocol,
-            cfg,
-            &schedule,
-            &FaultPlan::none(),
-            LatencyKind::Uniform(1, 6),
-            seed,
-            &regular_corruptor,
-        );
+        let out = SimCase::new(&protocol, cfg)
+            .schedule(ScheduleParams::contended(8, 8, 2, seed))
+            .latency(LatencyKind::Uniform(1, 6))
+            .run();
         assert!(out.all_live(), "seed {seed}");
         assert!(check_regularity(&out.history).is_ok(), "seed {seed}");
         assert!(out.max_read_rounds() <= 2, "seed {seed}");
@@ -184,6 +156,10 @@ fn fast_path_composes_with_reader_ack_gc() {
             "seed {seed}: the fast path never fired: {:?}",
             out.read_rounds
         );
+        // GC kept every object's exported history gauge bounded.
+        for len in out.metrics.gauge_values(names::OBJECT_HISTORY_LEN) {
+            assert!(len <= 24, "seed {seed}: unbounded history gauge {len}");
+        }
     }
 }
 
@@ -214,13 +190,13 @@ proptest! {
     ) {
         let b = ((b_rel % t) + 1).min(t);
         let cfg = StorageConfig::fast(t, b, 2);
-        let schedule = generate(ScheduleParams {
-            writes, reads_per_reader: reads, readers: 2, mean_gap: gap, seed,
-        });
-        let faults = FaultPlan::random(&cfg, 200, seed);
-        let out = run_schedule(
-            &SafeProtocol, cfg, &schedule, &faults, latency, seed, &safe_corruptor,
-        );
+        let out = SimCase::new(&SafeProtocol, cfg)
+            .schedule(ScheduleParams {
+                writes, reads_per_reader: reads, readers: 2, mean_gap: gap, seed,
+            })
+            .faults(FaultPlan::random(&cfg, 200, seed))
+            .latency(latency)
+            .run();
         prop_assert!(out.all_live(), "stalled {}", out.stalled_ops);
         prop_assert!(check_safety(&out.history).is_ok());
         prop_assert!(out.max_read_rounds() <= 2);
@@ -251,13 +227,13 @@ proptest! {
                     HistoryRetention::KeepAll
                 }),
         };
-        let schedule = generate(ScheduleParams {
-            writes, reads_per_reader: reads, readers: 2, mean_gap: gap, seed,
-        });
-        let faults = FaultPlan::random(&cfg, 200, seed);
-        let out = run_schedule(
-            &protocol, cfg, &schedule, &faults, latency, seed, &regular_corruptor,
-        );
+        let out = SimCase::new(&protocol, cfg)
+            .schedule(ScheduleParams {
+                writes, reads_per_reader: reads, readers: 2, mean_gap: gap, seed,
+            })
+            .faults(FaultPlan::random(&cfg, 200, seed))
+            .latency(latency)
+            .run();
         prop_assert!(out.all_live());
         prop_assert!(check_regularity(&out.history).is_ok());
         prop_assert!(out.max_read_rounds() <= 2);

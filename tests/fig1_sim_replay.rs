@@ -12,11 +12,15 @@
 //! safe protocol and against the (non-fast, multi-round) passive baseline
 //! is harmless — the two legal escapes from Proposition 1: pay a round, or
 //! pay `b` extra objects.
+//!
+//! All three runs are scripted through the [`StorageScenario`] builder —
+//! the Byzantine substitution and the slow link are scenario faults, not
+//! hand-rolled adversary plumbing.
 
 use vrr::baselines::{AbdProtocol, LiteMsg, LiteObject, PassiveProtocol};
 use vrr::checker::{check_safety, OpHistory};
-use vrr::core::{run_read, RegisterProtocol, SafeProtocol, StorageConfig, Timestamp, TsVal};
-use vrr::sim::{Tamper, World};
+use vrr::core::{RegisterProtocol, SafeProtocol, StorageConfig, StorageScenario, Timestamp, TsVal};
+use vrr::sim::Tamper;
 
 /// `B2` (object 3) forges σ2: replies as if write #1 of 42 had completed.
 fn forge_sigma2() -> Box<dyn vrr::sim::Automaton<LiteMsg<u64>>> {
@@ -40,21 +44,17 @@ fn forge_sigma2() -> Box<dyn vrr::sim::Automaton<LiteMsg<u64>>> {
 fn run5_schedule_breaks_a_fast_protocol_on_the_wire() {
     let cfg = StorageConfig::with_objects(4, 1, 1, 1);
     let abd = AbdProtocol::default(); // 1-round reads: "fast"
-    let mut world: World<LiteMsg<u64>> = World::new(15);
-    let dep = RegisterProtocol::<u64>::deploy(&abd, cfg, &mut world);
-    world.start();
+    let mut sc = StorageScenario::deploy(abd, cfg, 15);
 
     // B2 is malicious from the start; T2's link to the reader is slow.
-    world.set_byzantine(dep.objects[3], forge_sigma2());
-    world
-        .adversary_mut()
-        .hold_link(dep.readers[0], dep.objects[1]);
+    sc.byzantine_object(3, forge_sigma2());
+    sc.hold_link(sc.reader(0), sc.object(1));
 
     // Nothing is ever written. The read hears S − t = 3 replies:
     // s0 (σ0), s2 (σ0), s3 (forged σ2) — and being fast, must decide.
-    let invoked_at = world.now().ticks();
-    let rep = run_read::<u64, _>(&abd, &dep, &mut world, 0);
-    let completed_at = world.now().ticks();
+    let invoked_at = sc.now().ticks();
+    let rep = sc.read(0);
+    let completed_at = sc.now().ticks();
     assert_eq!(rep.rounds, 1, "ABD reads are fast — that is the problem");
     assert_eq!(rep.value, Some(42), "the phantom value is believed");
 
@@ -68,34 +68,28 @@ fn run5_schedule_breaks_a_fast_protocol_on_the_wire() {
 #[test]
 fn the_same_schedule_cannot_fool_the_papers_two_round_read() {
     let cfg = StorageConfig::with_objects(4, 1, 1, 1); // optimal: 2t+b+1 = 4
-    let mut world: World<vrr::core::Msg<u64>> = World::new(15);
-    let dep = RegisterProtocol::<u64>::deploy(&SafeProtocol, cfg, &mut world);
-    world.start();
+    let mut sc = StorageScenario::deploy(SafeProtocol, cfg, 15);
 
-    world.set_byzantine(
-        dep.objects[3],
-        vrr::core::attackers::AttackerKind::Inflator.build_safe(cfg, 42u64),
-    );
-    world
-        .adversary_mut()
-        .hold_link(dep.readers[0], dep.objects[1]);
+    sc.attack_object(3, vrr::core::attackers::AttackerKind::Inflator, 42u64);
+    let slow = sc.hold_link(sc.reader(0), sc.object(1));
 
     // While T2's replies are in transit the reader cannot tell the liar's
     // candidate from a concurrent write it missed — so it REFUSES TO
     // ANSWER rather than guess (contrast ABD above, which guessed wrong).
-    let op = RegisterProtocol::<u64>::invoke_read(&SafeProtocol, &dep, &mut world, 0);
-    world.run_to_quiescence(200_000);
+    let dep = sc.dep().clone();
+    let op = RegisterProtocol::<u64>::invoke_read(&SafeProtocol, &dep, sc.world_mut(), 0);
+    sc.run_until_idle(200_000);
     assert!(
-        RegisterProtocol::<u64>::read_outcome(&SafeProtocol, &dep, &world, 0, op).is_none(),
+        RegisterProtocol::<u64>::read_outcome(&SafeProtocol, &dep, sc.world(), 0, op).is_none(),
         "the safe reader must wait, not guess"
     );
 
     // Asynchrony ends: T2's replies arrive, the forged candidate is
     // eliminated (t+b+1 objects contradict it), ⊥ is returned.
-    world.adversary_mut().clear();
-    world.release_all();
-    world.run_to_quiescence(200_000);
-    let rep = RegisterProtocol::<u64>::read_outcome(&SafeProtocol, &dep, &world, 0, op)
+    sc.remove_rule(slow);
+    sc.release_all();
+    sc.run_until_idle(200_000);
+    let rep = RegisterProtocol::<u64>::read_outcome(&SafeProtocol, &dep, sc.world(), 0, op)
         .expect("completes once messages flow");
     assert_eq!(
         rep.value, None,
@@ -107,16 +101,12 @@ fn the_same_schedule_cannot_fool_the_papers_two_round_read() {
 #[test]
 fn a_non_fast_protocol_survives_by_challenging() {
     let cfg = StorageConfig::with_objects(4, 1, 1, 1);
-    let mut world: World<LiteMsg<u64>> = World::new(15);
-    let dep = RegisterProtocol::<u64>::deploy(&PassiveProtocol, cfg, &mut world);
-    world.start();
+    let mut sc = StorageScenario::deploy(PassiveProtocol, cfg, 15);
 
-    world.set_byzantine(dep.objects[3], forge_sigma2());
-    world
-        .adversary_mut()
-        .hold_link(dep.readers[0], dep.objects[1]);
+    sc.byzantine_object(3, forge_sigma2());
+    sc.hold_link(sc.reader(0), sc.object(1));
 
-    let rep = run_read::<u64, _>(&PassiveProtocol, &dep, &mut world, 0);
+    let rep = sc.read(0);
     assert_eq!(
         rep.value, None,
         "the unconfirmed forgery is challenged and dies"

@@ -2,24 +2,16 @@
 //! flat memory under steady-state load in the simulator and on the thread
 //! runtime, the crashed-reader escape hatch, and Byzantine objects lying
 //! about suffixes — with reads staying regular and 2-round throughout.
+//!
+//! The simulator runs go through the [`StorageScenario`] builder, which
+//! owns the deploy/drive/inspect boilerplate and exports history lengths
+//! through the same metrics snapshot the thread runtime produces.
 
 use vrr::core::attackers::AttackerKind;
-use vrr::core::regular::{HistoryRetention, RegularObject, RegularReader};
-use vrr::core::{
-    corrupt_object, run_read, run_write, Msg, RegisterProtocol, RegularProtocol, StorageConfig,
-    Timestamp,
-};
+use vrr::core::metrics::names;
+use vrr::core::regular::{HistoryRetention, RegularReader};
+use vrr::core::{RegularProtocol, StorageConfig, StorageScenario, Timestamp};
 use vrr::runtime::{NoDelay, ProtocolKind, ShardedStore, StorageCluster};
-use vrr::sim::World;
-
-/// Worst object-side history length across the deployment.
-fn max_history_len(world: &World<Msg<u64>>, dep: &vrr::core::Deployment) -> usize {
-    dep.objects
-        .iter()
-        .map(|&o| world.inspect(o, |obj: &RegularObject<u64>| obj.history().len()))
-        .max()
-        .unwrap_or(0)
-}
 
 #[test]
 fn steady_state_memory_is_flat_in_run_length() {
@@ -34,18 +26,25 @@ fn steady_state_memory_is_flat_in_run_length() {
         let cfg = StorageConfig::optimal(1, 1, 1);
         let mut lens = Vec::new();
         for writes in [64u64, 256] {
-            let mut world: World<Msg<u64>> = World::new(17);
-            let dep = RegisterProtocol::<u64>::deploy(&protocol, cfg, &mut world);
-            world.start();
+            let mut sc = StorageScenario::deploy(protocol, cfg, 17);
             for k in 1..=writes {
-                run_write(&protocol, &dep, &mut world, k);
+                sc.write(k);
                 if k % 8 == 0 {
-                    let rep = run_read::<u64, _>(&protocol, &dep, &mut world, 0);
+                    let rep = sc.read(0);
                     assert_eq!(rep.value, Some(k));
                     assert_eq!(rep.rounds, 2, "GC must not cost rounds");
                 }
             }
-            lens.push(max_history_len(&world, &dep));
+            lens.push(sc.max_history_len());
+            // The history gauges of the metrics snapshot expose the same
+            // bound (one gauge per honest object).
+            let snap = sc.metrics_snapshot();
+            let gauges = snap.gauge_values(names::OBJECT_HISTORY_LEN);
+            assert_eq!(gauges.len(), cfg.s);
+            assert_eq!(
+                gauges.iter().copied().max().unwrap() as usize,
+                sc.max_history_len()
+            );
         }
         assert_eq!(
             lens[0], lens[1],
@@ -70,21 +69,19 @@ fn crashed_reader_pins_the_floor_and_the_cap_unpins_it() {
             optimized: true,
             retention,
         };
-        let mut world: World<Msg<u64>> = World::new(23);
-        let dep = RegisterProtocol::<u64>::deploy(&protocol, cfg, &mut world);
-        world.start();
-        // Reader 1 never reads (a crashed client takes no steps).
+        let mut sc = StorageScenario::deploy(protocol, cfg, 23);
+        sc.crash_reader(1); // never completes a read, never acks
         for k in 1..=100u64 {
-            run_write(&protocol, &dep, &mut world, k);
+            sc.write(k);
             if k % 10 == 0 {
                 assert_eq!(
-                    run_read::<u64, _>(&protocol, &dep, &mut world, 0).value,
+                    sc.read(0).value,
                     Some(k),
                     "live reader must stay correct despite the crashed one"
                 );
             }
         }
-        let len = max_history_len(&world, &dep);
+        let len = sc.max_history_len();
         if bounded {
             assert!(len <= 8, "cap must bound memory, got {len}");
         } else {
@@ -103,26 +100,24 @@ fn late_reader_catches_up_after_truncation() {
         optimized: true,
         retention: HistoryRetention::reader_ack(2),
     };
-    let mut world: World<Msg<u64>> = World::new(29);
-    let dep = RegisterProtocol::<u64>::deploy(&protocol, cfg, &mut world);
-    world.start();
+    let mut sc = StorageScenario::deploy(protocol, cfg, 29);
     for k in 1..=50u64 {
-        run_write(&protocol, &dep, &mut world, k);
+        sc.write(k);
         if k % 5 == 0 {
-            run_read::<u64, _>(&protocol, &dep, &mut world, 0);
+            sc.read(0);
         }
     }
-    let rep = run_read::<u64, _>(&protocol, &dep, &mut world, 1);
+    let rep = sc.read(1);
     assert_eq!(rep.value, Some(50), "late reader reads the tip");
     assert_eq!(rep.rounds, 2);
     // Its ack now unblocks truncation: one more round of reads from both
     // readers collapses the histories.
     for j in [0usize, 1] {
-        run_read::<u64, _>(&protocol, &dep, &mut world, j);
-        run_read::<u64, _>(&protocol, &dep, &mut world, j);
+        sc.read(j);
+        sc.read(j);
     }
-    world.run_to_quiescence(200_000);
-    assert!(max_history_len(&world, &dep) <= 2);
+    sc.run_until_idle(200_000);
+    assert!(sc.max_history_len() <= 2);
 }
 
 #[test]
@@ -137,31 +132,27 @@ fn truncation_liar_cannot_corrupt_gc_reads() {
             retention: HistoryRetention::reader_ack(1),
         };
         let cfg = StorageConfig::optimal(1, 1, 1);
-        let mut world: World<Msg<u64>> = World::new(31);
-        let dep = RegisterProtocol::<u64>::deploy(&protocol, cfg, &mut world);
-        world.start();
-        corrupt_object(
-            &dep,
-            &mut world,
-            1,
-            AttackerKind::Truncator.build_regular(cfg, 0xBADu64),
-        );
+        let mut sc = StorageScenario::deploy(protocol, cfg, 31);
+        sc.attack_object(1, AttackerKind::Truncator, 0xBADu64);
         for k in 1..=40u64 {
-            run_write(&protocol, &dep, &mut world, k);
+            sc.write(k);
             if k % 4 == 0 {
-                let rep = run_read::<u64, _>(&protocol, &dep, &mut world, 0);
+                let rep = sc.read(0);
                 assert_eq!(rep.value, Some(k), "truncation liar corrupted a read");
                 assert_eq!(rep.rounds, 2);
             }
         }
-        world.run_to_quiescence(200_000);
-        for (i, &o) in dep.objects.iter().enumerate() {
-            if i == 1 {
-                continue; // the attacker
-            }
-            let len = world.inspect(o, |obj: &RegularObject<u64>| obj.history().len());
+        sc.run_until_idle(200_000);
+        // history_lens skips the Byzantine object: every reported length
+        // is an honest object that must have truncated.
+        let lens = sc.history_lens().expect("regular objects keep histories");
+        assert_eq!(lens.len(), cfg.s - 1, "one object is the attacker");
+        for (i, len) in lens.into_iter().enumerate() {
             assert!(len <= 6, "honest object {i} failed to truncate: {len}");
         }
+        // The fault shows up in the snapshot's fault-script counters.
+        let snap = sc.metrics_snapshot();
+        assert_eq!(snap.counter(names::SCENARIO_BYZANTINE, &[]), 1);
     }
 }
 
@@ -176,28 +167,25 @@ fn forged_acks_from_byzantine_objects_do_not_exist_but_forged_suffixes_die() {
         retention: HistoryRetention::reader_ack(1),
     };
     let cfg = StorageConfig::optimal(1, 1, 1);
-    let mut world: World<Msg<u64>> = World::new(37);
-    let dep = RegisterProtocol::<u64>::deploy(&protocol, cfg, &mut world);
-    world.start();
-    corrupt_object(
-        &dep,
-        &mut world,
-        3,
-        AttackerKind::Stale.build_regular(cfg, 0xBADu64),
-    );
+    let mut sc = StorageScenario::deploy(protocol, cfg, 37);
+    sc.attack_object(3, AttackerKind::Stale, 0xBADu64);
     for k in 1..=20u64 {
-        run_write(&protocol, &dep, &mut world, k);
-        let rep = run_read::<u64, _>(&protocol, &dep, &mut world, 0);
-        assert_eq!(rep.value, Some(k));
+        sc.write(k);
+        assert_eq!(sc.read(0).value, Some(k));
     }
     // The reader's high-water mark matches what it returned.
-    let acked = world.inspect(dep.readers[0], |r: &RegularReader<u64>| r.acked());
+    let reader = sc.reader(0);
+    let acked = sc
+        .world()
+        .inspect(reader, |r: &RegularReader<u64>| r.acked());
     assert_eq!(acked, Timestamp(20));
 }
 
 #[test]
 fn runtime_cluster_and_sharded_store_run_bounded_memory() {
-    // The worker-pool deployments: same flat-memory property end to end.
+    // The worker-pool deployments: same flat-memory property end to end,
+    // observable both through the direct accessor and the same
+    // metrics-snapshot gauges the simulator exports.
     let cfg = StorageConfig::optimal(1, 1, 1);
     let storage: StorageCluster<u64> = StorageCluster::deploy_with_retention(
         cfg,
@@ -210,6 +198,15 @@ fn runtime_cluster_and_sharded_store_run_bounded_memory() {
         assert_eq!(storage.read(0).value, Some(k));
     }
     assert!(storage.history_lens().into_iter().all(|len| len <= 5));
+    let snap = storage.metrics_snapshot();
+    assert!(snap
+        .gauge_values(names::OBJECT_HISTORY_LEN)
+        .into_iter()
+        .all(|len| len <= 5));
+    assert_eq!(
+        snap.histogram(names::WRITER_ROUNDS, &[]).unwrap().count(),
+        64
+    );
 
     let store: ShardedStore<&'static str, u64> = ShardedStore::deploy_with_retention(
         cfg,
@@ -227,4 +224,9 @@ fn runtime_cluster_and_sharded_store_run_bounded_memory() {
     for slot in 0..2 {
         assert!(store.history_lens(slot).into_iter().all(|len| len <= 5));
     }
+    assert!(store
+        .metrics_snapshot()
+        .gauge_values(names::OBJECT_HISTORY_LEN)
+        .into_iter()
+        .all(|len| len <= 5));
 }

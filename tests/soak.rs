@@ -1,0 +1,51 @@
+//! The quick (sub-second) variant of the combined-fault soak, on both
+//! harnesses — the same invariants the CI release-mode soak job checks at
+//! full length via `examples/soak.rs`: regularity, flat history under the
+//! GC cap, and the cross-metric relations of the unified snapshot.
+
+use vrr::soak::{run_runtime_soak, run_sim_soak, SoakParams};
+
+#[test]
+fn quick_sim_soak_is_clean() {
+    let report = run_sim_soak(SoakParams::quick(42));
+    assert!(
+        report.is_clean(),
+        "sim soak violations: {:#?}",
+        report.violations
+    );
+}
+
+#[test]
+fn quick_runtime_soak_is_clean() {
+    let report = run_runtime_soak(SoakParams::quick(42));
+    assert!(
+        report.is_clean(),
+        "runtime soak violations: {:#?}",
+        report.violations
+    );
+}
+
+#[test]
+fn both_halves_export_the_same_metric_families() {
+    // One encoder, two harnesses: every op/fast-path/history family the
+    // runtime exports must appear in the simulator's snapshot too (the
+    // sim additionally has net + scenario counters; the runtime
+    // additionally has executor counters).
+    let sim = run_sim_soak(SoakParams::quick(7)).metrics.to_prometheus();
+    let rt = run_runtime_soak(SoakParams::quick(7))
+        .metrics
+        .to_prometheus();
+    for family in [
+        "vrr_writer_rounds",
+        "vrr_reader_rounds",
+        "vrr_write_latency_ticks",
+        "vrr_read_latency_ticks",
+        "vrr_reader_fast_hits_total",
+        "vrr_reader_fast_fallbacks_total",
+        "vrr_object_history_len",
+        "vrr_scenario_byzantine_total",
+    ] {
+        assert!(sim.contains(family), "sim snapshot missing {family}");
+        assert!(rt.contains(family), "runtime snapshot missing {family}");
+    }
+}
