@@ -2,9 +2,9 @@
 //!
 //! Reads the JSON-lines files the vendored criterion shim emits under
 //! `CRITERION_JSON` (`BENCH_rounds.json`, `BENCH_latency.json`,
-//! `BENCH_histsize.json`) and checks the *shape* of the results, never
-//! absolute numbers — those are machine-dependent, but the paper's claims
-//! are relational:
+//! `BENCH_histsize.json`, `BENCH_throughput.json`, `BENCH_scaleout.json`)
+//! and checks the *shape* of the results, never absolute numbers — those
+//! are machine-dependent, but the paper's claims are relational:
 //!
 //! - reads cost about the same as writes (both are two round-trips); the
 //!   full-history regular read is allowed a larger factor (history
@@ -14,10 +14,17 @@
 //! - the 2-round protocols process more events than the 1-round
 //!   baselines,
 //! - full-history reads grow with the number of past writes while §5.1
-//!   suffix reads stay far below them.
+//!   suffix reads stay far below them,
+//! - the batched worker pool out-throughputs the seed's thread-per-process
+//!   architecture at scale, and multi-key cost stays at most linear in key
+//!   count,
+//! - aggregate Zipfian throughput through the multi-cluster router is
+//!   monotonically non-decreasing in cluster count, and the router's
+//!   routing step costs ≤ 15% over direct single-cluster access.
 //!
-//! Usage: `bench_shape [rounds.json latency.json histsize.json]`.
-//! Exits non-zero listing every violated relation.
+//! Usage: `bench_shape [rounds.json latency.json histsize.json
+//! throughput.json scaleout.json]`. Exits non-zero listing every violated
+//! relation.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -119,22 +126,32 @@ impl Checker {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (rounds, latency, histsize) = match args.as_slice() {
-        [] => (
-            "BENCH_rounds.json".to_string(),
-            "BENCH_latency.json".to_string(),
-            "BENCH_histsize.json".to_string(),
-        ),
-        [r, l, h] => (r.clone(), l.clone(), h.clone()),
+    let paths: Vec<String> = match args.as_slice() {
+        [] => [
+            "BENCH_rounds.json",
+            "BENCH_latency.json",
+            "BENCH_histsize.json",
+            "BENCH_throughput.json",
+            "BENCH_scaleout.json",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+        files @ [_, _, _] | files @ [_, _, _, _, _] => files.to_vec(),
         _ => {
-            eprintln!("usage: bench_shape [rounds.json latency.json histsize.json]");
+            eprintln!(
+                "usage: bench_shape [rounds.json latency.json histsize.json \
+                 [throughput.json scaleout.json]]"
+            );
             return ExitCode::from(2);
         }
     };
 
-    let mut results = load(&rounds);
-    results.extend(load(&latency));
-    results.extend(load(&histsize));
+    let mut results = HashMap::new();
+    for path in &paths {
+        results.extend(load(path));
+    }
+    let throughput_loaded = paths.len() == 5;
     let mut c = Checker::new(results);
 
     println!("shape: reads =~ writes (both two round-trips)");
@@ -250,6 +267,67 @@ fn main() -> ExitCode {
         0.35,
         "ack-GC far below keep-all at 500 writes",
     );
+
+    if throughput_loaded {
+        println!("shape: worker pool beats thread-per-process at scale");
+        // At N >= 256 ring automata the batched pool must win outright
+        // against the seed's one-thread-per-process + router-thread
+        // architecture (B-THR).
+        for n in [256, 512] {
+            c.le(
+                &format!("throughput/ring/pool/{n}"),
+                &format!("throughput/ring/thread-per-process/{n}"),
+                1.0,
+                "batched pool wins at scale",
+            );
+        }
+
+        println!("shape: multi-key cost at most linear in key count");
+        c.monotone(
+            &[
+                "throughput/sharded-kv/write-read-all-keys/1",
+                "throughput/sharded-kv/write-read-all-keys/16",
+                "throughput/sharded-kv/write-read-all-keys/64",
+            ],
+            0.85,
+            4.0,
+            "more keys cost more in total",
+        );
+        // 64 keys' worth of write+read cycles must not blow past linear
+        // scaling of the single-key cycle (no superlinear degradation from
+        // sharing one pool).
+        c.le(
+            "throughput/sharded-kv/write-read-all-keys/64",
+            "throughput/sharded-kv/write-read-all-keys/1",
+            80.0,
+            "64-key cost within ~linear of 1-key cost",
+        );
+
+        println!("shape: Zipfian throughput non-decreasing in cluster count");
+        // Per-iteration cost (same op count) must not increase when the
+        // key space spreads over more independent clusters; 10% slack for
+        // scheduler noise on small hosts.
+        c.le(
+            "scaleout/zipfian/clusters/2",
+            "scaleout/zipfian/clusters/1",
+            1.10,
+            "2 clusters no slower than 1",
+        );
+        c.le(
+            "scaleout/zipfian/clusters/4",
+            "scaleout/zipfian/clusters/2",
+            1.10,
+            "4 clusters no slower than 2",
+        );
+
+        println!("shape: router overhead within 15% of direct access");
+        c.le(
+            "scaleout/router-overhead/routed/1",
+            "scaleout/router-overhead/direct/1",
+            1.15,
+            "hash+atomic routing step is cheap",
+        );
+    }
 
     if c.failures.is_empty() {
         println!("bench shape: all {} relations hold", c.checks);

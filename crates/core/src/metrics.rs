@@ -82,6 +82,26 @@ pub mod names {
     /// [`ShardedStore`]: https://docs.rs/vrr-runtime
     pub const OBJECT_HISTORY_LEN: &str = "vrr_object_history_len";
 
+    /// Keys currently bound in one shard-cluster of a `StoreRouter` —
+    /// gauge, labelled `cluster`. The per-cluster values must sum to the
+    /// store's total key count at every snapshot.
+    pub const ROUTER_KEYS: &str = "vrr_router_keys";
+    /// Ring slots currently routed to one shard-cluster — gauge, labelled
+    /// `cluster`.
+    pub const ROUTER_RING_SLOTS: &str = "vrr_router_ring_slots";
+    /// Live shard-clusters behind the router — gauge.
+    pub const ROUTER_CLUSTERS: &str = "vrr_router_clusters";
+    /// Keys copied to a new shard-cluster by rebalances — counter.
+    pub const ROUTER_REBALANCED_KEYS: &str = "vrr_router_rebalanced_keys_total";
+    /// Ring-slot moves performed by rebalances — counter.
+    pub const ROUTER_SLOT_MOVES: &str = "vrr_router_slot_moves_total";
+    /// Router-level READ latency — histogram, labelled `cluster`
+    /// (wall-clock microseconds; buckets [`LATENCY_BUCKETS`]).
+    pub const ROUTER_READ_LATENCY: &str = "vrr_router_read_latency_ticks";
+    /// Router-level WRITE latency — histogram, labelled `cluster`
+    /// (wall-clock microseconds; buckets [`LATENCY_BUCKETS`]).
+    pub const ROUTER_WRITE_LATENCY: &str = "vrr_router_write_latency_ticks";
+
     /// Scenario partitions applied — counter.
     pub const SCENARIO_PARTITIONS: &str = "vrr_scenario_partitions_total";
     /// Scenario heals applied — counter.
@@ -538,20 +558,32 @@ pub fn record_fast_path(sink: &mut dyn MetricsSink, stats: &FastPathStats) {
 /// Records per-object history lengths as [`names::OBJECT_HISTORY_LEN`]
 /// gauges, labelled `object` (and `shard` when given).
 pub fn record_history_lens(sink: &mut dyn MetricsSink, shard: Option<usize>, lens: &[usize]) {
+    record_history_lens_at(sink, None, shard, lens);
+}
+
+/// Like [`record_history_lens`], but additionally labelled `cluster` when
+/// the objects live inside one shard-cluster of a multi-cluster router —
+/// keeps the gauges of different clusters from colliding when their
+/// snapshots merge into one registry.
+pub fn record_history_lens_at(
+    sink: &mut dyn MetricsSink,
+    cluster: Option<usize>,
+    shard: Option<usize>,
+    lens: &[usize],
+) {
+    let cluster = cluster.map(|c| c.to_string());
+    let shard = shard.map(|s| s.to_string());
     for (i, &len) in lens.iter().enumerate() {
         let object = i.to_string();
         let len = len as u64;
-        match shard {
-            Some(s) => {
-                let shard = s.to_string();
-                sink.gauge_set(
-                    names::OBJECT_HISTORY_LEN,
-                    &[("object", &object), ("shard", &shard)],
-                    len,
-                );
-            }
-            None => sink.gauge_set(names::OBJECT_HISTORY_LEN, &[("object", &object)], len),
+        let mut labels: Vec<(&str, &str)> = vec![("object", &object)];
+        if let Some(s) = shard.as_deref() {
+            labels.push(("shard", s));
         }
+        if let Some(c) = cluster.as_deref() {
+            labels.push(("cluster", c));
+        }
+        sink.gauge_set(names::OBJECT_HISTORY_LEN, &labels, len);
     }
 }
 

@@ -14,7 +14,11 @@
 //! On top of the single-register [`StorageCluster`], [`ShardedStore`] maps
 //! keys onto independent register shards (each with its own writer, base
 //! objects and readers) over one shared [`Cluster`], giving key-value
-//! workloads true multi-key parallelism.
+//! workloads true multi-key parallelism. One level up again,
+//! [`StoreRouter`] partitions the key space across *multiple independent*
+//! clusters through a seeded-hash [`RingTable`] — deterministic,
+//! directory-free routing with live cluster add/remove (rebalance stays
+//! regular while absorbing crash + Byzantine faults per register group).
 //!
 //! Long-running regular deployments should pair the §5.1 suffix transfers
 //! with reader-ack history GC —
@@ -44,12 +48,16 @@
 
 mod cluster;
 mod executor;
+mod ring;
 mod router;
+mod scaleout;
 mod shard;
 mod storage;
 
 pub use cluster::{Cluster, NodeGone};
 pub use executor::ExecutorStats;
+pub use ring::{stable_hash_64, RingTable, StableHasher};
 pub use router::{FixedDelay, LinkAction, LinkPolicy, NoDelay};
-pub use shard::ShardedStore;
+pub use scaleout::{RouterConfig, StoreRouter};
+pub use shard::{ShardedStore, StoreError};
 pub use storage::{ProtocolKind, ReaderTuning, StorageCluster};

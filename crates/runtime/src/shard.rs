@@ -12,10 +12,11 @@
 //! per-shard write lock *is* the single writer).
 
 use std::collections::HashMap;
+use std::fmt;
 use std::hash::Hash;
 use std::time::Instant;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use vrr_sim::{Automaton, ProcessId};
 
@@ -38,13 +39,65 @@ struct Shard {
     reader_locks: Vec<Mutex<()>>,
 }
 
+/// A typed error from the non-panicking store operations.
+///
+/// The only runtime-recoverable failure today is capacity exhaustion; a
+/// wedged cluster (an operation outliving the generous internal timeout)
+/// stays a panic, because with at most `t` faults per group it is a
+/// wait-freedom violation, not an operational condition.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StoreError {
+    /// Every provisioned register shard is already bound (or was bound and
+    /// later retired); the new key cannot be served. See the capacity
+    /// contract on [`ShardedStore`].
+    OverCapacity {
+        /// The store's provisioned shard count.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::OverCapacity { capacity } => {
+                write!(f, "ShardedStore over capacity: all {capacity} shards bound")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// The key→shard bindings, behind one read-mostly lock: the per-operation
+/// hot path takes only the shared side; the exclusive side is touched once
+/// per key lifetime (first bind, release).
+struct KeyIndex<K> {
+    map: HashMap<K, usize>,
+    /// Next never-used shard slot. Slots are **single-use**: releasing a
+    /// key retires its slot instead of recycling it (see the capacity
+    /// contract on [`ShardedStore`]).
+    next_slot: usize,
+    /// Slots consumed by keys that were since released.
+    retired: usize,
+}
+
 /// A multi-key register store: each key is served by its own register
 /// shard (writer + objects + readers) on one shared worker-pool cluster.
 ///
+/// # Capacity contract
+///
 /// Shards are provisioned up front (`capacity`) and bound to keys on first
-/// write, so the id space stays dense and the cluster can seal; writes to
-/// more than `capacity` distinct keys panic. Reads of never-written keys
-/// return `None` without touching the network.
+/// write, so the id space stays dense and the cluster can seal. `capacity`
+/// bounds the number of **bindings ever made**, not the number of live
+/// keys: [`ShardedStore::release`] retires a binding's shard rather than
+/// recycling it, because handing a register that already holds one key's
+/// history to a different key would let a read concurrent with the new
+/// key's first write return the *old key's* value (a cross-key regularity
+/// leak). Once all `capacity` slots are consumed,
+/// [`ShardedStore::try_write`] for a new key returns
+/// [`StoreError::OverCapacity`] (and [`ShardedStore::write`], the
+/// panicking wrapper, panics). Reads of never-written keys return `None`
+/// without touching the network.
 ///
 /// # Examples
 ///
@@ -66,8 +119,11 @@ pub struct ShardedStore<K: Eq + Hash, V: Value> {
     kind: ProtocolKind,
     cfg: StorageConfig,
     shards: Vec<Shard>,
-    /// key → shard slot, assigned on first write.
-    index: Mutex<HashMap<K, usize>>,
+    /// key → shard slot, assigned on first write. Read-mostly: every
+    /// operation takes the shared side; only first-binds and releases take
+    /// the exclusive side, so the routing step of concurrent operations on
+    /// distinct keys never serializes.
+    index: RwLock<KeyIndex<K>>,
     /// Store-wide operation metrics (rounds and latency histograms),
     /// folded into [`ShardedStore::metrics_snapshot`].
     ops: Mutex<Registry>,
@@ -195,7 +251,11 @@ impl<K: Eq + Hash, V: Value> ShardedStore<K, V> {
             kind,
             cfg,
             shards,
-            index: Mutex::new(HashMap::new()),
+            index: RwLock::new(KeyIndex {
+                map: HashMap::new(),
+                next_slot: 0,
+                retired: 0,
+            }),
             ops: Mutex::new(Registry::new()),
         }
     }
@@ -215,19 +275,39 @@ impl<K: Eq + Hash, V: Value> ShardedStore<K, V> {
         self.shards.len()
     }
 
-    /// Number of keys bound to a shard so far.
+    /// Number of keys currently bound to a shard.
     pub fn len(&self) -> usize {
-        self.index.lock().len()
+        self.index.read().map.len()
     }
 
-    /// Whether no key was written yet.
+    /// Whether no key is currently bound.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// The shard slot serving `key`, if it was ever written.
+    /// Shard slots never bound to any key (capacity headroom; retired
+    /// slots are *not* counted, per the capacity contract).
+    pub fn free_slots(&self) -> usize {
+        self.shards.len() - self.index.read().next_slot
+    }
+
+    /// The shard slot serving `key`, if it is currently bound.
     pub fn shard_of(&self, key: &K) -> Option<usize> {
-        self.index.lock().get(key).copied()
+        self.index.read().map.get(key).copied()
+    }
+
+    /// Whether `key` is currently bound to a shard.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.index.read().map.contains_key(key)
+    }
+
+    /// Every currently-bound key (unordered). Rebalances use this to
+    /// enumerate what must move off a cluster.
+    pub fn keys(&self) -> Vec<K>
+    where
+        K: Clone,
+    {
+        self.index.read().map.keys().cloned().collect()
     }
 
     /// Blocking `WRITE(key, value)`; binds `key` to a fresh shard on first
@@ -236,23 +316,46 @@ impl<K: Eq + Hash, V: Value> ShardedStore<K, V> {
     ///
     /// # Panics
     ///
-    /// Panics if all `capacity` shards are bound to other keys, or if the
-    /// write does not complete within the operation timeout.
+    /// Panics on [`StoreError::OverCapacity`] (see the capacity contract
+    /// above), or if the write does not complete within the operation
+    /// timeout. [`ShardedStore::try_write`] is the non-panicking variant.
     pub fn write(&self, key: K, value: V) -> WriteReport {
-        let slot = {
-            let mut index = self.index.lock();
-            match index.get(&key) {
-                Some(&slot) => slot,
-                None => {
-                    let next = index.len();
-                    assert!(
-                        next < self.shards.len(),
-                        "ShardedStore over capacity: {} shards, {} distinct keys",
-                        self.shards.len(),
-                        next + 1,
-                    );
-                    index.insert(key, next);
-                    next
+        self.try_write(key, value).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`ShardedStore::write`], but reports capacity exhaustion as
+    /// [`StoreError::OverCapacity`] instead of panicking.
+    ///
+    /// The routing step is read-mostly: an already-bound key takes only
+    /// the shared side of the index lock; binding a new key takes the
+    /// exclusive side once in the key's lifetime.
+    ///
+    /// # Panics
+    ///
+    /// Still panics if the write does not complete within the operation
+    /// timeout — with at most `t` faults per group that is a wait-freedom
+    /// violation, not a recoverable condition.
+    pub fn try_write(&self, key: K, value: V) -> Result<WriteReport, StoreError> {
+        let slot = self.index.read().map.get(&key).copied();
+        let slot = match slot {
+            Some(slot) => slot,
+            None => {
+                let mut index = self.index.write();
+                // Re-check under the exclusive lock: a racing writer of the
+                // same new key may have bound it between our two lockings.
+                match index.map.get(&key) {
+                    Some(&slot) => slot,
+                    None => {
+                        if index.next_slot >= self.shards.len() {
+                            return Err(StoreError::OverCapacity {
+                                capacity: self.shards.len(),
+                            });
+                        }
+                        let next = index.next_slot;
+                        index.next_slot += 1;
+                        index.map.insert(key, next);
+                        next
+                    }
                 }
             }
         };
@@ -261,7 +364,22 @@ impl<K: Eq + Hash, V: Value> ShardedStore<K, V> {
         let started = Instant::now();
         let report = blocking_write(&self.cluster, shard.group.writer, value);
         record_write(&self.ops, report.rounds, started);
-        report
+        Ok(report)
+    }
+
+    /// Unbinds `key`, retiring its shard slot (the slot is *not* recycled
+    /// — see the capacity contract above). Subsequent reads of `key`
+    /// return `None`; a subsequent write binds a fresh slot. Returns the
+    /// retired slot, or `None` if the key was not bound.
+    ///
+    /// This is the source-side half of a multi-cluster rebalance: the
+    /// router copies the key's latest value into its new cluster first,
+    /// then releases it here.
+    pub fn release(&self, key: &K) -> Option<usize> {
+        let mut index = self.index.write();
+        let slot = index.map.remove(key)?;
+        index.retired += 1;
+        Some(slot)
     }
 
     /// Blocking `READ(key)` at reader index `j` of the key's shard, or
@@ -331,13 +449,21 @@ impl<K: Eq + Hash, V: Value> ShardedStore<K, V> {
     /// with their shard slot (crashed or Byzantine-substituted objects
     /// are skipped; the safe protocol keeps no histories).
     pub fn metrics_snapshot(&self) -> Registry {
+        self.metrics_snapshot_labelled(None)
+    }
+
+    /// [`ShardedStore::metrics_snapshot`] with every history-length gauge
+    /// additionally labelled `cluster="<cluster>"` — used by the
+    /// multi-cluster router so snapshots of its clusters merge without
+    /// colliding on identical `{object, shard}` label sets.
+    pub(crate) fn metrics_snapshot_labelled(&self, cluster: Option<usize>) -> Registry {
         let mut reg = self.ops.lock().clone();
         record_executor_stats(&mut reg, &self.cluster.stats());
         metrics::record_fast_path(&mut reg, &self.fast_path_stats());
         if self.kind != ProtocolKind::Safe {
             for (slot, shard) in self.shards.iter().enumerate() {
                 let lens = try_history_lens(&self.cluster, self.kind, &shard.group);
-                metrics::record_history_lens(&mut reg, Some(slot), &lens);
+                metrics::record_history_lens_at(&mut reg, cluster, Some(slot), &lens);
             }
         }
         reg

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 mod faults;
+mod keys;
 mod monitor;
 mod runner;
 mod schedule;
@@ -33,6 +34,7 @@ pub mod soak;
 mod sweep;
 
 pub use faults::FaultPlan;
+pub use keys::ZipfianKeys;
 pub use monitor::{run_monitored, safe_object_monotonicity, InvariantMonitor, MonitorViolation};
 pub use runner::{
     regular_corruptor, run_schedule, safe_corruptor, Corruptor, LatencyKind, RunOutcome, SimCase,

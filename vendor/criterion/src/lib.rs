@@ -59,12 +59,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// An id from a function name and a parameter value.
     pub fn new<S: Into<String>, P: Display>(function_id: S, parameter: P) -> Self {
-        BenchmarkId { id: format!("{}/{}", function_id.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
     }
 
     /// An id from a parameter alone.
     pub fn from_parameter<P: Display>(parameter: P) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -130,10 +134,16 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) -> &mut Self {
         let id = id.into();
-        let mut b = Bencher { iters: self.samples.max(1), elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters: self.samples.max(1),
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         let per_iter = b.elapsed.as_nanos() / u128::from(b.iters.max(1));
-        println!("{}/{}: {} iters, mean {} ns/iter", self.name, id.id, b.iters, per_iter);
+        println!(
+            "{}/{}: {} iters, mean {} ns/iter",
+            self.name, id.id, b.iters, per_iter
+        );
         record_json(&self.name, &id.id, b.iters, per_iter);
         self
     }
@@ -158,12 +168,19 @@ pub struct Criterion {}
 impl Criterion {
     /// Opens a named benchmark group.
     pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), samples: 10, _parent: self }
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            _parent: self,
+        }
     }
 
     /// Runs a standalone benchmark with default settings.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
-        let mut b = Bencher { iters: 10, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters: 10,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         let per_iter = b.elapsed.as_nanos() / u128::from(b.iters.max(1));
         println!("{}: {} iters, mean {} ns/iter", name, b.iters, per_iter);
@@ -201,7 +218,9 @@ mod tests {
     fn group_times_and_prints() {
         let mut c = Criterion::default();
         let mut group = c.benchmark_group("g");
-        group.sample_size(5).measurement_time(Duration::from_millis(1));
+        group
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(1));
         let mut ran = 0u64;
         group.bench_function(BenchmarkId::new("f", "p"), |b| {
             b.iter(|| ran += 1);

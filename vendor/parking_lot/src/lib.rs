@@ -1,12 +1,13 @@
-//! Offline shim for `parking_lot`: a [`Mutex`] with the poison-free `lock()`
-//! signature, implemented over `std::sync::Mutex` (poisoning is swallowed,
-//! matching parking_lot's semantics of not poisoning on panic).
+//! Offline shim for `parking_lot`: a [`Mutex`] and an [`RwLock`] with the
+//! poison-free `lock()` / `read()` / `write()` signatures, implemented over
+//! their `std::sync` counterparts (poisoning is swallowed, matching
+//! parking_lot's semantics of not poisoning on panic).
 
 #![warn(missing_docs)]
 
 use std::sync;
 
-pub use sync::MutexGuard;
+pub use sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutex whose `lock` returns the guard directly (no `Result`).
 #[derive(Debug, Default)]
@@ -17,7 +18,9 @@ pub struct Mutex<T: ?Sized> {
 impl<T> Mutex<T> {
     /// Wraps a value.
     pub fn new(value: T) -> Self {
-        Mutex { inner: sync::Mutex::new(value) }
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
     }
 
     /// Consumes the mutex, returning the value.
@@ -42,14 +45,69 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// A reader–writer lock whose `read`/`write` return guards directly (no
+/// `Result`): many concurrent readers, one writer — the read-mostly shape
+/// routing tables want.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Wraps a value.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access, blocking the current thread. A panic in
+    /// a writer does not poison the lock.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquires exclusive write access, blocking the current thread.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(e) => e.into_inner(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::Mutex;
+    use super::{Mutex, RwLock};
 
     #[test]
     fn lock_returns_guard_directly() {
         let m = Mutex::new(5);
         *m.lock() += 1;
         assert_eq!(*m.lock(), 6);
+    }
+
+    #[test]
+    fn rwlock_readers_share_and_writer_excludes() {
+        let l = RwLock::new(3);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!((*a, *b), (3, 3));
+        }
+        *l.write() += 1;
+        assert_eq!(*l.read(), 4);
     }
 }

@@ -47,7 +47,10 @@ pub mod test_runner {
     impl ProptestConfig {
         /// A config running `cases` cases, defaults elsewhere.
         pub fn with_cases(cases: u32) -> Self {
-            ProptestConfig { cases, ..Default::default() }
+            ProptestConfig {
+                cases,
+                ..Default::default()
+            }
         }
     }
 
@@ -129,7 +132,9 @@ pub mod strategy {
         where
             Self: Sized + 'static,
         {
-            BoxedStrategy { inner: std::rc::Rc::new(self) }
+            BoxedStrategy {
+                inner: std::rc::Rc::new(self),
+            }
         }
     }
 
@@ -417,7 +422,9 @@ pub mod prelude {
     pub use crate::arbitrary::any;
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Uniformly picks among the listed strategies (all must yield the same
