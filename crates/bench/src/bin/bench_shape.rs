@@ -2,7 +2,8 @@
 //!
 //! Reads the JSON-lines files the vendored criterion shim emits under
 //! `CRITERION_JSON` (`BENCH_rounds.json`, `BENCH_latency.json`,
-//! `BENCH_histsize.json`, `BENCH_throughput.json`, `BENCH_scaleout.json`)
+//! `BENCH_histsize.json`, `BENCH_throughput.json`, `BENCH_scaleout.json`,
+//! `BENCH_net.json`)
 //! and checks the *shape* of the results, never absolute numbers — those
 //! are machine-dependent, but the paper's claims are relational:
 //!
@@ -20,11 +21,13 @@
 //!   count,
 //! - aggregate Zipfian throughput through the multi-cluster router is
 //!   monotonically non-decreasing in cluster count, and the router's
-//!   routing step costs ≤ 15% over direct single-cluster access.
+//!   routing step costs ≤ 15% over direct single-cluster access,
+//! - real sockets only *add* latency over in-process channels, and over
+//!   TCP a two-round read stays commensurate with a two-round write.
 //!
 //! Usage: `bench_shape [rounds.json latency.json histsize.json
-//! throughput.json scaleout.json]`. Exits non-zero listing every violated
-//! relation.
+//! throughput.json scaleout.json net.json]`. Exits non-zero listing every
+//! violated relation.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -133,15 +136,16 @@ fn main() -> ExitCode {
             "BENCH_histsize.json",
             "BENCH_throughput.json",
             "BENCH_scaleout.json",
+            "BENCH_net.json",
         ]
         .iter()
         .map(|s| s.to_string())
         .collect(),
-        files @ [_, _, _] | files @ [_, _, _, _, _] => files.to_vec(),
+        files @ [_, _, _] | files @ [_, _, _, _, _] | files @ [_, _, _, _, _, _] => files.to_vec(),
         _ => {
             eprintln!(
                 "usage: bench_shape [rounds.json latency.json histsize.json \
-                 [throughput.json scaleout.json]]"
+                 [throughput.json scaleout.json [net.json]]]"
             );
             return ExitCode::from(2);
         }
@@ -151,7 +155,8 @@ fn main() -> ExitCode {
     for path in &paths {
         results.extend(load(path));
     }
-    let throughput_loaded = paths.len() == 5;
+    let throughput_loaded = paths.len() >= 5;
+    let net_loaded = paths.len() >= 6;
     let mut c = Checker::new(results);
 
     println!("shape: reads =~ writes (both two round-trips)");
@@ -326,6 +331,34 @@ fn main() -> ExitCode {
             "scaleout/router-overhead/direct/1",
             1.15,
             "hash+atomic routing step is cheap",
+        );
+    }
+
+    if net_loaded {
+        println!("shape: real sockets cost more than channels, boundedly");
+        // The socket transport adds framing, two syscalls and a reactor
+        // hop per message on top of the channel path — it may only add.
+        for op in ["write", "read"] {
+            c.le(
+                &format!("net/{op}/inproc"),
+                &format!("net/{op}/tcp"),
+                1.0,
+                "channel path below the socket path",
+            );
+        }
+        // Over TCP both operations pay the same two round-trips of frame
+        // + socket crossings, so they stay commensurate (noise allowing).
+        c.le(
+            "net/read/tcp",
+            "net/write/tcp",
+            3.0,
+            "2-round TCP read =~ 2-round TCP write",
+        );
+        c.le(
+            "net/write/tcp",
+            "net/read/tcp",
+            3.0,
+            "2-round TCP write =~ 2-round TCP read",
         );
     }
 

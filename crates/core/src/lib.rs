@@ -58,6 +58,7 @@ pub mod safe;
 mod scenario;
 pub mod server_centric;
 mod types;
+pub mod wire;
 mod writer;
 
 pub use config::StorageConfig;

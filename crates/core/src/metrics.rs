@@ -54,6 +54,27 @@ pub mod names {
     /// Wire bytes delivered — counter.
     pub const NET_BYTES_DELIVERED: &str = "vrr_net_bytes_delivered_total";
 
+    /// Frames written to a TCP socket by the wire transport (`vrr-net`) —
+    /// counter.
+    pub const WIRE_FRAMES_SENT: &str = "vrr_net_wire_frames_sent_total";
+    /// Frames decoded off a TCP socket — counter.
+    pub const WIRE_FRAMES_RECEIVED: &str = "vrr_net_wire_frames_received_total";
+    /// Bytes written to TCP sockets (length prefixes included) — counter.
+    pub const WIRE_BYTES_SENT: &str = "vrr_net_wire_bytes_sent_total";
+    /// Bytes read from TCP sockets — counter.
+    pub const WIRE_BYTES_RECEIVED: &str = "vrr_net_wire_bytes_received_total";
+    /// Outbound connections re-established after a drop — counter.
+    pub const WIRE_RECONNECTS: &str = "vrr_net_wire_reconnects_total";
+    /// Frames rejected by the decoder (malformed, oversized, truncated
+    /// stream) — counter.
+    pub const WIRE_DECODE_ERRORS: &str = "vrr_net_wire_decode_errors_total";
+    /// Envelope encode time — histogram, wall-clock microseconds
+    /// (buckets [`LATENCY_BUCKETS`]).
+    pub const WIRE_ENCODE_LATENCY: &str = "vrr_net_wire_encode_latency_us";
+    /// Envelope decode time — histogram, wall-clock microseconds
+    /// (buckets [`LATENCY_BUCKETS`]).
+    pub const WIRE_DECODE_LATENCY: &str = "vrr_net_wire_decode_latency_us";
+
     /// Executor mailbox sweeps (runtime) — counter.
     pub const EXECUTOR_SWEEPS: &str = "vrr_executor_sweeps_total";
     /// Executor worker wakeups — counter.

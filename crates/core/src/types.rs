@@ -160,6 +160,11 @@ impl TsrMatrix {
         self.entries.keys().copied()
     }
 
+    /// All non-`nil` rows in object order (used by the wire codec).
+    pub fn rows(&self) -> impl Iterator<Item = (ObjectIndex, &BTreeMap<ReaderIndex, u64>)> {
+        self.entries.iter().map(|(i, row)| (*i, row))
+    }
+
     /// Number of non-`nil` rows.
     pub fn len(&self) -> usize {
         self.entries.len()

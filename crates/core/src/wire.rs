@@ -1,0 +1,664 @@
+//! Deterministic binary codec for everything `vrr-net` puts on a socket.
+//!
+//! The vendored serde shim is a no-op (its derives expand to nothing), so
+//! the wire encoding is hand-rolled here, next to the types it serializes —
+//! [`TsrMatrix`] and [`History`] keep their fields private and expose just
+//! enough iteration for the codec. The format is fixed and versioned by the
+//! frame envelope in `vrr-net`, not self-describing:
+//!
+//! * integers are little-endian fixed width (`u64` for timestamps and
+//!   indexes, `u32` for collection counts and byte lengths);
+//! * `Option<T>` is a `0`/`1` tag byte followed by the payload;
+//! * maps are a `u32` count followed by key/value pairs in key order
+//!   (`BTreeMap` iteration order, so encoding is deterministic);
+//! * enums are a `u8` tag followed by the variant's fields in declaration
+//!   order.
+//!
+//! Decoding is **total**: any byte slice either decodes or returns a typed
+//! [`WireError`] — malformed input must never panic, overflow, or allocate
+//! proportionally to a forged length field (collection counts are validated
+//! against the bytes actually present before any allocation).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::msg::{Msg, ReadRound};
+use crate::types::{HistEntry, History, Timestamp, TsVal, TsrMatrix, WTuple};
+
+/// A typed decoding failure. Encoding is infallible.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WireError {
+    /// The buffer ended before the value did.
+    Truncated {
+        /// Bytes the decoder needed next.
+        needed: usize,
+        /// Bytes remaining in the buffer.
+        have: usize,
+    },
+    /// An enum or option tag byte had no meaning.
+    BadTag {
+        /// What was being decoded.
+        what: &'static str,
+        /// The offending tag byte.
+        tag: u8,
+    },
+    /// A string's bytes were not valid UTF-8.
+    BadUtf8,
+    /// A length or count field exceeded what the enclosing buffer or frame
+    /// can hold.
+    Oversized {
+        /// The declared length/count.
+        declared: u64,
+        /// The maximum the context permits.
+        limit: u64,
+    },
+    /// A value decoded cleanly but bytes were left over (only raised by
+    /// [`decode_exact`]).
+    Trailing {
+        /// Leftover byte count.
+        extra: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, have } => {
+                write!(f, "truncated: needed {needed} bytes, have {have}")
+            }
+            WireError::BadTag { what, tag } => write!(f, "bad tag {tag:#04x} decoding {what}"),
+            WireError::BadUtf8 => write!(f, "string payload is not valid UTF-8"),
+            WireError::Oversized { declared, limit } => {
+                write!(f, "declared length {declared} exceeds limit {limit}")
+            }
+            WireError::Trailing { extra } => write!(f, "{extra} trailing bytes after value"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Types with a wire encoding.
+///
+/// `decode` consumes from the front of `buf`, advancing the slice; callers
+/// wanting exactly-one-value semantics use [`decode_exact`].
+pub trait Wire: Sized {
+    /// Appends this value's encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Decodes one value off the front of `buf`, advancing it.
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError>;
+
+    /// This value's encoding as a fresh vector.
+    fn to_wire_vec(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+}
+
+/// Decodes one value and requires the buffer to be fully consumed.
+pub fn decode_exact<T: Wire>(mut buf: &[u8]) -> Result<T, WireError> {
+    let v = T::decode(&mut buf)?;
+    if buf.is_empty() {
+        Ok(v)
+    } else {
+        Err(WireError::Trailing { extra: buf.len() })
+    }
+}
+
+fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], WireError> {
+    if buf.len() < n {
+        return Err(WireError::Truncated {
+            needed: n,
+            have: buf.len(),
+        });
+    }
+    let (head, tail) = buf.split_at(n);
+    *buf = tail;
+    Ok(head)
+}
+
+/// Reads a `u32` count and validates it against the bytes remaining, given
+/// a conservative minimum encoded size per element. This caps attacker-
+/// declared counts at what the buffer could possibly hold, so decoding
+/// never allocates or loops beyond the input's actual size.
+fn take_count(buf: &mut &[u8], min_elem_size: usize) -> Result<usize, WireError> {
+    let n = u32::decode(buf)? as usize;
+    let cap = buf.len() / min_elem_size.max(1);
+    if n > cap {
+        return Err(WireError::Oversized {
+            declared: n as u64,
+            limit: cap as u64,
+        });
+    }
+    Ok(n)
+}
+
+impl Wire for u8 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(take(buf, 1)?[0])
+    }
+}
+
+impl Wire for u32 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(u32::from_le_bytes(take(buf, 4)?.try_into().unwrap()))
+    }
+}
+
+impl Wire for u64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(u64::from_le_bytes(take(buf, 8)?.try_into().unwrap()))
+    }
+}
+
+impl Wire for i64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(i64::from_le_bytes(take(buf, 8)?.try_into().unwrap()))
+    }
+}
+
+impl Wire for usize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let v = u64::decode(buf)?;
+        usize::try_from(v).map_err(|_| WireError::Oversized {
+            declared: v,
+            limit: usize::MAX as u64,
+        })
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(WireError::BadTag { what: "bool", tag }),
+        }
+    }
+}
+
+impl Wire for () {
+    fn encode(&self, _out: &mut Vec<u8>) {}
+    fn decode(_buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(())
+    }
+}
+
+impl Wire for Vec<u8> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        out.extend_from_slice(self);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let n = take_count(buf, 1)?;
+        Ok(take(buf, n)?.to_vec())
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let bytes = Vec::<u8>::decode(buf)?;
+        String::from_utf8(bytes).map_err(|_| WireError::BadUtf8)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(buf)?)),
+            tag => Err(WireError::BadTag {
+                what: "Option",
+                tag,
+            }),
+        }
+    }
+}
+
+impl<K: Wire + Ord, V2: Wire> Wire for BTreeMap<K, V2> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        for (k, v) in self {
+            k.encode(out);
+            v.encode(out);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let n = take_count(buf, 1)?;
+        let mut map = BTreeMap::new();
+        for _ in 0..n {
+            let k = K::decode(buf)?;
+            let v = V2::decode(buf)?;
+            map.insert(k, v);
+        }
+        Ok(map)
+    }
+}
+
+impl Wire for Timestamp {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(Timestamp(u64::decode(buf)?))
+    }
+}
+
+impl<V: Wire> Wire for TsVal<V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.ts.encode(out);
+        self.value.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(TsVal {
+            ts: Timestamp::decode(buf)?,
+            value: Option::<V>::decode(buf)?,
+        })
+    }
+}
+
+impl Wire for TsrMatrix {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        for (i, row) in self.rows() {
+            i.encode(out);
+            row.encode(out);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        // Each row costs at least 12 bytes (u64 index + u32 count).
+        let n = take_count(buf, 12)?;
+        let mut m = TsrMatrix::empty();
+        for _ in 0..n {
+            let i = usize::decode(buf)?;
+            let row = BTreeMap::<usize, u64>::decode(buf)?;
+            m.set_row(i, row);
+        }
+        Ok(m)
+    }
+}
+
+impl<V: Wire> Wire for WTuple<V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.tsval.encode(out);
+        self.tsrarray.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(WTuple {
+            tsval: TsVal::decode(buf)?,
+            tsrarray: TsrMatrix::decode(buf)?,
+        })
+    }
+}
+
+impl<V: Wire> Wire for HistEntry<V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.pw.encode(out);
+        self.w.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(HistEntry {
+            pw: TsVal::decode(buf)?,
+            w: Option::<WTuple<V>>::decode(buf)?,
+        })
+    }
+}
+
+impl<V: Wire> Wire for History<V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        for (ts, entry) in self.iter() {
+            ts.encode(out);
+            entry.encode(out);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        // Each entry costs at least 18 bytes (ts + pw + two option tags).
+        let n = take_count(buf, 18)?;
+        let mut h = History::empty();
+        for _ in 0..n {
+            let ts = Timestamp::decode(buf)?;
+            let entry = HistEntry::decode(buf)?;
+            h.insert(ts, entry);
+        }
+        Ok(h)
+    }
+}
+
+impl Wire for ReadRound {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(self.number() as u8);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            1 => Ok(ReadRound::R1),
+            2 => Ok(ReadRound::R2),
+            tag => Err(WireError::BadTag {
+                what: "ReadRound",
+                tag,
+            }),
+        }
+    }
+}
+
+impl<V: Wire> Wire for Msg<V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Msg::Pw { ts, pw, w } => {
+                out.push(0);
+                ts.encode(out);
+                pw.encode(out);
+                w.encode(out);
+            }
+            Msg::PwAck { ts, tsr } => {
+                out.push(1);
+                ts.encode(out);
+                tsr.encode(out);
+            }
+            Msg::W { ts, pw, w } => {
+                out.push(2);
+                ts.encode(out);
+                pw.encode(out);
+                w.encode(out);
+            }
+            Msg::WAck { ts } => {
+                out.push(3);
+                ts.encode(out);
+            }
+            Msg::Read {
+                round,
+                reader,
+                tsr,
+                since,
+                ack,
+            } => {
+                out.push(4);
+                round.encode(out);
+                reader.encode(out);
+                tsr.encode(out);
+                since.encode(out);
+                ack.encode(out);
+            }
+            Msg::ReadAckSafe { round, tsr, pw, w } => {
+                out.push(5);
+                round.encode(out);
+                tsr.encode(out);
+                pw.encode(out);
+                w.encode(out);
+            }
+            Msg::ReadAckRegular {
+                round,
+                tsr,
+                history,
+            } => {
+                out.push(6);
+                round.encode(out);
+                tsr.encode(out);
+                history.encode(out);
+            }
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(Msg::Pw {
+                ts: Timestamp::decode(buf)?,
+                pw: TsVal::decode(buf)?,
+                w: WTuple::decode(buf)?,
+            }),
+            1 => Ok(Msg::PwAck {
+                ts: Timestamp::decode(buf)?,
+                tsr: BTreeMap::decode(buf)?,
+            }),
+            2 => Ok(Msg::W {
+                ts: Timestamp::decode(buf)?,
+                pw: TsVal::decode(buf)?,
+                w: WTuple::decode(buf)?,
+            }),
+            3 => Ok(Msg::WAck {
+                ts: Timestamp::decode(buf)?,
+            }),
+            4 => Ok(Msg::Read {
+                round: ReadRound::decode(buf)?,
+                reader: usize::decode(buf)?,
+                tsr: u64::decode(buf)?,
+                since: Option::decode(buf)?,
+                ack: Timestamp::decode(buf)?,
+            }),
+            5 => Ok(Msg::ReadAckSafe {
+                round: ReadRound::decode(buf)?,
+                tsr: u64::decode(buf)?,
+                pw: TsVal::decode(buf)?,
+                w: WTuple::decode(buf)?,
+            }),
+            6 => Ok(Msg::ReadAckRegular {
+                round: ReadRound::decode(buf)?,
+                tsr: u64::decode(buf)?,
+                history: History::decode(buf)?,
+            }),
+            tag => Err(WireError::BadTag { what: "Msg", tag }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + fmt::Debug>(v: &T) {
+        let bytes = v.to_wire_vec();
+        let back: T = decode_exact(&bytes).expect("decode");
+        assert_eq!(&back, v);
+        // Re-encoding is byte-identical (determinism).
+        assert_eq!(back.to_wire_vec(), bytes);
+    }
+
+    fn sample_matrix() -> TsrMatrix {
+        let mut m = TsrMatrix::empty();
+        m.set_row(0, BTreeMap::from([(0, 3), (1, 9)]));
+        m.set_row(2, BTreeMap::new());
+        m
+    }
+
+    fn sample_history() -> History<u64> {
+        let mut h = History::initial();
+        h.insert(
+            Timestamp(1),
+            HistEntry {
+                pw: TsVal::new(Timestamp(1), 11),
+                w: Some(WTuple::new(TsVal::new(Timestamp(1), 11), sample_matrix())),
+            },
+        );
+        h.insert(
+            Timestamp(2),
+            HistEntry {
+                pw: TsVal::new(Timestamp(2), 22),
+                w: None,
+            },
+        );
+        h
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(&0u8);
+        roundtrip(&u32::MAX);
+        roundtrip(&u64::MAX);
+        roundtrip(&(-5i64));
+        roundtrip(&true);
+        roundtrip(&());
+        roundtrip(&String::from("héllo ⊥"));
+        roundtrip(&vec![0u8, 255, 1]);
+        roundtrip(&Some(7u64));
+        roundtrip(&Option::<u64>::None);
+        roundtrip(&BTreeMap::from([(1usize, 2u64), (3, 4)]));
+    }
+
+    #[test]
+    fn core_types_roundtrip() {
+        roundtrip(&Timestamp(u64::MAX));
+        roundtrip(&TsVal::<u64>::bottom());
+        roundtrip(&TsVal::new(Timestamp(3), vec![1u8, 2, 3]));
+        roundtrip(&sample_matrix());
+        roundtrip(&WTuple::new(
+            TsVal::new(Timestamp(7), 9u64),
+            sample_matrix(),
+        ));
+        roundtrip(&sample_history());
+    }
+
+    #[test]
+    fn all_msg_variants_roundtrip() {
+        let msgs: Vec<Msg<u64>> = vec![
+            Msg::Pw {
+                ts: Timestamp(1),
+                pw: TsVal::new(Timestamp(1), 5),
+                w: WTuple::initial(),
+            },
+            Msg::PwAck {
+                ts: Timestamp(1),
+                tsr: BTreeMap::from([(0, 1), (1, 0)]),
+            },
+            Msg::W {
+                ts: Timestamp(1),
+                pw: TsVal::new(Timestamp(1), 5),
+                w: WTuple::new(TsVal::new(Timestamp(1), 5), sample_matrix()),
+            },
+            Msg::WAck { ts: Timestamp(1) },
+            Msg::Read {
+                round: ReadRound::R1,
+                reader: 2,
+                tsr: 7,
+                since: Some(Timestamp(4)),
+                ack: Timestamp(3),
+            },
+            Msg::ReadAckSafe {
+                round: ReadRound::R2,
+                tsr: 7,
+                pw: TsVal::new(Timestamp(1), 5),
+                w: WTuple::initial(),
+            },
+            Msg::ReadAckRegular {
+                round: ReadRound::R1,
+                tsr: 7,
+                history: sample_history(),
+            },
+        ];
+        for m in &msgs {
+            roundtrip(m);
+        }
+    }
+
+    #[test]
+    fn truncation_is_typed_not_panic() {
+        let full = Msg::<u64>::ReadAckRegular {
+            round: ReadRound::R1,
+            tsr: 7,
+            history: sample_history(),
+        }
+        .to_wire_vec();
+        for cut in 0..full.len() {
+            let err = decode_exact::<Msg<u64>>(&full[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    WireError::Truncated { .. } | WireError::Oversized { .. }
+                ),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_tags_are_typed() {
+        assert_eq!(
+            decode_exact::<Msg<u64>>(&[99]).unwrap_err(),
+            WireError::BadTag {
+                what: "Msg",
+                tag: 99
+            }
+        );
+        assert_eq!(
+            decode_exact::<bool>(&[2]).unwrap_err(),
+            WireError::BadTag {
+                what: "bool",
+                tag: 2
+            }
+        );
+        let mut read = Msg::<u64>::WAck { ts: Timestamp(1) }.to_wire_vec();
+        read[0] = 4; // retag as Read: the round byte (0x01 of ts) is valid R1,
+                     // but the remaining 7 bytes cannot hold reader+tsr+...
+        assert!(matches!(
+            decode_exact::<Msg<u64>>(&read).unwrap_err(),
+            WireError::Truncated { .. }
+        ));
+    }
+
+    #[test]
+    fn forged_count_cannot_force_allocation() {
+        // A PwAck declaring u32::MAX map entries with an empty payload must
+        // be rejected by the count-vs-remaining check, not attempted.
+        let mut bytes = Vec::new();
+        bytes.push(1u8); // PwAck tag
+        Timestamp(1).encode(&mut bytes);
+        u32::MAX.encode(&mut bytes); // forged count, no entries follow
+        assert!(matches!(
+            decode_exact::<Msg<u64>>(&bytes).unwrap_err(),
+            WireError::Oversized { .. }
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = Msg::<u64>::WAck { ts: Timestamp(1) }.to_wire_vec();
+        bytes.push(0);
+        assert_eq!(
+            decode_exact::<Msg<u64>>(&bytes).unwrap_err(),
+            WireError::Trailing { extra: 1 }
+        );
+    }
+
+    #[test]
+    fn non_utf8_string_is_typed() {
+        let mut bytes = Vec::new();
+        2u32.encode(&mut bytes);
+        bytes.extend_from_slice(&[0xff, 0xfe]);
+        assert_eq!(
+            decode_exact::<String>(&bytes).unwrap_err(),
+            WireError::BadUtf8
+        );
+    }
+}

@@ -1,0 +1,321 @@
+//! The blocking thin client: a plain `std::net::TcpStream` speaking the
+//! [`crate::frame`] protocol, no reactor involved.
+//!
+//! A [`NetClient`] holds one connection to one server and issues
+//! request/response pairs ([`Op`] → [`Rsp`]) with correlation ids.
+//! [`NetStore`] layers `ShardedStore`-style key→slot binding on top: one
+//! write client at the writer-hosting node plus read clients at
+//! reader-hosting nodes, with keys bound to register slots on first write.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+use std::io::{self, Read, Write as IoWrite};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use vrr_core::wire::Wire;
+use vrr_core::{History, ReadReport, WriteReport};
+
+use crate::frame::{
+    encode_frame, Ctl, Envelope, FrameError, FrameReader, Op, Payload, Rsp, CLIENT_NODE,
+};
+
+/// How long a client waits for one response before giving up. Matches the
+/// server-side blocking-operation timeout with headroom.
+const REQUEST_TIMEOUT: Duration = Duration::from_secs(40);
+
+/// A thin-client failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The server's byte stream could not be framed or decoded.
+    Frame(FrameError),
+    /// The server answered [`Rsp::Err`].
+    Server(String),
+    /// No response arrived within the request timeout.
+    Timeout,
+    /// The response variant did not match the request.
+    Unexpected(&'static str),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Frame(e) => write!(f, "frame: {e}"),
+            ClientError::Server(what) => write!(f, "server error: {what}"),
+            ClientError::Timeout => write!(f, "request timed out"),
+            ClientError::Unexpected(what) => write!(f, "unexpected response: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+/// One blocking connection to one `vrr-net` server.
+pub struct NetClient<V> {
+    stream: TcpStream,
+    reader: FrameReader,
+    next_id: u64,
+    seq: u64,
+    _marker: std::marker::PhantomData<fn() -> V>,
+}
+
+impl<V: Wire> NetClient<V> {
+    /// Connects and sends the client `Hello`.
+    pub fn connect(addr: SocketAddr) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2))?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+        let mut client = NetClient {
+            stream,
+            reader: FrameReader::new(),
+            next_id: 1,
+            seq: 0,
+            _marker: std::marker::PhantomData,
+        };
+        client.send(Payload::Ctl(Ctl::Hello {
+            node: CLIENT_NODE,
+            epoch: 0,
+        }))?;
+        Ok(client)
+    }
+
+    fn send(&mut self, payload: Payload<V>) -> Result<(), ClientError> {
+        let env = Envelope {
+            source: CLIENT_NODE,
+            epoch: 0,
+            seq: self.seq,
+            payload,
+        };
+        self.seq += 1;
+        self.stream.write_all(&encode_frame(&env))?;
+        Ok(())
+    }
+
+    /// Sends `op` and blocks until the matching response arrives. Server
+    /// `Hello`s and unrelated envelopes on the stream are skipped.
+    pub fn request(&mut self, op: Op<V>) -> Result<Rsp<V>, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.send(Payload::Ctl(Ctl::Request { id, op }))?;
+        let deadline = Instant::now() + REQUEST_TIMEOUT;
+        let mut buf = [0u8; 64 * 1024];
+        loop {
+            // Drain complete frames already buffered before reading more.
+            while let Some(body) = self.reader.next_frame()? {
+                let env: Envelope<V> = crate::frame::decode_body(&body)?;
+                if let Payload::Ctl(Ctl::Response { id: rid, rsp }) = env.payload {
+                    if rid == id {
+                        return Ok(rsp);
+                    }
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(ClientError::Timeout);
+            }
+            match self.stream.read(&mut buf) {
+                Ok(0) => return Err(ClientError::Io(io::ErrorKind::UnexpectedEof.into())),
+                Ok(n) => self.reader.extend(&buf[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut => {}
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(ClientError::Io(e)),
+            }
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.request(Op::Ping)? {
+            Rsp::Pong => Ok(()),
+            Rsp::Err { what } => Err(ClientError::Server(what)),
+            _ => Err(ClientError::Unexpected("wanted Pong")),
+        }
+    }
+
+    /// Blocking `WRITE(value)` on register slot `slot`.
+    pub fn write_slot(&mut self, slot: u32, value: V) -> Result<WriteReport, ClientError> {
+        match self.request(Op::WriteSlot { slot, value })? {
+            Rsp::Wrote { ts, rounds } => Ok(WriteReport { ts, rounds }),
+            Rsp::Err { what } => Err(ClientError::Server(what)),
+            _ => Err(ClientError::Unexpected("wanted Wrote")),
+        }
+    }
+
+    /// Blocking `READ()` at reader `reader` of slot `slot`.
+    pub fn read_slot(&mut self, slot: u32, reader: u32) -> Result<ReadReport<V>, ClientError> {
+        match self.request(Op::ReadSlot { slot, reader })? {
+            Rsp::ReadOk {
+                value,
+                ts,
+                rounds,
+                fast,
+            } => Ok(ReadReport {
+                value,
+                ts,
+                rounds,
+                fast,
+            }),
+            Rsp::Err { what } => Err(ClientError::Server(what)),
+            _ => Err(ClientError::Unexpected("wanted ReadOk")),
+        }
+    }
+
+    /// Fetches the server's metrics snapshot (Prometheus text encoding).
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        match self.request(Op::Metrics)? {
+            Rsp::MetricsText { text } => Ok(text),
+            Rsp::Err { what } => Err(ClientError::Server(what)),
+            _ => Err(ClientError::Unexpected("wanted MetricsText")),
+        }
+    }
+
+    /// Crashes a server-hosted global pid (fault injection).
+    pub fn crash_pid(&mut self, pid: u64) -> Result<(), ClientError> {
+        match self.request(Op::CrashPid { pid })? {
+            Rsp::Crashed => Ok(()),
+            Rsp::Err { what } => Err(ClientError::Server(what)),
+            _ => Err(ClientError::Unexpected("wanted Crashed")),
+        }
+    }
+
+    /// Asks the server to close every connection it holds to peer `node`
+    /// (fault injection: connection reset mid-protocol).
+    pub fn reset_peer(&mut self, node: u32) -> Result<u32, ClientError> {
+        match self.request(Op::ResetPeer { node })? {
+            Rsp::PeerReset { closed } => Ok(closed),
+            Rsp::Err { what } => Err(ClientError::Server(what)),
+            _ => Err(ClientError::Unexpected("wanted PeerReset")),
+        }
+    }
+
+    /// Round-trips a protocol history through the server (the trace
+    /// serialization probe: the history crosses the wire both ways).
+    pub fn echo_history(&mut self, history: History<V>) -> Result<History<V>, ClientError> {
+        match self.request(Op::EchoHistory { history })? {
+            Rsp::History { history } => Ok(history),
+            Rsp::Err { what } => Err(ClientError::Server(what)),
+            _ => Err(ClientError::Unexpected("wanted History")),
+        }
+    }
+
+    /// Asks the server process to exit.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        match self.request(Op::Shutdown)? {
+            Rsp::ShuttingDown => Ok(()),
+            Rsp::Err { what } => Err(ClientError::Server(what)),
+            _ => Err(ClientError::Unexpected("wanted ShuttingDown")),
+        }
+    }
+}
+
+/// A key-value store error at the client.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Every register slot is already bound to some other key.
+    OverCapacity {
+        /// Slots available in the deployment.
+        capacity: u32,
+    },
+    /// Reading a key never written (no slot bound).
+    UnknownKey,
+    /// The underlying request failed.
+    Client(ClientError),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::OverCapacity { capacity } => {
+                write!(f, "all {capacity} register slots bound")
+            }
+            StoreError::UnknownKey => write!(f, "key was never written"),
+            StoreError::Client(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<ClientError> for StoreError {
+    fn from(e: ClientError) -> Self {
+        StoreError::Client(e)
+    }
+}
+
+/// `ShardedStore`'s key→slot discipline over the thin client: key `k` is
+/// bound to the next free register slot on first `put`, and every later
+/// `put`/`get` of `k` uses that slot. One writer connection (to the node
+/// hosting the writers) and any number of reader connections.
+pub struct NetStore<K, V> {
+    writer: NetClient<V>,
+    readers: Vec<NetClient<V>>,
+    slots: HashMap<K, u32>,
+    capacity: u32,
+}
+
+impl<K: Hash + Eq + Clone, V: Wire + Clone> NetStore<K, V> {
+    /// Connects the writer client to `writer_addr` and one reader client
+    /// per entry of `reader_addrs` (index = reader index in the group).
+    /// `capacity` is the deployment's slot count.
+    pub fn connect(
+        writer_addr: SocketAddr,
+        reader_addrs: &[SocketAddr],
+        capacity: u32,
+    ) -> Result<Self, ClientError> {
+        Ok(NetStore {
+            writer: NetClient::connect(writer_addr)?,
+            readers: reader_addrs
+                .iter()
+                .map(|&a| NetClient::connect(a))
+                .collect::<Result<_, _>>()?,
+            slots: HashMap::new(),
+            capacity,
+        })
+    }
+
+    /// The slot a key is bound to, if any.
+    pub fn slot_of(&self, key: &K) -> Option<u32> {
+        self.slots.get(key).copied()
+    }
+
+    /// Writes `value` under `key`, binding a slot on first use.
+    pub fn put(&mut self, key: K, value: V) -> Result<WriteReport, StoreError> {
+        let slot = match self.slots.get(&key) {
+            Some(&s) => s,
+            None => {
+                let next = self.slots.len() as u32;
+                if next >= self.capacity {
+                    return Err(StoreError::OverCapacity {
+                        capacity: self.capacity,
+                    });
+                }
+                self.slots.insert(key, next);
+                next
+            }
+        };
+        Ok(self.writer.write_slot(slot, value)?)
+    }
+
+    /// Reads `key` at reader `reader` (an index into the reader clients).
+    pub fn get(&mut self, key: &K, reader: usize) -> Result<ReadReport<V>, StoreError> {
+        let slot = *self.slots.get(key).ok_or(StoreError::UnknownKey)?;
+        Ok(self.readers[reader].read_slot(slot, reader as u32)?)
+    }
+}

@@ -1,0 +1,582 @@
+//! The wire protocol: envelopes, the thin client protocol, and
+//! length-prefixed framing.
+//!
+//! Every TCP segment stream is a sequence of *frames*: a `u32`
+//! little-endian length prefix followed by exactly that many body bytes.
+//! A frame body is one [`Envelope`] in the [`vrr_core::wire`] encoding.
+//! Envelopes carry either a relayed protocol message ([`Payload::Peer`])
+//! or a control message of the thin client protocol ([`Payload::Ctl`]).
+//!
+//! Decoding is defensive end to end: a declared length above
+//! [`MAX_FRAME_LEN`] is rejected before any allocation, truncated prefixes
+//! and bodies wait for more bytes (frames may arrive split across reads),
+//! and garbage bodies surface as typed [`FrameError`]s — the reactor
+//! closes the offending connection and keeps running.
+
+use std::fmt;
+
+use vrr_core::wire::{decode_exact, Wire, WireError};
+use vrr_core::{History, Msg, Timestamp};
+
+/// Hard upper bound on a frame body. Regular-protocol histories dominate
+/// real frame sizes and stay far below this; anything larger is a corrupt
+/// or hostile length prefix.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// A framing/decoding failure on one connection.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FrameError {
+    /// The length prefix declared a body above [`MAX_FRAME_LEN`].
+    Oversized {
+        /// The declared body length.
+        declared: u64,
+    },
+    /// The frame body did not decode as the expected type.
+    Decode(WireError),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Oversized { declared } => {
+                write!(f, "frame length {declared} exceeds cap {MAX_FRAME_LEN}")
+            }
+            FrameError::Decode(e) => write!(f, "frame body: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<WireError> for FrameError {
+    fn from(e: WireError) -> Self {
+        FrameError::Decode(e)
+    }
+}
+
+/// One framed unit on the wire.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Envelope<V> {
+    /// Sending node id (index into the topology's address list).
+    pub source: u32,
+    /// Sender incarnation; a restarted process announces a higher epoch.
+    pub epoch: u32,
+    /// Per-sender frame counter.
+    pub seq: u64,
+    /// What the frame carries.
+    pub payload: Payload<V>,
+}
+
+/// An envelope's content.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Payload<V> {
+    /// A protocol message relayed between automata in different OS
+    /// processes: deliver `msg` to global pid `to` as if sent by `from`.
+    Peer {
+        /// Global pid of the sending automaton.
+        from: u64,
+        /// Global pid of the destination automaton.
+        to: u64,
+        /// The protocol message.
+        msg: Msg<V>,
+    },
+    /// A thin-client-protocol message.
+    Ctl(Ctl<V>),
+}
+
+/// The thin client protocol: handshakes plus request/response pairs.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Ctl<V> {
+    /// Peer handshake: sent once per connection by each side.
+    Hello {
+        /// The sender's node id, or [`CLIENT_NODE`] for thin clients.
+        node: u32,
+        /// The sender's incarnation.
+        epoch: u32,
+    },
+    /// A client request; the server answers with the same `id`.
+    Request {
+        /// Client-chosen correlation id.
+        id: u64,
+        /// The operation.
+        op: Op<V>,
+    },
+    /// A server response.
+    Response {
+        /// Echo of the request's correlation id.
+        id: u64,
+        /// The outcome.
+        rsp: Rsp<V>,
+    },
+}
+
+/// The node id thin clients announce in their [`Ctl::Hello`] — outside the
+/// topology's range, so servers never route protocol traffic at a client.
+pub const CLIENT_NODE: u32 = u32::MAX;
+
+/// Client-protocol operations.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Op<V> {
+    /// Liveness probe.
+    Ping,
+    /// Blocking `WRITE(value)` on the register group of `slot`. The target
+    /// node must host that group's writer.
+    WriteSlot {
+        /// Register-group index.
+        slot: u32,
+        /// The value to write.
+        value: V,
+    },
+    /// Blocking `READ()` at reader `reader` of `slot`'s group. The target
+    /// node must host that reader.
+    ReadSlot {
+        /// Register-group index.
+        slot: u32,
+        /// Reader index within the group.
+        reader: u32,
+    },
+    /// Crash the automaton at a global pid hosted by the target node
+    /// (fault injection).
+    CrashPid {
+        /// Global pid to crash.
+        pid: u64,
+    },
+    /// Fetch the node's metrics snapshot in the Prometheus text encoding.
+    Metrics,
+    /// Close every connection the target node holds to peer `node`
+    /// (fault injection: a connection reset; undelivered frames are lost).
+    ResetPeer {
+        /// Peer node id.
+        node: u32,
+    },
+    /// Echo a protocol history back — the trace-serialization round-trip
+    /// probe: the history literally crosses the wire twice.
+    EchoHistory {
+        /// The history to echo.
+        history: History<V>,
+    },
+    /// Ask the server process to exit cleanly.
+    Shutdown,
+}
+
+/// Client-protocol responses.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Rsp<V> {
+    /// Answer to [`Op::Ping`].
+    Pong,
+    /// Answer to [`Op::WriteSlot`].
+    Wrote {
+        /// Timestamp the write got.
+        ts: Timestamp,
+        /// Round-trips used.
+        rounds: u32,
+    },
+    /// Answer to [`Op::ReadSlot`].
+    ReadOk {
+        /// The value read (`None` = the initial value `⊥`).
+        value: Option<V>,
+        /// Timestamp of the returned value.
+        ts: Timestamp,
+        /// Round-trips used.
+        rounds: u32,
+        /// Whether the one-round fast path completed the read.
+        fast: bool,
+    },
+    /// Answer to [`Op::CrashPid`].
+    Crashed,
+    /// Answer to [`Op::Metrics`].
+    MetricsText {
+        /// The snapshot in Prometheus text encoding.
+        text: String,
+    },
+    /// Answer to [`Op::ResetPeer`].
+    PeerReset {
+        /// How many connections were closed.
+        closed: u32,
+    },
+    /// Answer to [`Op::EchoHistory`].
+    History {
+        /// The echoed history.
+        history: History<V>,
+    },
+    /// Answer to [`Op::Shutdown`]; the process exits after sending it.
+    ShuttingDown,
+    /// The request could not be served (wrong node, unknown slot, crashed
+    /// target, …).
+    Err {
+        /// Human-readable reason.
+        what: String,
+    },
+}
+
+impl<V: Wire> Wire for Envelope<V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.source.encode(out);
+        self.epoch.encode(out);
+        self.seq.encode(out);
+        self.payload.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(Envelope {
+            source: u32::decode(buf)?,
+            epoch: u32::decode(buf)?,
+            seq: u64::decode(buf)?,
+            payload: Payload::decode(buf)?,
+        })
+    }
+}
+
+impl<V: Wire> Wire for Payload<V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Payload::Peer { from, to, msg } => {
+                out.push(0);
+                from.encode(out);
+                to.encode(out);
+                msg.encode(out);
+            }
+            Payload::Ctl(ctl) => {
+                out.push(1);
+                ctl.encode(out);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(Payload::Peer {
+                from: u64::decode(buf)?,
+                to: u64::decode(buf)?,
+                msg: Msg::decode(buf)?,
+            }),
+            1 => Ok(Payload::Ctl(Ctl::decode(buf)?)),
+            tag => Err(WireError::BadTag {
+                what: "Payload",
+                tag,
+            }),
+        }
+    }
+}
+
+impl<V: Wire> Wire for Ctl<V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Ctl::Hello { node, epoch } => {
+                out.push(0);
+                node.encode(out);
+                epoch.encode(out);
+            }
+            Ctl::Request { id, op } => {
+                out.push(1);
+                id.encode(out);
+                op.encode(out);
+            }
+            Ctl::Response { id, rsp } => {
+                out.push(2);
+                id.encode(out);
+                rsp.encode(out);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(Ctl::Hello {
+                node: u32::decode(buf)?,
+                epoch: u32::decode(buf)?,
+            }),
+            1 => Ok(Ctl::Request {
+                id: u64::decode(buf)?,
+                op: Op::decode(buf)?,
+            }),
+            2 => Ok(Ctl::Response {
+                id: u64::decode(buf)?,
+                rsp: Rsp::decode(buf)?,
+            }),
+            tag => Err(WireError::BadTag { what: "Ctl", tag }),
+        }
+    }
+}
+
+impl<V: Wire> Wire for Op<V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Op::Ping => out.push(0),
+            Op::WriteSlot { slot, value } => {
+                out.push(1);
+                slot.encode(out);
+                value.encode(out);
+            }
+            Op::ReadSlot { slot, reader } => {
+                out.push(2);
+                slot.encode(out);
+                reader.encode(out);
+            }
+            Op::CrashPid { pid } => {
+                out.push(3);
+                pid.encode(out);
+            }
+            Op::Metrics => out.push(4),
+            Op::ResetPeer { node } => {
+                out.push(5);
+                node.encode(out);
+            }
+            Op::EchoHistory { history } => {
+                out.push(6);
+                history.encode(out);
+            }
+            Op::Shutdown => out.push(7),
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(Op::Ping),
+            1 => Ok(Op::WriteSlot {
+                slot: u32::decode(buf)?,
+                value: V::decode(buf)?,
+            }),
+            2 => Ok(Op::ReadSlot {
+                slot: u32::decode(buf)?,
+                reader: u32::decode(buf)?,
+            }),
+            3 => Ok(Op::CrashPid {
+                pid: u64::decode(buf)?,
+            }),
+            4 => Ok(Op::Metrics),
+            5 => Ok(Op::ResetPeer {
+                node: u32::decode(buf)?,
+            }),
+            6 => Ok(Op::EchoHistory {
+                history: History::decode(buf)?,
+            }),
+            7 => Ok(Op::Shutdown),
+            tag => Err(WireError::BadTag { what: "Op", tag }),
+        }
+    }
+}
+
+impl<V: Wire> Wire for Rsp<V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Rsp::Pong => out.push(0),
+            Rsp::Wrote { ts, rounds } => {
+                out.push(1);
+                ts.encode(out);
+                rounds.encode(out);
+            }
+            Rsp::ReadOk {
+                value,
+                ts,
+                rounds,
+                fast,
+            } => {
+                out.push(2);
+                value.encode(out);
+                ts.encode(out);
+                rounds.encode(out);
+                fast.encode(out);
+            }
+            Rsp::Crashed => out.push(3),
+            Rsp::MetricsText { text } => {
+                out.push(4);
+                text.encode(out);
+            }
+            Rsp::PeerReset { closed } => {
+                out.push(5);
+                closed.encode(out);
+            }
+            Rsp::History { history } => {
+                out.push(6);
+                history.encode(out);
+            }
+            Rsp::ShuttingDown => out.push(7),
+            Rsp::Err { what } => {
+                out.push(8);
+                what.encode(out);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(Rsp::Pong),
+            1 => Ok(Rsp::Wrote {
+                ts: Timestamp::decode(buf)?,
+                rounds: u32::decode(buf)?,
+            }),
+            2 => Ok(Rsp::ReadOk {
+                value: Option::decode(buf)?,
+                ts: Timestamp::decode(buf)?,
+                rounds: u32::decode(buf)?,
+                fast: bool::decode(buf)?,
+            }),
+            3 => Ok(Rsp::Crashed),
+            4 => Ok(Rsp::MetricsText {
+                text: String::decode(buf)?,
+            }),
+            5 => Ok(Rsp::PeerReset {
+                closed: u32::decode(buf)?,
+            }),
+            6 => Ok(Rsp::History {
+                history: History::decode(buf)?,
+            }),
+            7 => Ok(Rsp::ShuttingDown),
+            8 => Ok(Rsp::Err {
+                what: String::decode(buf)?,
+            }),
+            tag => Err(WireError::BadTag { what: "Rsp", tag }),
+        }
+    }
+}
+
+/// Encodes `env` as one frame: length prefix + body.
+pub fn encode_frame<V: Wire>(env: &Envelope<V>) -> Vec<u8> {
+    let mut out = vec![0u8; 4];
+    env.encode(&mut out);
+    let body_len = (out.len() - 4) as u32;
+    out[..4].copy_from_slice(&body_len.to_le_bytes());
+    out
+}
+
+/// Decodes one frame *body* (the bytes after the length prefix) as an
+/// envelope, requiring full consumption.
+pub fn decode_body<V: Wire>(body: &[u8]) -> Result<Envelope<V>, FrameError> {
+    Ok(decode_exact(body)?)
+}
+
+/// An incremental frame extractor: feed it bytes in whatever chunks the
+/// socket produces, pop complete frame bodies out. Tolerates frames split
+/// across arbitrarily many reads and multiple frames per read.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted once it outgrows the live tail.
+    pos: usize,
+}
+
+impl FrameReader {
+    /// An empty reader.
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// Appends raw bytes from the socket.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        if self.pos > 0 && self.pos >= self.buf.len().saturating_sub(self.pos) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet returned as a frame.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Pops the next complete frame body, `Ok(None)` if more bytes are
+    /// needed, or [`FrameError::Oversized`] on a hostile length prefix
+    /// (the connection must then be torn down — the stream cannot be
+    /// resynchronized).
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let declared = u32::from_le_bytes(avail[..4].try_into().unwrap()) as usize;
+        if declared > MAX_FRAME_LEN {
+            return Err(FrameError::Oversized {
+                declared: declared as u64,
+            });
+        }
+        if avail.len() < 4 + declared {
+            return Ok(None);
+        }
+        let body = avail[4..4 + declared].to_vec();
+        self.pos += 4 + declared;
+        Ok(Some(body))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ping_frame(seq: u64) -> Vec<u8> {
+        encode_frame(&Envelope::<u64> {
+            source: CLIENT_NODE,
+            epoch: 0,
+            seq,
+            payload: Payload::Ctl(Ctl::Request {
+                id: seq,
+                op: Op::Ping,
+            }),
+        })
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let env = Envelope::<u64> {
+            source: 2,
+            epoch: 1,
+            seq: 99,
+            payload: Payload::Peer {
+                from: 5,
+                to: 0,
+                msg: Msg::WAck { ts: Timestamp(3) },
+            },
+        };
+        let frame = encode_frame(&env);
+        let mut r = FrameReader::new();
+        r.extend(&frame);
+        let body = r.next_frame().unwrap().expect("one frame");
+        assert_eq!(decode_body::<u64>(&body).unwrap(), env);
+        assert!(r.next_frame().unwrap().is_none());
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn split_across_reads_reassembles() {
+        let frame = ping_frame(7);
+        let mut r = FrameReader::new();
+        for b in &frame[..frame.len() - 1] {
+            r.extend(&[*b]);
+            assert!(r.next_frame().unwrap().is_none(), "not complete yet");
+        }
+        r.extend(&[frame[frame.len() - 1]]);
+        assert!(r.next_frame().unwrap().is_some());
+    }
+
+    #[test]
+    fn multiple_frames_per_read() {
+        let mut bytes = ping_frame(1);
+        bytes.extend_from_slice(&ping_frame(2));
+        bytes.extend_from_slice(&ping_frame(3)[..5]); // third arrives partially
+        let mut r = FrameReader::new();
+        r.extend(&bytes);
+        assert!(r.next_frame().unwrap().is_some());
+        assert!(r.next_frame().unwrap().is_some());
+        assert!(r.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_before_buffering() {
+        let mut r = FrameReader::new();
+        r.extend(&(u32::MAX).to_le_bytes());
+        assert!(matches!(
+            r.next_frame().unwrap_err(),
+            FrameError::Oversized { declared } if declared == u64::from(u32::MAX)
+        ));
+    }
+
+    #[test]
+    fn garbage_body_is_a_typed_decode_error() {
+        let mut frame = ping_frame(1);
+        let end = frame.len();
+        frame[end - 1] ^= 0xAA; // corrupt the op tag
+        let mut r = FrameReader::new();
+        r.extend(&frame);
+        let body = r.next_frame().unwrap().unwrap();
+        assert!(matches!(
+            decode_body::<u64>(&body),
+            Err(FrameError::Decode(_))
+        ));
+    }
+}

@@ -1,0 +1,473 @@
+//! The [`Transport`] abstraction: how a relayed protocol message gets from
+//! one OS process to another.
+//!
+//! [`InProc`] is the loopback implementation — messages cross a channel,
+//! no sockets involved — used for differential tests (the same workload
+//! over `InProc` and [`Tcp`](TcpTransport) must produce checker-identical
+//! histories). [`TcpTransport`] is the real one: envelopes framed by
+//! [`crate::frame`] over reactor-owned sockets, with a per-peer connection
+//! table, `Hello` handshakes, and reconnect-on-demand.
+//!
+//! Delivery is *lossy on reset*, exactly like the underlying network model
+//! the protocols are proved against: frames queued to a peer whose
+//! connection dies are dropped, not retransmitted. The protocols tolerate
+//! this because a reset peer is indistinguishable from a slow or crashed
+//! base object, and correctness only ever relies on `S - t` responders.
+
+use std::collections::{HashMap, VecDeque};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use vrr_core::metrics::{names, MetricsSink, Registry};
+use vrr_core::wire::Wire;
+use vrr_core::Msg;
+use vrr_sim::ProcessId;
+
+use crate::frame::{decode_body, encode_frame, Ctl, Envelope, Op, Payload, Rsp};
+use crate::reactor::{ConnId, NetCounters, NetEvent, ReactorHandle};
+
+/// Moves protocol messages between automata living in different OS
+/// processes. `forward` is fire-and-forget: delivery is asynchronous and
+/// may silently fail (the fault model the protocols already absorb).
+pub trait Transport<V>: Send + Sync {
+    /// Ships `msg`, sent by global pid `from`, toward global pid `to`.
+    fn forward(&self, from: ProcessId, to: ProcessId, msg: Msg<V>);
+
+    /// A short label for metrics and logs (`"inproc"` / `"tcp"`).
+    fn scheme(&self) -> &'static str;
+}
+
+/// Loopback transport: forwarded messages appear on a channel for the
+/// caller to pump into a destination cluster via `send_external`.
+pub struct InProc<V> {
+    tx: Sender<(ProcessId, ProcessId, Msg<V>)>,
+}
+
+impl<V> InProc<V> {
+    /// A transport plus the receiving end of its channel.
+    #[allow(clippy::type_complexity)]
+    pub fn pair() -> (InProc<V>, Receiver<(ProcessId, ProcessId, Msg<V>)>) {
+        let (tx, rx) = unbounded();
+        (InProc { tx }, rx)
+    }
+}
+
+impl<V: Send> Transport<V> for InProc<V> {
+    fn forward(&self, from: ProcessId, to: ProcessId, msg: Msg<V>) {
+        let _ = self.tx.send((from, to, msg));
+    }
+
+    fn scheme(&self) -> &'static str {
+        "inproc"
+    }
+}
+
+/// Cap on frames buffered for a peer whose connection is still coming up.
+/// Beyond it the oldest frames drop — bounded memory under a dead peer.
+const PENDING_CAP: usize = 4096;
+
+enum PeerState {
+    Down,
+    Connecting {
+        conn: ConnId,
+        pending: VecDeque<Vec<u8>>,
+    },
+    Up {
+        conn: ConnId,
+    },
+}
+
+struct PeerTable {
+    /// Outbound state per node id.
+    state: Vec<PeerState>,
+    /// Whether the peer has ever been `Up` (for the reconnect counter).
+    was_up: Vec<bool>,
+    /// Every live connection we can attribute to a node — outbound ones
+    /// plus inbound ones that sent a `Hello`.
+    conn_node: HashMap<ConnId, u32>,
+}
+
+/// A decoded inbound envelope, classified for the node's event loop.
+#[derive(Debug)]
+pub enum Inbound<V> {
+    /// A relayed protocol message: inject into the local cluster.
+    Peer {
+        /// Global pid the message claims to come from.
+        from: ProcessId,
+        /// Global pid it is addressed to.
+        to: ProcessId,
+        /// The message.
+        msg: Msg<V>,
+    },
+    /// A thin-client request to serve.
+    Request {
+        /// Connection to answer on.
+        conn: ConnId,
+        /// Correlation id to echo.
+        id: u64,
+        /// The operation.
+        op: Op<V>,
+    },
+    /// A response to a request this process issued.
+    Response {
+        /// Correlation id of the original request.
+        id: u64,
+        /// The outcome.
+        rsp: Rsp<V>,
+    },
+}
+
+/// The socket transport for one node of a multi-process deployment.
+pub struct TcpTransport<V> {
+    node: u32,
+    epoch: u32,
+    addrs: Vec<SocketAddr>,
+    /// Global pid → hosting node id.
+    pid_node: Vec<u32>,
+    handle: ReactorHandle,
+    peers: Mutex<PeerTable>,
+    seq: AtomicU64,
+    counters: Arc<NetCounters>,
+    /// Encode/decode latency histograms (merged into metric snapshots).
+    lat: Mutex<Registry>,
+    _marker: std::marker::PhantomData<fn() -> V>,
+}
+
+impl<V: Wire> TcpTransport<V> {
+    /// A transport for `node` of a topology whose node `i` listens on
+    /// `addrs[i]`; `pid_node[p]` names the node hosting global pid `p`.
+    pub fn new(
+        node: u32,
+        epoch: u32,
+        addrs: Vec<SocketAddr>,
+        pid_node: Vec<u32>,
+        handle: ReactorHandle,
+    ) -> Arc<Self> {
+        let counters = handle.counters();
+        Arc::new(TcpTransport {
+            node,
+            epoch,
+            addrs: addrs.clone(),
+            pid_node,
+            handle,
+            peers: Mutex::new(PeerTable {
+                state: (0..addrs.len()).map(|_| PeerState::Down).collect(),
+                was_up: vec![false; addrs.len()],
+                conn_node: HashMap::new(),
+            }),
+            seq: AtomicU64::new(0),
+            counters,
+            lat: Mutex::new(Registry::new()),
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// This node's id.
+    pub fn node(&self) -> u32 {
+        self.node
+    }
+
+    /// The reactor handle (for answering client requests directly).
+    pub fn handle(&self) -> &ReactorHandle {
+        &self.handle
+    }
+
+    /// The node hosting global pid `pid`.
+    pub fn node_of_pid(&self, pid: ProcessId) -> u32 {
+        self.pid_node[pid.0]
+    }
+
+    fn envelope(&self, payload: Payload<V>) -> Vec<u8> {
+        let env = Envelope {
+            source: self.node,
+            epoch: self.epoch,
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            payload,
+        };
+        let start = Instant::now();
+        let frame = encode_frame(&env);
+        self.lat.lock().observe(
+            names::WIRE_ENCODE_LATENCY,
+            &[("scheme", "tcp")],
+            start.elapsed().as_micros() as u64,
+        );
+        frame
+    }
+
+    /// Ships one already-built envelope frame to `target` node, dialing or
+    /// buffering as the peer state requires.
+    pub fn send_to_node(&self, target: u32, frame: Vec<u8>) {
+        if target as usize >= self.addrs.len() {
+            return;
+        }
+        let mut peers = self.peers.lock();
+        match &mut peers.state[target as usize] {
+            PeerState::Up { conn } => {
+                let conn = *conn;
+                drop(peers);
+                self.handle.send(conn, frame);
+            }
+            PeerState::Connecting { pending, .. } => {
+                if pending.len() >= PENDING_CAP {
+                    pending.pop_front();
+                }
+                pending.push_back(frame);
+            }
+            state @ PeerState::Down => {
+                let conn = self.handle.connect(self.addrs[target as usize]);
+                let mut pending = VecDeque::new();
+                pending.push_back(frame);
+                *state = PeerState::Connecting { conn, pending };
+                peers.conn_node.insert(conn, target);
+            }
+        }
+    }
+
+    /// Sends a thin-client-protocol message on a specific connection
+    /// (servers answering requests).
+    pub fn send_ctl_on(&self, conn: ConnId, ctl: Ctl<V>) {
+        let frame = self.envelope(Payload::Ctl(ctl));
+        self.handle.send(conn, frame);
+    }
+
+    /// Redials every peer currently `Down` (periodic liveness tick; new
+    /// traffic also dials on demand).
+    pub fn redial_down_peers(&self) {
+        let mut peers = self.peers.lock();
+        for target in 0..self.addrs.len() {
+            if target as u32 == self.node {
+                continue;
+            }
+            if matches!(peers.state[target], PeerState::Down) {
+                let conn = self.handle.connect(self.addrs[target]);
+                peers.state[target] = PeerState::Connecting {
+                    conn,
+                    pending: VecDeque::new(),
+                };
+                peers.conn_node.insert(conn, target as u32);
+            }
+        }
+    }
+
+    /// Closes every connection attributed to `node` (fault injection:
+    /// a connection reset). Returns how many were closed.
+    pub fn reset_peer(&self, node: u32) -> u32 {
+        let mut peers = self.peers.lock();
+        let conns: Vec<ConnId> = peers
+            .conn_node
+            .iter()
+            .filter(|(_, n)| **n == node)
+            .map(|(c, _)| *c)
+            .collect();
+        for conn in &conns {
+            peers.conn_node.remove(conn);
+        }
+        if (node as usize) < peers.state.len() {
+            peers.state[node as usize] = PeerState::Down;
+        }
+        drop(peers);
+        for conn in &conns {
+            self.handle.close(*conn);
+        }
+        conns.len() as u32
+    }
+
+    /// Feeds one reactor event through the transport's connection
+    /// bookkeeping; envelopes the node's event loop must act on come back
+    /// as [`Inbound`].
+    pub fn handle_event(&self, ev: NetEvent) -> Option<Inbound<V>> {
+        match ev {
+            NetEvent::Accepted { conn, .. } => {
+                // Greet the peer; attribution happens when its Hello lands.
+                self.send_ctl_on(
+                    conn,
+                    Ctl::Hello {
+                        node: self.node,
+                        epoch: self.epoch,
+                    },
+                );
+                None
+            }
+            NetEvent::Connected { conn } => {
+                self.send_ctl_on(
+                    conn,
+                    Ctl::Hello {
+                        node: self.node,
+                        epoch: self.epoch,
+                    },
+                );
+                let mut peers = self.peers.lock();
+                let &target = peers.conn_node.get(&conn)?;
+                let t = target as usize;
+                match std::mem::replace(&mut peers.state[t], PeerState::Down) {
+                    PeerState::Connecting { conn: c, pending } if c == conn => {
+                        peers.state[t] = PeerState::Up { conn };
+                        if peers.was_up[t] {
+                            self.counters.reconnects.fetch_add(1, Ordering::Relaxed);
+                        }
+                        peers.was_up[t] = true;
+                        drop(peers);
+                        for frame in pending {
+                            self.handle.send(conn, frame);
+                        }
+                    }
+                    other => peers.state[t] = other,
+                }
+                None
+            }
+            NetEvent::ConnectFailed { conn, .. } => {
+                self.forget_conn(conn);
+                None
+            }
+            NetEvent::Closed { conn } | NetEvent::FrameError { conn, .. } => {
+                self.forget_conn(conn);
+                None
+            }
+            NetEvent::Frame { conn, body } => {
+                let start = Instant::now();
+                let decoded = decode_body::<V>(&body);
+                self.lat.lock().observe(
+                    names::WIRE_DECODE_LATENCY,
+                    &[("scheme", "tcp")],
+                    start.elapsed().as_micros() as u64,
+                );
+                let env = match decoded {
+                    Ok(env) => env,
+                    Err(_) => {
+                        // Framing was fine but the envelope is garbage:
+                        // count it and drop the connection — a peer
+                        // speaking the wrong protocol cannot be trusted.
+                        self.counters.decode_errors.fetch_add(1, Ordering::Relaxed);
+                        self.handle.close(conn);
+                        self.forget_conn(conn);
+                        return None;
+                    }
+                };
+                self.classify(conn, env)
+            }
+        }
+    }
+
+    fn classify(&self, conn: ConnId, env: Envelope<V>) -> Option<Inbound<V>> {
+        match env.payload {
+            Payload::Peer { from, to, msg } => Some(Inbound::Peer {
+                from: ProcessId(from as usize),
+                to: ProcessId(to as usize),
+                msg,
+            }),
+            Payload::Ctl(Ctl::Hello { node, epoch: _ }) => {
+                if node != crate::frame::CLIENT_NODE && (node as usize) < self.addrs.len() {
+                    let mut peers = self.peers.lock();
+                    peers.conn_node.insert(conn, node);
+                    // An inbound connection can carry our traffic to that
+                    // peer while we have no outbound one of our own.
+                    if matches!(peers.state[node as usize], PeerState::Down) {
+                        peers.state[node as usize] = PeerState::Up { conn };
+                        if peers.was_up[node as usize] {
+                            self.counters.reconnects.fetch_add(1, Ordering::Relaxed);
+                        }
+                        peers.was_up[node as usize] = true;
+                    }
+                }
+                None
+            }
+            Payload::Ctl(Ctl::Request { id, op }) => Some(Inbound::Request { conn, id, op }),
+            Payload::Ctl(Ctl::Response { id, rsp }) => Some(Inbound::Response { id, rsp }),
+        }
+    }
+
+    fn forget_conn(&self, conn: ConnId) {
+        let mut peers = self.peers.lock();
+        if let Some(node) = peers.conn_node.remove(&conn) {
+            let t = node as usize;
+            let owns_state = match &peers.state[t] {
+                PeerState::Up { conn: c } => *c == conn,
+                PeerState::Connecting { conn: c, .. } => *c == conn,
+                PeerState::Down => false,
+            };
+            if owns_state {
+                // Queued frames die with the connection: lossy on reset.
+                peers.state[t] = PeerState::Down;
+            }
+        }
+    }
+
+    /// Folds the transport's counters and latency histograms into `sink`
+    /// for a metrics snapshot.
+    pub fn record_metrics(&self, sink: &mut Registry) {
+        let scheme = [("scheme", "tcp")];
+        let c = &self.counters;
+        sink.counter_add(
+            names::WIRE_FRAMES_SENT,
+            &scheme,
+            c.frames_sent.load(Ordering::Relaxed),
+        );
+        sink.counter_add(
+            names::WIRE_FRAMES_RECEIVED,
+            &scheme,
+            c.frames_received.load(Ordering::Relaxed),
+        );
+        sink.counter_add(
+            names::WIRE_BYTES_SENT,
+            &scheme,
+            c.bytes_sent.load(Ordering::Relaxed),
+        );
+        sink.counter_add(
+            names::WIRE_BYTES_RECEIVED,
+            &scheme,
+            c.bytes_received.load(Ordering::Relaxed),
+        );
+        sink.counter_add(
+            names::WIRE_RECONNECTS,
+            &scheme,
+            c.reconnects.load(Ordering::Relaxed),
+        );
+        sink.counter_add(
+            names::WIRE_DECODE_ERRORS,
+            &scheme,
+            c.decode_errors.load(Ordering::Relaxed),
+        );
+        sink.merge(&self.lat.lock());
+    }
+}
+
+impl<V: Wire + Send> Transport<V> for TcpTransport<V> {
+    fn forward(&self, from: ProcessId, to: ProcessId, msg: Msg<V>) {
+        let target = self.pid_node[to.0];
+        let frame = self.envelope(Payload::Peer {
+            from: from.0 as u64,
+            to: to.0 as u64,
+            msg,
+        });
+        self.send_to_node(target, frame);
+    }
+
+    fn scheme(&self) -> &'static str {
+        "tcp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inproc_forward_appears_on_channel() {
+        let (t, rx) = InProc::<u64>::pair();
+        t.forward(
+            ProcessId(3),
+            ProcessId(0),
+            Msg::WAck {
+                ts: vrr_core::Timestamp(7),
+            },
+        );
+        let (from, to, msg) = rx.recv().unwrap();
+        assert_eq!((from, to), (ProcessId(3), ProcessId(0)));
+        assert!(matches!(msg, Msg::WAck { ts } if ts.0 == 7));
+        assert_eq!(t.scheme(), "inproc");
+    }
+}

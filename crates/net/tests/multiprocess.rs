@@ -1,0 +1,192 @@
+//! The acceptance run: a sharded deployment (`slots > 1`) spread over
+//! three separate `vrr-server` OS processes — writer on one, the base
+//! objects split across the other two, readers on two different nodes —
+//! driven by thin clients through a seeded Byzantine + crash workload.
+//! Every completed read must be checker-verified regular, per slot, and
+//! the fetched metrics must expose the `vrr_net_wire_*` counters.
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+
+use vrr_checker::{check_regularity, OpHistory};
+use vrr_net::{free_addrs, NetClient, NetStore};
+
+const SLOTS: usize = 3;
+/// Group span for `optimal(2, 1, 2)`: 6 objects + writer + 2 readers.
+const SPAN: u64 = 9;
+
+struct Server {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl Server {
+    /// Spawns one node of the three-process deployment. Topology (same
+    /// flags on every node): `(t, b) = (2, 1)` so the six objects
+    /// tolerate one Byzantine liar plus one crash (the sizing
+    /// `tests/scaleout.rs` uses for the same fault mix), objects split
+    /// `[1, 1, 1, 2, 2, 2]`, writer on 0, readers on `[0, 2]`; object 0
+    /// of every slot is a (responsive) Byzantine inflator.
+    fn spawn(node: u32, addrs: &[SocketAddr]) -> Server {
+        let addr_list = addrs
+            .iter()
+            .map(|a| a.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let mut args = vec![
+            "--node".into(),
+            node.to_string(),
+            "--addrs".into(),
+            addr_list,
+            "--t".into(),
+            "2".into(),
+            "--b".into(),
+            "1".into(),
+            "--readers".into(),
+            "2".into(),
+            "--kind".into(),
+            "regular-opt".into(),
+            "--slots".into(),
+            SLOTS.to_string(),
+            "--place-objects".into(),
+            "1,1,1,2,2,2".into(),
+            "--place-writer".into(),
+            "0".into(),
+            "--place-readers".into(),
+            "0,2".into(),
+        ];
+        for slot in 0..SLOTS {
+            args.push("--byzantine".into());
+            args.push(format!("{slot}:0:inflator:999999"));
+        }
+        let mut child = Command::new(env!("CARGO_BIN_EXE_vrr-server"))
+            .args(&args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn vrr-server");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("read READY line");
+        let addr = line
+            .trim()
+            .strip_prefix("READY ")
+            .unwrap_or_else(|| panic!("unexpected server banner: {line:?}"))
+            .parse()
+            .expect("parse READY addr");
+        Server { child, addr }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.child.kill().ok();
+        self.child.wait().ok();
+    }
+}
+
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[test]
+fn sharded_store_across_three_processes_stays_regular() {
+    let addrs = free_addrs(3).expect("reserve ports");
+    let servers: Vec<Server> = (0..3).map(|n| Server::spawn(n, &addrs)).collect();
+    for (server, addr) in servers.iter().zip(&addrs) {
+        assert_eq!(server.addr, *addr);
+    }
+
+    // Writer client at node 0; reader 0 lives on node 0, reader 1 on
+    // node 2 — three processes, none of which hosts a full group.
+    let mut store = NetStore::<&str, u64>::connect(addrs[0], &[addrs[0], addrs[2]], SLOTS as u32)
+        .expect("connect store");
+    let keys = ["alpha", "beta", "gamma"];
+
+    // Per-slot histories with a shared logical clock: each slot is an
+    // independent register, checked independently.
+    let mut histories = vec![OpHistory::<u64>::new(); SLOTS];
+    let mut seqs = [0u64; SLOTS];
+    let mut clock = 0u64;
+
+    // Bind each key (its first write) so reads never hit an unbound slot.
+    for &key in &keys {
+        let slot = {
+            store.put(key, 1).expect("binding write");
+            store.slot_of(&key).expect("bound") as usize
+        };
+        seqs[slot] = 1;
+        histories[slot].push_write(1, 1, clock, Some(clock + 1));
+        clock += 2;
+    }
+
+    let mut g = Gen(0x5EED_CA5E);
+    let mut crash_done = false;
+    for i in 0..60 {
+        let key = keys[g.next() as usize % keys.len()];
+        let slot = store.slot_of(&key).expect("bound") as usize;
+        if g.next().is_multiple_of(2) {
+            seqs[slot] += 1;
+            let seq = seqs[slot];
+            store.put(key, seq).expect("write");
+            histories[slot].push_write(seq, seq, clock, Some(clock + 1));
+        } else {
+            let reader = g.next() as usize % 2;
+            let value = store.get(&key, reader).expect("read").value;
+            histories[slot].push_read(reader, value.unwrap_or(0), value, clock, Some(clock + 1));
+        }
+        clock += 2;
+
+        if i == 30 && !crash_done {
+            // Mid-workload crash: object 1 of every slot (hosted on
+            // node 1, alongside the Byzantine object 0) — one crash on
+            // top of the standing liar, within the (t, b) = (2, 1)
+            // budget.
+            let mut ctl = NetClient::<u64>::connect(addrs[1]).expect("ctl node 1");
+            for slot in 0..SLOTS as u64 {
+                ctl.crash_pid(slot * SPAN + 1).expect("crash object 1");
+            }
+            crash_done = true;
+        }
+    }
+    assert!(crash_done);
+
+    for (slot, history) in histories.iter().enumerate() {
+        history.validate().expect("well-formed history");
+        let result = check_regularity(history);
+        assert!(result.is_ok(), "slot {slot} not regular: {result:?}");
+    }
+
+    // The wire metrics made it through the client protocol end to end.
+    let mut ctl = NetClient::<u64>::connect(addrs[0]).expect("ctl node 0");
+    let metrics = ctl.metrics().expect("metrics");
+    for name in [
+        "vrr_net_wire_frames_sent_total",
+        "vrr_net_wire_frames_received_total",
+        "vrr_net_wire_bytes_sent_total",
+        "vrr_net_wire_bytes_received_total",
+    ] {
+        assert!(metrics.contains(name), "missing {name} in:\n{metrics}");
+    }
+
+    // Clean shutdown of all three processes via the protocol itself.
+    for addr in &addrs {
+        if let Ok(mut c) = NetClient::<u64>::connect(*addr) {
+            c.shutdown_server().ok();
+        }
+    }
+    for mut server in servers {
+        server.child.wait().ok();
+    }
+}

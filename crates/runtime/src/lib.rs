@@ -60,4 +60,7 @@ pub use ring::{stable_hash_64, RingTable, StableHasher};
 pub use router::{FixedDelay, LinkAction, LinkPolicy, NoDelay};
 pub use scaleout::{RouterConfig, StoreRouter};
 pub use shard::{ShardedStore, StoreError};
-pub use storage::{ProtocolKind, ReaderTuning, StorageCluster};
+pub use storage::{
+    blocking_read, blocking_write, group_member, group_span, spawn_group_with, GroupPids,
+    GroupRole, ProtocolKind, ReaderTuning, StorageCluster,
+};

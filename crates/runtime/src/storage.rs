@@ -52,10 +52,18 @@ pub enum ReaderTuning {
 /// policies.
 const OP_TIMEOUT: Duration = Duration::from_secs(30);
 
-/// Blocking `WRITE(value)` against `writer`, shared by [`StorageCluster`]
-/// and [`crate::ShardedStore`]: invoke the write, then await its outcome
-/// via a watcher.
-pub(crate) fn blocking_write<V: Value>(
+/// Blocking `WRITE(value)` against `writer`, shared by [`StorageCluster`],
+/// [`crate::ShardedStore`] and external hosts (`vrr-net` servers): invoke
+/// the write, then await its outcome via a watcher.
+///
+/// `writer` must host a [`Writer`] automaton spawned on `cluster` (e.g. by
+/// [`spawn_group_with`]).
+///
+/// # Panics
+///
+/// Panics if the write does not complete within the operation timeout —
+/// with at most `t` faulty objects that is a wait-freedom violation.
+pub fn blocking_write<V: Value>(
     cluster: &Cluster<Msg<V>>,
     writer: ProcessId,
     value: V,
@@ -73,9 +81,16 @@ pub(crate) fn blocking_write<V: Value>(
         .expect("WRITE must complete (wait-freedom)")
 }
 
-/// Blocking `READ()` against `reader`, shared by [`StorageCluster`] and
-/// [`crate::ShardedStore`].
-pub(crate) fn blocking_read<V: Value>(
+/// Blocking `READ()` against `reader`, shared by [`StorageCluster`],
+/// [`crate::ShardedStore`] and external hosts (`vrr-net` servers).
+///
+/// `reader` must host the reader automaton matching `kind` (e.g. spawned
+/// by [`spawn_group_with`]).
+///
+/// # Panics
+///
+/// Panics if the read does not complete within the operation timeout.
+pub fn blocking_read<V: Value>(
     cluster: &Cluster<Msg<V>>,
     kind: ProtocolKind,
     reader: ProcessId,
@@ -110,20 +125,80 @@ pub(crate) fn blocking_read<V: Value>(
     }
 }
 
-/// Spawns the automata of one register group — `cfg.s` base objects, one
-/// writer, `cfg.readers` readers — onto `cluster`, consulting `factory`
-/// for Byzantine object substitutions. Regular objects are deployed with
-/// `retention` (ignored by the safe protocol). Shared by
-/// [`StorageCluster`] (one group) and [`crate::ShardedStore`] (one group
-/// per shard).
-pub(crate) fn spawn_register_group<V: Value>(
+/// One member slot of a register group, in the canonical spawn order every
+/// deployment uses: objects `0..cfg.s`, then the writer, then readers
+/// `0..cfg.readers`. Because ids are dense in spawn order
+/// ([`Cluster::spawn`]), this fixes the pid layout of a group — which is
+/// what lets independently started OS processes (`vrr-net` nodes) agree on
+/// a global pid space by replaying the same spawn sequence.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GroupRole {
+    /// Base object `s_i`.
+    Object(usize),
+    /// The single writer.
+    Writer,
+    /// Reader `r_j`.
+    Reader(usize),
+}
+
+/// Number of processes one register group occupies: `cfg.s` objects, one
+/// writer, `cfg.readers` readers.
+pub fn group_span(cfg: StorageConfig) -> usize {
+    cfg.s + 1 + cfg.readers
+}
+
+/// The [`GroupRole`] of the `idx`-th spawned member of a group.
+///
+/// # Panics
+///
+/// Panics if `idx >= group_span(cfg)`.
+pub fn group_member(cfg: StorageConfig, idx: usize) -> GroupRole {
+    if idx < cfg.s {
+        GroupRole::Object(idx)
+    } else if idx == cfg.s {
+        GroupRole::Writer
+    } else if idx < group_span(cfg) {
+        GroupRole::Reader(idx - cfg.s - 1)
+    } else {
+        panic!(
+            "member index {idx} out of range for a group of {}",
+            group_span(cfg)
+        )
+    }
+}
+
+/// Process ids of one register group spawned by [`spawn_group_with`].
+#[derive(Clone, Debug)]
+pub struct GroupPids {
+    /// The `cfg.s` base objects, in index order.
+    pub objects: Vec<ProcessId>,
+    /// The writer.
+    pub writer: ProcessId,
+    /// The `cfg.readers` readers, in index order.
+    pub readers: Vec<ProcessId>,
+}
+
+/// Spawns the automata of one register group onto `cluster` in the
+/// canonical order ([`group_member`]), letting `substitute` replace the
+/// automaton of any member — the hook for Byzantine objects *and* for
+/// `vrr-net`'s relay stand-ins when a member lives in a different OS
+/// process. Returning `None` deploys the honest automaton for the role.
+/// Regular objects are deployed with `retention` (ignored by the safe
+/// protocol).
+///
+/// # Panics
+///
+/// Panics if `tuning` does not match `kind`, or if a
+/// [`HistoryRetention::ReaderAck`] policy covers fewer readers than the
+/// deployment has.
+pub fn spawn_group_with<V: Value>(
     cluster: &mut Cluster<Msg<V>>,
     cfg: StorageConfig,
     kind: ProtocolKind,
     retention: HistoryRetention,
     tuning: Option<ReaderTuning>,
-    mut factory: impl FnMut(usize) -> Option<Box<dyn Automaton<Msg<V>>>>,
-) -> RegisterGroup {
+    mut substitute: impl FnMut(GroupRole) -> Option<Box<dyn Automaton<Msg<V>>>>,
+) -> GroupPids {
     let safe_tuning = match (kind, tuning) {
         (ProtocolKind::Safe, Some(ReaderTuning::Safe(t))) => t,
         (ProtocolKind::Safe, None) => SafeTuning::default(),
@@ -153,56 +228,82 @@ pub(crate) fn spawn_register_group<V: Value>(
             cfg.readers
         );
     }
-    let mut byzantine = Vec::new();
     let objects: Vec<ProcessId> = (0..cfg.s)
         .map(|i| -> ProcessId {
-            let automaton: Box<dyn Automaton<Msg<V>>> = match factory(i) {
-                Some(substituted) => {
-                    byzantine.push(i);
-                    substituted
-                }
-                None => match kind {
+            let automaton: Box<dyn Automaton<Msg<V>>> = substitute(GroupRole::Object(i))
+                .unwrap_or_else(|| match kind {
                     ProtocolKind::Safe => Box::new(SafeObject::<V>::new()),
                     ProtocolKind::Regular | ProtocolKind::RegularOptimized => {
                         Box::new(RegularObject::<V>::with_retention(retention))
                     }
-                },
-            };
+                });
             cluster.spawn(automaton)
         })
         .collect();
-    let writer = cluster.spawn(Box::new(Writer::<V>::new(cfg, objects.clone())));
+    let writer_automaton = substitute(GroupRole::Writer)
+        .unwrap_or_else(|| Box::new(Writer::<V>::new(cfg, objects.clone())));
+    let writer = cluster.spawn(writer_automaton);
     let readers: Vec<ProcessId> = (0..cfg.readers)
         .map(|j| {
-            let automaton: Box<dyn Automaton<Msg<V>>> = match kind {
-                ProtocolKind::Safe => Box::new(SafeReader::<V>::with_tuning(
-                    cfg,
-                    j,
-                    objects.clone(),
-                    safe_tuning,
-                )),
-                ProtocolKind::Regular => Box::new(RegularReader::<V>::with_tuning(
-                    cfg,
-                    j,
-                    objects.clone(),
-                    false,
-                    regular_tuning,
-                )),
-                ProtocolKind::RegularOptimized => Box::new(RegularReader::<V>::with_tuning(
-                    cfg,
-                    j,
-                    objects.clone(),
-                    true,
-                    regular_tuning,
-                )),
-            };
+            let automaton: Box<dyn Automaton<Msg<V>>> = substitute(GroupRole::Reader(j))
+                .unwrap_or_else(|| match kind {
+                    ProtocolKind::Safe => Box::new(SafeReader::<V>::with_tuning(
+                        cfg,
+                        j,
+                        objects.clone(),
+                        safe_tuning,
+                    )),
+                    ProtocolKind::Regular => Box::new(RegularReader::<V>::with_tuning(
+                        cfg,
+                        j,
+                        objects.clone(),
+                        false,
+                        regular_tuning,
+                    )),
+                    ProtocolKind::RegularOptimized => Box::new(RegularReader::<V>::with_tuning(
+                        cfg,
+                        j,
+                        objects.clone(),
+                        true,
+                        regular_tuning,
+                    )),
+                });
             cluster.spawn(automaton)
         })
         .collect();
-    RegisterGroup {
+    GroupPids {
         objects,
         writer,
         readers,
+    }
+}
+
+/// Spawns one register group, consulting `factory` for Byzantine *object*
+/// substitutions only (the historical deploy hook of [`StorageCluster`]
+/// and [`crate::ShardedStore`]); tracks which indexes were substituted.
+pub(crate) fn spawn_register_group<V: Value>(
+    cluster: &mut Cluster<Msg<V>>,
+    cfg: StorageConfig,
+    kind: ProtocolKind,
+    retention: HistoryRetention,
+    tuning: Option<ReaderTuning>,
+    mut factory: impl FnMut(usize) -> Option<Box<dyn Automaton<Msg<V>>>>,
+) -> RegisterGroup {
+    let mut byzantine = Vec::new();
+    let pids = spawn_group_with(cluster, cfg, kind, retention, tuning, |role| match role {
+        GroupRole::Object(i) => {
+            let substituted = factory(i);
+            if substituted.is_some() {
+                byzantine.push(i);
+            }
+            substituted
+        }
+        GroupRole::Writer | GroupRole::Reader(_) => None,
+    });
+    RegisterGroup {
+        objects: pids.objects,
+        writer: pids.writer,
+        readers: pids.readers,
         byzantine,
     }
 }

@@ -20,6 +20,7 @@
 //! | [`checker`] | `vrr-checker` | safety / regularity / atomicity history oracles |
 //! | [`lowerbound`] | `vrr-lowerbound` | the Figure-1 impossibility as an executable harness |
 //! | [`workload`] | `vrr-workload` | schedules, fault plans and the experiment runner |
+//! | [`net`] | `vrr-net` | framed wire protocol, epoll reactor, multi-process deployments over real sockets |
 //!
 //! ## Five-minute tour
 //!
@@ -79,6 +80,12 @@ pub mod lowerbound {
 /// Workload and scenario tooling (re-export of `vrr-workload`).
 pub mod workload {
     pub use vrr_workload::*;
+}
+
+/// Real-socket transport and the `vrr-server` protocol (re-export of
+/// `vrr-net`).
+pub mod net {
+    pub use vrr_net::*;
 }
 
 pub mod soak;

@@ -1,0 +1,590 @@
+//! Offline shim for the `mio` readiness-polling crate.
+//!
+//! The build container has no registry access, so this is a minimal,
+//! API-compatible stand-in implementing exactly the surface `vrr-net`'s
+//! reactor uses: [`Poll`] / [`Registry`] / [`Events`] / [`Token`] /
+//! [`Interest`], the [`net`] socket wrappers, [`Waker`], and
+//! [`unix::SourceFd`]. The implementation talks to Linux `epoll(7)`
+//! directly through the C library `std` already links (`epoll_create1` /
+//! `epoll_ctl` / `epoll_wait`), with no `libc` crate dependency.
+//!
+//! Known divergences from real mio — all chosen so that code written
+//! against this shim keeps working when the workspace dependency is
+//! flipped back to crates.io (see `vendor/README.md`):
+//!
+//! - **Level-triggered**, where real mio is edge-triggered. Reactors must
+//!   drain reads to `WouldBlock` and keep explicit write queues — the
+//!   discipline that is *required* under edge triggering and merely
+//!   redundant under level triggering, so it is correct under both.
+//! - [`net::TcpStream::connect`] performs a bounded synchronous connect
+//!   (localhost targets connect or refuse immediately), then switches the
+//!   socket to non-blocking. Real mio returns an in-progress socket.
+//!   Callers must treat the stream as connected only after the first
+//!   writable event with [`net::TcpStream::take_error`]` == None` — which
+//!   is exactly the real-mio protocol, and works here too because a
+//!   registered connected socket reports writable immediately.
+//! - [`Waker`] is a non-blocking `UnixStream` pair, not an `eventfd`;
+//!   behaviour (coalescing wakes, drained by the poller) is the same.
+
+#![warn(missing_docs)]
+
+use std::io;
+use std::os::fd::{AsRawFd, RawFd};
+use std::sync::Mutex;
+use std::time::Duration;
+
+// The subset of the C library the shim needs. `std` already links these
+// symbols; declaring them here avoids a `libc` crate dependency.
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    /// `struct epoll_event` — packed on x86-64, which is the only
+    /// platform the workspace container targets.
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        pub fn close(fd: c_int) -> c_int;
+        pub fn setsockopt(
+            sockfd: c_int,
+            level: c_int,
+            optname: c_int,
+            optval: *const c_void,
+            optlen: u32,
+        ) -> c_int;
+    }
+
+    pub const SOL_SOCKET: c_int = 1;
+    pub const SO_REUSEADDR: c_int = 2;
+}
+
+/// Associates a readiness event with the registration it belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Token(pub usize);
+
+/// Readiness interest: readable, writable, or both (`READABLE | WRITABLE`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Interest in read readiness.
+    pub const READABLE: Interest = Interest(1);
+    /// Interest in write readiness.
+    pub const WRITABLE: Interest = Interest(2);
+
+    /// Whether this interest includes read readiness.
+    pub fn is_readable(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// Whether this interest includes write readiness.
+    pub fn is_writable(self) -> bool {
+        self.0 & 2 != 0
+    }
+
+    fn epoll_bits(self) -> u32 {
+        let mut bits = sys::EPOLLRDHUP;
+        if self.is_readable() {
+            bits |= sys::EPOLLIN;
+        }
+        if self.is_writable() {
+            bits |= sys::EPOLLOUT;
+        }
+        bits
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        Interest(self.0 | rhs.0)
+    }
+}
+
+/// One readiness event returned by [`Poll::poll`].
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    token: Token,
+    bits: u32,
+}
+
+impl Event {
+    /// The [`Token`] the event's registration used.
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// Whether the source is ready for reading (includes peer hang-up, so
+    /// a read is guaranteed not to block — it may return 0).
+    pub fn is_readable(&self) -> bool {
+        self.bits & (sys::EPOLLIN | sys::EPOLLHUP | sys::EPOLLRDHUP | sys::EPOLLERR) != 0
+    }
+
+    /// Whether the source is ready for writing.
+    pub fn is_writable(&self) -> bool {
+        self.bits & (sys::EPOLLOUT | sys::EPOLLHUP | sys::EPOLLERR) != 0
+    }
+
+    /// Whether an error condition was observed on the source.
+    pub fn is_error(&self) -> bool {
+        self.bits & sys::EPOLLERR != 0
+    }
+
+    /// Whether the peer closed its write half (or the connection is gone).
+    pub fn is_read_closed(&self) -> bool {
+        self.bits & (sys::EPOLLHUP | sys::EPOLLRDHUP) != 0
+    }
+}
+
+/// A collection of readiness events filled by [`Poll::poll`].
+#[derive(Debug)]
+pub struct Events {
+    events: Vec<Event>,
+    capacity: usize,
+}
+
+impl Events {
+    /// A container able to hold up to `capacity` events per poll.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Events {
+            events: Vec::with_capacity(capacity),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Iterates over the events of the last poll.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.events.iter()
+    }
+
+    /// Whether the last poll returned no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl<'a> IntoIterator for &'a Events {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+/// Event sources registerable with a [`Registry`].
+pub mod event {
+    use super::RawFd;
+
+    /// An event source: anything exposing the file descriptor epoll
+    /// watches. Real mio dispatches `register` through this trait; the
+    /// shim only needs the descriptor.
+    pub trait Source {
+        /// The descriptor to watch.
+        fn source_fd(&self) -> RawFd;
+    }
+}
+
+/// Registers event sources with the poller.
+#[derive(Debug)]
+pub struct Registry {
+    epfd: RawFd,
+}
+
+impl Registry {
+    fn ctl(&self, op: i32, fd: RawFd, token: Option<Token>, interests: Option<Interest>) -> io::Result<()> {
+        let mut ev = sys::EpollEvent {
+            events: interests.map_or(0, Interest::epoll_bits),
+            data: token.map_or(0, |t| t.0 as u64),
+        };
+        let rc = unsafe { sys::epoll_ctl(self.epfd, op, fd, &mut ev) };
+        if rc < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Registers `source` for `interests`, tagging its events with `token`.
+    pub fn register<S: event::Source + ?Sized>(
+        &self,
+        source: &mut S,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_ADD, source.source_fd(), Some(token), Some(interests))
+    }
+
+    /// Changes the interests of an already-registered `source`.
+    pub fn reregister<S: event::Source + ?Sized>(
+        &self,
+        source: &mut S,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_MOD, source.source_fd(), Some(token), Some(interests))
+    }
+
+    /// Removes `source` from the poller.
+    pub fn deregister<S: event::Source + ?Sized>(&self, source: &mut S) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_DEL, source.source_fd(), None, None)
+    }
+}
+
+/// The readiness poller: an `epoll(7)` instance.
+#[derive(Debug)]
+pub struct Poll {
+    registry: Registry,
+}
+
+impl Poll {
+    /// Creates a fresh epoll instance.
+    pub fn new() -> io::Result<Poll> {
+        // 0x80000 = EPOLL_CLOEXEC.
+        let epfd = unsafe { sys::epoll_create1(0x80000) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Poll {
+            registry: Registry { epfd },
+        })
+    }
+
+    /// The registry used to (de)register event sources.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Blocks until at least one registered source is ready, `timeout`
+    /// elapses (`None` = forever), or the poll is woken by a [`Waker`].
+    pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        events.events.clear();
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            Some(d) => d.as_millis().min(i32::MAX as u128) as i32,
+        };
+        let mut raw = vec![sys::EpollEvent { events: 0, data: 0 }; events.capacity];
+        let n = loop {
+            let n = unsafe {
+                sys::epoll_wait(
+                    self.registry.epfd,
+                    raw.as_mut_ptr(),
+                    raw.len() as i32,
+                    timeout_ms,
+                )
+            };
+            if n >= 0 {
+                break n as usize;
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        };
+        for ev in &raw[..n] {
+            events.events.push(Event {
+                token: Token(ev.data as usize),
+                bits: ev.events,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Poll {
+    fn drop(&mut self) {
+        unsafe {
+            sys::close(self.registry.epfd);
+        }
+    }
+}
+
+/// Wakes a [`Poll`] blocked in [`Poll::poll`] from any thread.
+#[derive(Debug)]
+pub struct Waker {
+    tx: Mutex<std::os::unix::net::UnixStream>,
+    // Kept alive for the lifetime of the registration; the poller drains it.
+    _rx: std::os::unix::net::UnixStream,
+}
+
+impl Waker {
+    /// Creates a waker delivering readable events under `token`.
+    pub fn new(registry: &Registry, token: Token) -> io::Result<Waker> {
+        let (tx, rx) = std::os::unix::net::UnixStream::pair()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        let mut source = unix::SourceFd(&rx.as_raw_fd());
+        registry.register(&mut source, token, Interest::READABLE)?;
+        Ok(Waker {
+            tx: Mutex::new(tx),
+            _rx: rx,
+        })
+    }
+
+    /// Wakes the poller. Multiple wakes before the next poll coalesce.
+    pub fn wake(&self) -> io::Result<()> {
+        use std::io::Write;
+        let mut tx = self.tx.lock().unwrap_or_else(|e| e.into_inner());
+        match tx.write(&[1]) {
+            Ok(_) => Ok(()),
+            // A full pipe means a wake is already pending: success.
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Drains pending wake bytes (the poller calls this on the waker
+    /// token's readable events). Shim-visible helper; real mio drains
+    /// internally.
+    pub fn drain(&self) {
+        use std::io::Read;
+        let mut buf = [0u8; 64];
+        let mut rx = &self._rx;
+        while matches!(rx.read(&mut buf), Ok(n) if n > 0) {}
+    }
+}
+
+/// Non-blocking TCP types registerable with a [`Poll`].
+pub mod net {
+    use super::{event, sys};
+    use std::io::{self, Read, Write};
+    use std::net::SocketAddr;
+    use std::os::fd::{AsRawFd, RawFd};
+    use std::time::Duration;
+
+    /// A non-blocking listener.
+    #[derive(Debug)]
+    pub struct TcpListener {
+        inner: std::net::TcpListener,
+    }
+
+    impl TcpListener {
+        /// Binds with `SO_REUSEADDR` (as real mio does) and switches the
+        /// socket to non-blocking.
+        pub fn bind(addr: SocketAddr) -> io::Result<TcpListener> {
+            // std's bind has no pre-bind socket-option hook, so bind first
+            // and set SO_REUSEADDR for the *next* binder of this address —
+            // enough for the restart-in-place pattern the workspace uses.
+            let inner = std::net::TcpListener::bind(addr)?;
+            let one: i32 = 1;
+            unsafe {
+                sys::setsockopt(
+                    inner.as_raw_fd(),
+                    sys::SOL_SOCKET,
+                    sys::SO_REUSEADDR,
+                    (&one as *const i32).cast(),
+                    std::mem::size_of::<i32>() as u32,
+                );
+            }
+            inner.set_nonblocking(true)?;
+            Ok(TcpListener { inner })
+        }
+
+        /// Accepts one pending connection (non-blocking).
+        pub fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+            let (stream, addr) = self.inner.accept()?;
+            stream.set_nonblocking(true)?;
+            stream.set_nodelay(true).ok();
+            Ok((TcpStream { inner: stream }, addr))
+        }
+
+        /// The bound address.
+        pub fn local_addr(&self) -> io::Result<SocketAddr> {
+            self.inner.local_addr()
+        }
+    }
+
+    impl event::Source for TcpListener {
+        fn source_fd(&self) -> RawFd {
+            self.inner.as_raw_fd()
+        }
+    }
+
+    /// A non-blocking stream.
+    #[derive(Debug)]
+    pub struct TcpStream {
+        inner: std::net::TcpStream,
+    }
+
+    impl TcpStream {
+        /// Connects to `addr`. The shim connects synchronously with a
+        /// bounded timeout (localhost connects or refuses immediately);
+        /// real mio returns an in-progress socket. Either way, callers
+        /// must await the first writable event and check
+        /// [`TcpStream::take_error`] before treating the stream as up.
+        pub fn connect(addr: SocketAddr) -> io::Result<TcpStream> {
+            let inner = std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(500))?;
+            inner.set_nonblocking(true)?;
+            inner.set_nodelay(true).ok();
+            Ok(TcpStream { inner })
+        }
+
+        /// The peer's address.
+        pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+            self.inner.peer_addr()
+        }
+
+        /// Takes the pending socket error, if any (`SO_ERROR`).
+        pub fn take_error(&self) -> io::Result<Option<io::Error>> {
+            self.inner.take_error()
+        }
+    }
+
+    impl event::Source for TcpStream {
+        fn source_fd(&self) -> RawFd {
+            self.inner.as_raw_fd()
+        }
+    }
+
+    impl Read for TcpStream {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            self.inner.read(buf)
+        }
+    }
+
+    impl Write for TcpStream {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.inner.write(buf)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            self.inner.flush()
+        }
+    }
+
+    impl Read for &TcpStream {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            (&self.inner).read(buf)
+        }
+    }
+
+    impl Write for &TcpStream {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            (&self.inner).write(buf)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            (&self.inner).flush()
+        }
+    }
+
+    // Re-exported so reactors can hold sockets registered by fd.
+    pub use super::unix;
+}
+
+/// Unix-only event sources.
+pub mod unix {
+    use super::event;
+    use std::os::fd::RawFd;
+
+    /// Adapter registering a raw file descriptor (real mio's
+    /// `mio::unix::SourceFd`).
+    #[derive(Debug)]
+    pub struct SourceFd<'a>(pub &'a RawFd);
+
+    impl event::Source for SourceFd<'_> {
+        fn source_fd(&self) -> RawFd {
+            *self.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    #[test]
+    fn poll_reports_accept_and_data() {
+        let mut poll = Poll::new().unwrap();
+        let mut events = Events::with_capacity(8);
+
+        let mut listener =
+            net::TcpListener::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = listener.local_addr().unwrap();
+        poll.registry()
+            .register(&mut listener, Token(1), Interest::READABLE)
+            .unwrap();
+
+        let mut client = net::TcpStream::connect(addr).unwrap();
+        poll.registry()
+            .register(&mut client, Token(2), Interest::READABLE | Interest::WRITABLE)
+            .unwrap();
+
+        // Accept becomes readable on the listener token.
+        let mut accepted = None;
+        for _ in 0..50 {
+            poll.poll(&mut events, Some(Duration::from_millis(100))).unwrap();
+            for ev in &events {
+                if ev.token() == Token(1) {
+                    let (s, _) = listener.accept().unwrap();
+                    accepted = Some(s);
+                }
+                if ev.token() == Token(2) && ev.is_writable() {
+                    assert!(client.take_error().unwrap().is_none());
+                    client.write_all(b"ping").unwrap();
+                }
+            }
+            if accepted.is_some() {
+                break;
+            }
+        }
+        let mut server = accepted.expect("accepted a connection");
+        poll.registry()
+            .register(&mut server, Token(3), Interest::READABLE)
+            .unwrap();
+
+        let mut got = Vec::new();
+        for _ in 0..50 {
+            poll.poll(&mut events, Some(Duration::from_millis(100))).unwrap();
+            for ev in &events {
+                if ev.token() == Token(3) && ev.is_readable() {
+                    let mut buf = [0u8; 16];
+                    match server.read(&mut buf) {
+                        Ok(n) => got.extend_from_slice(&buf[..n]),
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                        Err(e) => panic!("read: {e}"),
+                    }
+                }
+            }
+            if got == b"ping" {
+                return;
+            }
+        }
+        panic!("never received ping; got {got:?}");
+    }
+
+    #[test]
+    fn waker_wakes_a_blocked_poll() {
+        let mut poll = Poll::new().unwrap();
+        let waker = std::sync::Arc::new(Waker::new(poll.registry(), Token(9)).unwrap());
+        let w2 = waker.clone();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            w2.wake().unwrap();
+        });
+        let mut events = Events::with_capacity(4);
+        poll.poll(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.token() == Token(9)));
+        waker.drain();
+        handle.join().unwrap();
+    }
+}
