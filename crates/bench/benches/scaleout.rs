@@ -10,19 +10,28 @@
 //!   per-iteration cost is monotonically non-increasing in cluster count
 //!   (more independent worker pools never hurt; on multi-core hosts they
 //!   help near-linearly).
-//! * `scaleout/router-overhead/{direct,routed}` — the same single-cluster
-//!   workload against a bare [`ShardedStore`] and through the router. The
-//!   router's hash + atomic-load routing step must cost ≤ 15% on top.
+//! * `scaleout/router-overhead/{direct,routed,remote}` — the same
+//!   single-cluster workload against a bare [`ShardedStore`], through the
+//!   router, and through a router whose only cluster is a
+//!   [`RemoteCluster`] driving a store-hosting node over real localhost
+//!   TCP. The in-proc routing step must cost ≤ 15% on top of direct
+//!   access, and the socket-backed router may only ever cost *more* than
+//!   the in-proc one (frames, syscalls and a reactor hop per op).
 //!
 //! Committed baseline: `BENCH_scaleout.json`; relations enforced by
 //! `bench_shape`.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use vrr_core::StorageConfig;
-use vrr_runtime::{NoDelay, ProtocolKind, RouterConfig, ShardedStore, StoreRouter};
+use vrr_net::{
+    free_addrs, GroupPlacement, NetNode, NetNodeConfig, NodeTopology, RemoteCluster,
+    RemoteClusterConfig, RetryPolicy, StoreSpec,
+};
+use vrr_runtime::{ClusterBackend, NoDelay, ProtocolKind, RouterConfig, ShardedStore, StoreRouter};
 use vrr_workload::ZipfianKeys;
 
 /// Distinct keys in the workload (the Zipfian key space).
@@ -139,6 +148,40 @@ fn bench_router_overhead(c: &mut Criterion) {
         b.iter(|| run_router_clients(&router));
     });
     drop(router);
+
+    // Same workload once more, with the single cluster behind real
+    // localhost TCP: a store-hosting node in this process (vrr-net is a
+    // dev-dependency) driven through a RemoteCluster connection pool.
+    let node = {
+        let addrs = free_addrs(1).expect("reserve port");
+        let topo = NodeTopology {
+            addrs,
+            placement: GroupPlacement::single(0, cfg),
+            slots: 1,
+        };
+        let mut ncfg = NetNodeConfig::<u64>::new(cfg, ProtocolKind::RegularOptimized);
+        ncfg.store = Some(StoreSpec::new(KEYS as usize));
+        NetNode::start(0, &topo, ncfg).expect("start store node")
+    };
+    let backend: Arc<dyn ClusterBackend<u64, u64>> = Arc::new(
+        RemoteCluster::<u64, u64>::connect(
+            node.addr(),
+            RemoteClusterConfig::new(CLIENTS as usize, RetryPolicy::with_seed(42)),
+        )
+        .expect("connect remote cluster"),
+    );
+    let remote_router: StoreRouter<u64, u64> = StoreRouter::deploy_with_backends(
+        RouterConfig::new(1, KEYS as usize).with_seed(42),
+        move |_| backend.clone(),
+    );
+    for k in 0..KEYS {
+        remote_router.write(k, 0);
+    }
+    group.bench_function(BenchmarkId::new("remote", 1usize), |b| {
+        b.iter(|| run_router_clients(&remote_router));
+    });
+    drop(remote_router);
+    drop(node);
 
     group.finish();
 }

@@ -20,8 +20,10 @@
 //!   architecture at scale, and multi-key cost stays at most linear in key
 //!   count,
 //! - aggregate Zipfian throughput through the multi-cluster router is
-//!   monotonically non-decreasing in cluster count, and the router's
-//!   routing step costs ≤ 15% over direct single-cluster access,
+//!   monotonically non-decreasing in cluster count, the router's routing
+//!   step costs ≤ 15% over direct single-cluster access, and a
+//!   socket-backed remote cluster only ever adds on top of the in-proc
+//!   router,
 //! - real sockets only *add* latency over in-process channels, and over
 //!   TCP a two-round read stays commensurate with a two-round write.
 //!
@@ -331,6 +333,17 @@ fn main() -> ExitCode {
             "scaleout/router-overhead/direct/1",
             1.15,
             "hash+atomic routing step is cheap",
+        );
+
+        println!("shape: socket-backed router costs more than in-proc");
+        // A RemoteCluster pays framing, two syscalls and a reactor hop per
+        // operation on top of the identical routing step — TCP may only
+        // ever add over the in-proc cluster backend.
+        c.le(
+            "scaleout/router-overhead/routed/1",
+            "scaleout/router-overhead/remote/1",
+            1.0,
+            "in-proc router below the socket-backed router",
         );
     }
 

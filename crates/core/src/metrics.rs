@@ -31,8 +31,10 @@
 //! ```
 
 use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
 
 use crate::safe::FastPathStats;
+use crate::wire::{Wire, WireError};
 
 /// Canonical metric names — the single `vrr_<subsystem>_<name>` vocabulary
 /// shared by the sim harness and the thread runtime.
@@ -68,6 +70,10 @@ pub mod names {
     /// Frames rejected by the decoder (malformed, oversized, truncated
     /// stream) — counter.
     pub const WIRE_DECODE_ERRORS: &str = "vrr_net_wire_decode_errors_total";
+    /// Client requests re-sent after a connection failure by the bounded
+    /// retry/backoff path (`vrr-net`'s `NetClient` / `RemoteCluster`) —
+    /// counter.
+    pub const WIRE_RETRIES: &str = "vrr_net_wire_retry_total";
     /// Envelope encode time — histogram, wall-clock microseconds
     /// (buckets [`LATENCY_BUCKETS`]).
     pub const WIRE_ENCODE_LATENCY: &str = "vrr_net_wire_encode_latency_us";
@@ -546,6 +552,165 @@ impl MetricsSink for Registry {
     }
 }
 
+// ---- wire codec -----------------------------------------------------------
+//
+// `RemoteCluster` ships whole registry snapshots across process boundaries
+// so a router can merge per-cluster `vrr_router_*` series structurally
+// (counters add, gauges overwrite) instead of scraping Prometheus text.
+// Family names are `&'static str` in memory, so decoding interns each name
+// in a leak-once table — bounded by the naming convention, a length cap and
+// a table-size cap so a malicious peer cannot leak unbounded memory.
+
+/// Validates a decoded metric name against the `vrr_*` convention and
+/// interns it, returning the `'static` copy the registry maps require.
+fn intern_metric_name(name: String) -> Result<&'static str, WireError> {
+    const MAX_NAME_LEN: usize = 128;
+    const MAX_INTERNED: usize = 4_096;
+    let well_formed = name.len() <= MAX_NAME_LEN
+        && name.starts_with("vrr_")
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_');
+    if !well_formed {
+        return Err(WireError::BadTag {
+            what: "metric name",
+            tag: 0,
+        });
+    }
+    static TABLE: OnceLock<Mutex<BTreeMap<String, &'static str>>> = OnceLock::new();
+    let mut table = TABLE
+        .get_or_init(Default::default)
+        .lock()
+        .expect("metric-name intern table poisoned");
+    if let Some(&interned) = table.get(&name) {
+        return Ok(interned);
+    }
+    if table.len() >= MAX_INTERNED {
+        return Err(WireError::Oversized {
+            declared: table.len() as u64 + 1,
+            limit: MAX_INTERNED as u64,
+        });
+    }
+    let interned: &'static str = Box::leak(name.clone().into_boxed_str());
+    table.insert(name, interned);
+    Ok(interned)
+}
+
+impl Wire for Histogram {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.bounds.encode(out);
+        self.counts.encode(out);
+        self.sum.encode(out);
+        self.count.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let bounds = Vec::<u64>::decode(buf)?;
+        let counts = Vec::<u64>::decode(buf)?;
+        let sum = u64::decode(buf)?;
+        let count = u64::decode(buf)?;
+        // Re-establish the construction invariants `Histogram::new` and
+        // `observe` maintain; a forged payload must not smuggle in a value
+        // that later panics `merge_from` or the Prometheus encoder.
+        let well_formed = !bounds.is_empty()
+            && bounds.windows(2).all(|w| w[0] < w[1])
+            && counts.len() == bounds.len() + 1
+            && counts
+                .iter()
+                .try_fold(0u64, |acc, &c| acc.checked_add(c))
+                .is_some_and(|total| total == count);
+        if !well_formed {
+            return Err(WireError::BadTag {
+                what: "Histogram invariants",
+                tag: 0,
+            });
+        }
+        Ok(Histogram {
+            bounds,
+            counts,
+            sum,
+            count,
+        })
+    }
+}
+
+impl Wire for Series {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Series::Counter(v) => {
+                out.push(0);
+                v.encode(out);
+            }
+            Series::Gauge(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+            Series::Histogram(h) => {
+                out.push(2);
+                h.encode(out);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(Series::Counter(u64::decode(buf)?)),
+            1 => Ok(Series::Gauge(u64::decode(buf)?)),
+            2 => Ok(Series::Histogram(Histogram::decode(buf)?)),
+            tag => Err(WireError::BadTag {
+                what: "Series",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Wire for Registry {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.families.len() as u32).encode(out);
+        for (name, family) in &self.families {
+            name.to_string().encode(out);
+            family.series.encode(out);
+        }
+        (self.buckets.len() as u32).encode(out);
+        for (name, bounds) in &self.buckets {
+            name.to_string().encode(out);
+            bounds.encode(out);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        // Each family costs at least a name length prefix + series count.
+        let n = wire_take_count(buf, 8)?;
+        let mut families = BTreeMap::new();
+        for _ in 0..n {
+            let name = intern_metric_name(String::decode(buf)?)?;
+            let series = BTreeMap::<String, Series>::decode(buf)?;
+            families.insert(name, Family { series });
+        }
+        let n = wire_take_count(buf, 8)?;
+        let mut buckets = BTreeMap::new();
+        for _ in 0..n {
+            let name = intern_metric_name(String::decode(buf)?)?;
+            let bounds = Vec::<u64>::decode(buf)?;
+            buckets.insert(name, bounds);
+        }
+        Ok(Registry { families, buckets })
+    }
+}
+
+/// Reads a `u32` count and validates it against the bytes remaining (the
+/// same guard `wire::Wire` collections use, re-stated here because the
+/// helper is private to that module).
+fn wire_take_count(buf: &mut &[u8], min_elem_size: usize) -> Result<usize, WireError> {
+    let n = u32::decode(buf)? as usize;
+    let cap = buf.len() / min_elem_size.max(1);
+    if n > cap {
+        return Err(WireError::Oversized {
+            declared: n as u64,
+            limit: cap as u64,
+        });
+    }
+    Ok(n)
+}
+
 // ---- recording helpers for the workspace's existing stat structs ----------
 
 /// Records the simulator's [`vrr_sim::NetStats`] counters under the
@@ -718,6 +883,43 @@ mod tests {
             reg.to_prometheus()
         };
         assert_eq!(build(false), build(true));
+    }
+
+    #[test]
+    fn registry_wire_roundtrip_is_byte_identical() {
+        let mut reg = Registry::new();
+        reg.counter_add(names::READER_FAST_HITS, &[], 2);
+        reg.gauge_set(names::OBJECT_HISTORY_LEN, &[("object", "0")], 3);
+        reg.observe(names::READER_ROUNDS, &[], 1);
+        reg.observe(names::READ_LATENCY, &[("cluster", "1")], 900);
+        reg.set_buckets(names::WRITER_ROUNDS, &[1, 2]);
+        let bytes = reg.to_wire_vec();
+        let back: Registry = crate::wire::decode_exact(&bytes).expect("decode");
+        assert_eq!(back, reg);
+        assert_eq!(back.to_wire_vec(), bytes);
+        assert_eq!(back.to_prometheus(), reg.to_prometheus());
+    }
+
+    #[test]
+    fn registry_wire_rejects_malformed_names_and_histograms() {
+        // A name outside the vrr_* convention must not be interned.
+        let mut bytes = Vec::new();
+        1u32.encode(&mut bytes); // one family
+        String::from("boom_total").encode(&mut bytes);
+        assert!(crate::wire::decode_exact::<Registry>(&bytes).is_err());
+
+        // A histogram whose per-slot counts disagree with its total must
+        // be rejected before it can poison a later merge.
+        let mut reg = Registry::new();
+        reg.observe(names::READER_ROUNDS, &[], 1);
+        // The encoding ends with the histogram's sum and count (8 bytes
+        // each) followed by the empty buckets map's u32 count.
+        let mut bytes = reg.to_wire_vec();
+        let len = bytes.len();
+        bytes[len - 20..len - 12].copy_from_slice(&99u64.to_le_bytes()); // forged sum is fine...
+        assert!(crate::wire::decode_exact::<Registry>(&bytes).is_ok());
+        bytes[len - 12..len - 4].copy_from_slice(&99u64.to_le_bytes()); // ...a forged count is not
+        assert!(crate::wire::decode_exact::<Registry>(&bytes).is_err());
     }
 
     #[test]

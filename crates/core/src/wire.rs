@@ -215,6 +215,41 @@ impl Wire for Vec<u8> {
     }
 }
 
+impl Wire for Vec<u64> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        for v in self {
+            v.encode(out);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let n = take_count(buf, 8)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(u64::decode(buf)?);
+        }
+        Ok(out)
+    }
+}
+
+impl Wire for Vec<Vec<u8>> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        for v in self {
+            v.encode(out);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        // Each element costs at least its own u32 length prefix.
+        let n = take_count(buf, 4)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(Vec::<u8>::decode(buf)?);
+        }
+        Ok(out)
+    }
+}
+
 impl Wire for String {
     fn encode(&self, out: &mut Vec<u8>) {
         (self.len() as u32).encode(out);
@@ -522,6 +557,8 @@ mod tests {
         roundtrip(&());
         roundtrip(&String::from("héllo ⊥"));
         roundtrip(&vec![0u8, 255, 1]);
+        roundtrip(&vec![1u64, u64::MAX, 0]);
+        roundtrip(&vec![vec![1u8, 2], Vec::new(), vec![3u8]]);
         roundtrip(&Some(7u64));
         roundtrip(&Option::<u64>::None);
         roundtrip(&BTreeMap::from([(1usize, 2u64), (3, 4)]));

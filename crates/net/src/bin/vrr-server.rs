@@ -11,8 +11,17 @@
 //!     --t 1 --b 1 --readers 1 [--fast] [--kind regular-opt] [--slots 4] \
 //!     [--place-objects 0,0,0,0,0] [--place-writer 1] [--place-readers 1] \
 //!     [--byzantine SLOT:OBJ:KIND:FORGED] [--epoch 0] [--workers 1] \
-//!     [--retention keep-all|reader-ack]
+//!     [--retention keep-all|reader-ack] [--store CAPACITY] \
+//!     [--store-byzantine OBJ:KIND:FORGED] [--metrics-addr HOST:PORT]
 //! ```
+//!
+//! With `--store CAPACITY` the node additionally hosts a
+//! `ShardedStore<Vec<u8>, u64>` of that many register shards, served to
+//! remote `StoreRouter`s through `vrr_net::RemoteCluster` (router-member
+//! mode); `--store-byzantine` substitutes an attacker for the named
+//! object of **every** store shard. With `--metrics-addr` the process
+//! serves its Prometheus snapshot at `GET /metrics`, and prints
+//! `METRICS <addr>` after the `READY` banner.
 
 use std::net::SocketAddr;
 use std::process::exit;
@@ -20,7 +29,9 @@ use std::process::exit;
 use vrr_core::attackers::AttackerKind;
 use vrr_core::regular::HistoryRetention;
 use vrr_core::StorageConfig;
-use vrr_net::{ByzSpec, GroupPlacement, NetNode, NetNodeConfig, NodeTopology};
+use vrr_net::{
+    ByzSpec, GroupPlacement, NetNode, NetNodeConfig, NodeTopology, StoreByzSpec, StoreSpec,
+};
 use vrr_runtime::ProtocolKind;
 
 fn usage(err: &str) -> ! {
@@ -31,7 +42,8 @@ fn usage(err: &str) -> ! {
          [--kind safe|regular|regular-opt] [--slots N] \
          [--place-objects N,N,...] [--place-writer N] [--place-readers N,...] \
          [--byzantine SLOT:OBJ:KIND:FORGED]... [--epoch N] [--workers N] \
-         [--retention keep-all|reader-ack]"
+         [--retention keep-all|reader-ack] [--store CAPACITY] \
+         [--store-byzantine OBJ:KIND:FORGED]... [--metrics-addr HOST:PORT]"
     );
     exit(2);
 }
@@ -75,6 +87,9 @@ fn main() {
     let mut epoch = 0u32;
     let mut workers = 1usize;
     let mut retention_reader_ack = false;
+    let mut store_capacity: Option<usize> = None;
+    let mut store_byzantine: Vec<StoreByzSpec<u64>> = Vec::new();
+    let mut metrics_addr: Option<SocketAddr> = None;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -128,6 +143,34 @@ fn main() {
                         .parse()
                         .unwrap_or_else(|_| usage("bad byzantine forged")),
                 });
+            }
+            "--store" => {
+                store_capacity = Some(val().parse().unwrap_or_else(|_| usage("bad --store")))
+            }
+            "--store-byzantine" => {
+                let spec = val();
+                let parts: Vec<&str> = spec.split(':').collect();
+                if parts.len() != 3 {
+                    usage(&format!(
+                        "bad --store-byzantine `{spec}` (want OBJ:KIND:FORGED)"
+                    ));
+                }
+                store_byzantine.push(StoreByzSpec {
+                    object: parts[0]
+                        .parse()
+                        .unwrap_or_else(|_| usage("bad store-byzantine object")),
+                    kind: parse_attacker(parts[1]),
+                    forged: parts[2]
+                        .parse()
+                        .unwrap_or_else(|_| usage("bad store-byzantine forged")),
+                });
+            }
+            "--metrics-addr" => {
+                metrics_addr = Some(
+                    val()
+                        .parse()
+                        .unwrap_or_else(|_| usage("bad --metrics-addr")),
+                )
             }
             "--epoch" => epoch = val().parse().unwrap_or_else(|_| usage("bad --epoch")),
             "--workers" => workers = val().parse().unwrap_or_else(|_| usage("bad --workers")),
@@ -185,6 +228,16 @@ fn main() {
     if retention_reader_ack {
         ncfg.retention = HistoryRetention::reader_ack(cfg.readers);
     }
+    if !store_byzantine.is_empty() && store_capacity.is_none() {
+        usage("--store-byzantine needs --store");
+    }
+    if let Some(capacity) = store_capacity {
+        ncfg.store = Some(StoreSpec {
+            capacity,
+            byzantine: store_byzantine,
+        });
+    }
+    ncfg.metrics_addr = metrics_addr;
 
     let server = match NetNode::start(node, &topo, ncfg) {
         Ok(s) => s,
@@ -194,6 +247,9 @@ fn main() {
         }
     };
     println!("READY {}", server.addr());
+    if let Some(addr) = server.metrics_addr() {
+        println!("METRICS {addr}");
+    }
     use std::io::Write;
     std::io::stdout().flush().ok();
     server.wait_shutdown();

@@ -25,6 +25,95 @@ use crate::frame::{
 /// server-side blocking-operation timeout with headroom.
 const REQUEST_TIMEOUT: Duration = Duration::from_secs(40);
 
+/// Bounded retry with exponential backoff and seeded jitter — the policy
+/// [`NetClient::request_with_retry`] and `RemoteCluster` apply when a
+/// connection drops mid-rebalance. The jitter stream is a pure function of
+/// `seed`, so tests replaying a policy observe identical delays.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Reconnect-and-resend attempts after the first failure (0 = fail
+    /// fast).
+    pub attempts: u32,
+    /// Delay before the first retry; doubles per attempt.
+    pub base: Duration,
+    /// Ceiling on any single delay.
+    pub cap: Duration,
+    /// Seed of the jitter stream.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// The default deployment policy: 4 attempts, 20ms doubling to a
+    /// 500ms cap, jittered from `seed`.
+    pub fn with_seed(seed: u64) -> Self {
+        RetryPolicy {
+            attempts: 4,
+            base: Duration::from_millis(20),
+            cap: Duration::from_millis(500),
+            seed,
+        }
+    }
+
+    /// No retries at all — the legacy fail-fast behaviour.
+    pub fn none() -> Self {
+        RetryPolicy {
+            attempts: 0,
+            base: Duration::ZERO,
+            cap: Duration::ZERO,
+            seed: 0,
+        }
+    }
+
+    /// The backoff schedule this policy generates.
+    pub fn backoff(&self) -> Backoff {
+        Backoff {
+            policy: *self,
+            attempt: 0,
+            rng: self.seed,
+        }
+    }
+}
+
+/// The delay iterator of one request's retry budget: exponential growth to
+/// the cap, each delay jittered into `[delay/2, delay]` by a seeded
+/// SplitMix64 stream. Yields at most `policy.attempts` delays.
+#[derive(Clone, Debug)]
+pub struct Backoff {
+    policy: RetryPolicy,
+    attempt: u32,
+    rng: u64,
+}
+
+impl Backoff {
+    fn next_rand(&mut self) -> u64 {
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl Iterator for Backoff {
+    type Item = Duration;
+
+    fn next(&mut self) -> Option<Duration> {
+        if self.attempt >= self.policy.attempts {
+            return None;
+        }
+        let exp = self
+            .policy
+            .base
+            .checked_mul(1u32 << self.attempt.min(20))
+            .unwrap_or(self.policy.cap)
+            .min(self.policy.cap);
+        self.attempt += 1;
+        let micros = u64::try_from(exp.as_micros()).unwrap_or(u64::MAX);
+        let jittered = micros / 2 + self.next_rand() % (micros / 2 + 1);
+        Some(Duration::from_micros(jittered))
+    }
+}
+
 /// A thin-client failure.
 #[derive(Debug)]
 pub enum ClientError {
@@ -68,24 +157,28 @@ impl From<FrameError> for ClientError {
 
 /// One blocking connection to one `vrr-net` server.
 pub struct NetClient<V> {
+    addr: SocketAddr,
     stream: TcpStream,
     reader: FrameReader,
     next_id: u64,
     seq: u64,
+    /// Requests re-sent after a connection failure (the
+    /// `vrr_net_wire_retry_total` observable).
+    retries: u64,
     _marker: std::marker::PhantomData<fn() -> V>,
 }
 
 impl<V: Wire> NetClient<V> {
     /// Connects and sends the client `Hello`.
     pub fn connect(addr: SocketAddr) -> Result<Self, ClientError> {
-        let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2))?;
-        stream.set_nodelay(true).ok();
-        stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+        let stream = Self::dial(addr)?;
         let mut client = NetClient {
+            addr,
             stream,
             reader: FrameReader::new(),
             next_id: 1,
             seq: 0,
+            retries: 0,
             _marker: std::marker::PhantomData,
         };
         client.send(Payload::Ctl(Ctl::Hello {
@@ -93,6 +186,53 @@ impl<V: Wire> NetClient<V> {
             epoch: 0,
         }))?;
         Ok(client)
+    }
+
+    /// Like [`NetClient::connect`], but retries the dial through
+    /// `policy`'s backoff schedule — for clients racing a server that is
+    /// still printing its `READY` banner.
+    pub fn connect_with_retry(addr: SocketAddr, policy: &RetryPolicy) -> Result<Self, ClientError> {
+        let mut backoff = policy.backoff();
+        loop {
+            match Self::connect(addr) {
+                Ok(client) => return Ok(client),
+                Err(e) => match backoff.next() {
+                    Some(delay) => std::thread::sleep(delay),
+                    None => return Err(e),
+                },
+            }
+        }
+    }
+
+    fn dial(addr: SocketAddr) -> Result<TcpStream, ClientError> {
+        let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2))?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+        Ok(stream)
+    }
+
+    /// The server this client dials.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests re-sent after connection failures over this client's
+    /// lifetime (across reconnects).
+    pub fn retry_count(&self) -> u64 {
+        self.retries
+    }
+
+    /// Drops the (possibly dead) connection and dials the same server
+    /// again with a fresh `Hello`. Pending buffered frames are discarded —
+    /// correlation ids keep monotonically increasing, so a late response
+    /// to a pre-reconnect request can never be confused with a new one.
+    fn reconnect(&mut self) -> Result<(), ClientError> {
+        self.stream = Self::dial(self.addr)?;
+        self.reader = FrameReader::new();
+        self.send(Payload::Ctl(Ctl::Hello {
+            node: CLIENT_NODE,
+            epoch: 0,
+        }))
     }
 
     fn send(&mut self, payload: Payload<V>) -> Result<(), ClientError> {
@@ -136,6 +276,48 @@ impl<V: Wire> NetClient<V> {
                         || e.kind() == io::ErrorKind::TimedOut => {}
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                 Err(e) => return Err(ClientError::Io(e)),
+            }
+        }
+    }
+
+    /// [`NetClient::request`] under a [`RetryPolicy`]: a connection-level
+    /// failure (socket error, unframeable stream, timeout) tears the
+    /// connection down, sleeps one backoff delay, reconnects and re-sends
+    /// the request — up to `policy.attempts` times, counting each re-send
+    /// in [`NetClient::retry_count`]. A server-level [`Rsp::Err`] is *not*
+    /// retried (the request was delivered and answered).
+    ///
+    /// Requests are idempotent at the register layer — a re-sent `WRITE`
+    /// re-writes the same value under a fresh timestamp, which SWMR
+    /// regularity absorbs — so re-sending after an ambiguous failure is
+    /// safe.
+    pub fn request_with_retry(
+        &mut self,
+        op: Op<V>,
+        policy: &RetryPolicy,
+    ) -> Result<Rsp<V>, ClientError>
+    where
+        V: Clone,
+    {
+        let mut backoff = policy.backoff();
+        loop {
+            let attempt = self.request(op.clone());
+            let err = match attempt {
+                Ok(rsp) => return Ok(rsp),
+                Err(e @ (ClientError::Io(_) | ClientError::Frame(_) | ClientError::Timeout)) => e,
+                Err(e) => return Err(e),
+            };
+            let Some(delay) = backoff.next() else {
+                return Err(err);
+            };
+            std::thread::sleep(delay);
+            self.retries += 1;
+            if let Err(redial) = self.reconnect() {
+                // Dead server: keep burning the budget on the dial itself.
+                match backoff.next() {
+                    Some(delay) => std::thread::sleep(delay),
+                    None => return Err(redial),
+                }
             }
         }
     }
@@ -317,5 +499,38 @@ impl<K: Hash + Eq + Clone, V: Wire + Clone> NetStore<K, V> {
     pub fn get(&mut self, key: &K, reader: usize) -> Result<ReadReport<V>, StoreError> {
         let slot = *self.slots.get(key).ok_or(StoreError::UnknownKey)?;
         Ok(self.readers[reader].read_slot(slot, reader as u32)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_seeded_deterministic_and_bounded() {
+        let policy = RetryPolicy {
+            attempts: 5,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(80),
+            seed: 42,
+        };
+        let a: Vec<Duration> = policy.backoff().collect();
+        let b: Vec<Duration> = policy.backoff().collect();
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_eq!(a.len(), 5, "bounded by attempts");
+        // Each delay sits in the jitter window [exp/2, exp] of the
+        // exponential-with-cap envelope 10, 20, 40, 80, 80 ms.
+        for (delay, envelope_ms) in a.iter().zip([10u64, 20, 40, 80, 80]) {
+            let us = u64::try_from(delay.as_micros()).unwrap();
+            let envelope_us = envelope_ms * 1_000;
+            assert!(
+                us >= envelope_us / 2 && us <= envelope_us,
+                "{us}µs outside [{}, {envelope_us}]",
+                envelope_us / 2
+            );
+        }
+        let other: Vec<Duration> = RetryPolicy { seed: 43, ..policy }.backoff().collect();
+        assert_ne!(a, other, "different seed, different jitter");
+        assert_eq!(RetryPolicy::none().backoff().count(), 0);
     }
 }

@@ -15,6 +15,7 @@
 
 use std::fmt;
 
+use vrr_core::metrics::Registry;
 use vrr_core::wire::{decode_exact, Wire, WireError};
 use vrr_core::{History, Msg, Timestamp};
 
@@ -157,6 +158,60 @@ pub enum Op<V> {
     },
     /// Ask the server process to exit cleanly.
     Shutdown,
+    /// Blocking `WRITE(key, value)` against the target node's hosted
+    /// key-value store (router-member mode). Keys cross the wire as opaque
+    /// bytes — the client encodes its own key type; the server never
+    /// interprets them beyond equality and hashing.
+    WriteKey {
+        /// The key, in the client's own wire encoding.
+        key: Vec<u8>,
+        /// The value to write.
+        value: V,
+    },
+    /// Blocking `READ(key)` at reader index `reader` of the key's register
+    /// shard in the hosted store.
+    ReadKey {
+        /// The key, in the client's own wire encoding.
+        key: Vec<u8>,
+        /// Reader index within the key's shard.
+        reader: u32,
+    },
+    /// Unbind `key` from the hosted store, retiring its shard slot — the
+    /// source-side half of a router rebalance.
+    ReleaseKey {
+        /// The key, in the client's own wire encoding.
+        key: Vec<u8>,
+    },
+    /// Enumerate every key currently bound in the hosted store (what a
+    /// drain must move).
+    StoreKeys,
+    /// The shard slot serving `key` in the hosted store, if bound.
+    SlotOfKey {
+        /// The key, in the client's own wire encoding.
+        key: Vec<u8>,
+    },
+    /// Crash base object `object` of shard `slot` in the hosted store
+    /// (fault injection on a remote cluster member).
+    CrashShard {
+        /// Register-shard slot in the hosted store.
+        slot: u32,
+        /// Base-object index within the shard.
+        object: u32,
+    },
+    /// The per-object history lengths of shard `slot` in the hosted store.
+    ShardHistoryLens {
+        /// Register-shard slot in the hosted store.
+        slot: u32,
+    },
+    /// Capacity/occupancy of the hosted store.
+    StoreInfo,
+    /// The hosted store's structured metrics snapshot, history gauges
+    /// labelled `cluster="<cluster>"` when given — so a router can merge
+    /// per-cluster snapshots across process boundaries.
+    StoreMetrics {
+        /// The cluster index to label the snapshot with.
+        cluster: Option<u32>,
+    },
 }
 
 /// Client-protocol responses.
@@ -206,6 +261,52 @@ pub enum Rsp<V> {
     Err {
         /// Human-readable reason.
         what: String,
+    },
+    /// Answer to [`Op::ReadKey`] / [`Op::SlotOfKey`] when the key is not
+    /// bound in the hosted store.
+    NoKey,
+    /// Answer to [`Op::WriteKey`] when every shard slot of the hosted
+    /// store is already bound — the typed capacity error, preserved across
+    /// the wire.
+    OverCapacity {
+        /// The hosted store's provisioned shard count.
+        capacity: u32,
+    },
+    /// Answer to [`Op::ReleaseKey`].
+    Released {
+        /// The retired slot, or `None` if the key was not bound.
+        slot: Option<u32>,
+    },
+    /// Answer to [`Op::StoreKeys`].
+    StoreKeys {
+        /// Every bound key, in the client's own wire encoding (unordered).
+        keys: Vec<Vec<u8>>,
+    },
+    /// Answer to [`Op::SlotOfKey`] for a bound key.
+    Slot {
+        /// The shard slot serving the key.
+        slot: u32,
+    },
+    /// Answer to [`Op::ShardHistoryLens`].
+    Lens {
+        /// Per-object stored history lengths.
+        lens: Vec<u64>,
+    },
+    /// Answer to [`Op::StoreInfo`].
+    StoreInfo {
+        /// Provisioned shard slots.
+        capacity: u32,
+        /// Keys currently bound.
+        keys: u32,
+        /// Shard slots never bound (headroom).
+        free_slots: u32,
+    },
+    /// Answer to [`Op::StoreMetrics`]: the structured registry snapshot
+    /// (not Prometheus text), so counters and histograms merge correctly
+    /// on the client side.
+    StoreMetrics {
+        /// The hosted store's snapshot.
+        registry: Registry,
     },
 }
 
@@ -324,6 +425,39 @@ impl<V: Wire> Wire for Op<V> {
                 history.encode(out);
             }
             Op::Shutdown => out.push(7),
+            Op::WriteKey { key, value } => {
+                out.push(8);
+                key.encode(out);
+                value.encode(out);
+            }
+            Op::ReadKey { key, reader } => {
+                out.push(9);
+                key.encode(out);
+                reader.encode(out);
+            }
+            Op::ReleaseKey { key } => {
+                out.push(10);
+                key.encode(out);
+            }
+            Op::StoreKeys => out.push(11),
+            Op::SlotOfKey { key } => {
+                out.push(12);
+                key.encode(out);
+            }
+            Op::CrashShard { slot, object } => {
+                out.push(13);
+                slot.encode(out);
+                object.encode(out);
+            }
+            Op::ShardHistoryLens { slot } => {
+                out.push(14);
+                slot.encode(out);
+            }
+            Op::StoreInfo => out.push(15),
+            Op::StoreMetrics { cluster } => {
+                out.push(16);
+                cluster.encode(out);
+            }
         }
     }
     fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
@@ -348,6 +482,32 @@ impl<V: Wire> Wire for Op<V> {
                 history: History::decode(buf)?,
             }),
             7 => Ok(Op::Shutdown),
+            8 => Ok(Op::WriteKey {
+                key: Vec::<u8>::decode(buf)?,
+                value: V::decode(buf)?,
+            }),
+            9 => Ok(Op::ReadKey {
+                key: Vec::<u8>::decode(buf)?,
+                reader: u32::decode(buf)?,
+            }),
+            10 => Ok(Op::ReleaseKey {
+                key: Vec::<u8>::decode(buf)?,
+            }),
+            11 => Ok(Op::StoreKeys),
+            12 => Ok(Op::SlotOfKey {
+                key: Vec::<u8>::decode(buf)?,
+            }),
+            13 => Ok(Op::CrashShard {
+                slot: u32::decode(buf)?,
+                object: u32::decode(buf)?,
+            }),
+            14 => Ok(Op::ShardHistoryLens {
+                slot: u32::decode(buf)?,
+            }),
+            15 => Ok(Op::StoreInfo),
+            16 => Ok(Op::StoreMetrics {
+                cluster: Option::<u32>::decode(buf)?,
+            }),
             tag => Err(WireError::BadTag { what: "Op", tag }),
         }
     }
@@ -392,6 +552,41 @@ impl<V: Wire> Wire for Rsp<V> {
                 out.push(8);
                 what.encode(out);
             }
+            Rsp::NoKey => out.push(9),
+            Rsp::OverCapacity { capacity } => {
+                out.push(10);
+                capacity.encode(out);
+            }
+            Rsp::Released { slot } => {
+                out.push(11);
+                slot.encode(out);
+            }
+            Rsp::StoreKeys { keys } => {
+                out.push(12);
+                keys.encode(out);
+            }
+            Rsp::Slot { slot } => {
+                out.push(13);
+                slot.encode(out);
+            }
+            Rsp::Lens { lens } => {
+                out.push(14);
+                lens.encode(out);
+            }
+            Rsp::StoreInfo {
+                capacity,
+                keys,
+                free_slots,
+            } => {
+                out.push(15);
+                capacity.encode(out);
+                keys.encode(out);
+                free_slots.encode(out);
+            }
+            Rsp::StoreMetrics { registry } => {
+                out.push(16);
+                registry.encode(out);
+            }
         }
     }
     fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
@@ -420,6 +615,30 @@ impl<V: Wire> Wire for Rsp<V> {
             7 => Ok(Rsp::ShuttingDown),
             8 => Ok(Rsp::Err {
                 what: String::decode(buf)?,
+            }),
+            9 => Ok(Rsp::NoKey),
+            10 => Ok(Rsp::OverCapacity {
+                capacity: u32::decode(buf)?,
+            }),
+            11 => Ok(Rsp::Released {
+                slot: Option::<u32>::decode(buf)?,
+            }),
+            12 => Ok(Rsp::StoreKeys {
+                keys: Vec::<Vec<u8>>::decode(buf)?,
+            }),
+            13 => Ok(Rsp::Slot {
+                slot: u32::decode(buf)?,
+            }),
+            14 => Ok(Rsp::Lens {
+                lens: Vec::<u64>::decode(buf)?,
+            }),
+            15 => Ok(Rsp::StoreInfo {
+                capacity: u32::decode(buf)?,
+                keys: u32::decode(buf)?,
+                free_slots: u32::decode(buf)?,
+            }),
+            16 => Ok(Rsp::StoreMetrics {
+                registry: Registry::decode(buf)?,
             }),
             tag => Err(WireError::BadTag { what: "Rsp", tag }),
         }
@@ -498,6 +717,7 @@ impl FrameReader {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vrr_core::metrics::MetricsSink;
 
     fn ping_frame(seq: u64) -> Vec<u8> {
         encode_frame(&Envelope::<u64> {
@@ -554,6 +774,81 @@ mod tests {
         assert!(r.next_frame().unwrap().is_some());
         assert!(r.next_frame().unwrap().is_some());
         assert!(r.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn keyed_store_ops_roundtrip() {
+        let mut registry = Registry::new();
+        registry.counter_add(vrr_core::metrics::names::WIRE_RETRIES, &[], 3);
+        let cases: Vec<(Op<u64>, Rsp<u64>)> = vec![
+            (
+                Op::WriteKey {
+                    key: b"alpha".to_vec(),
+                    value: 7,
+                },
+                Rsp::OverCapacity { capacity: 40 },
+            ),
+            (
+                Op::ReadKey {
+                    key: b"alpha".to_vec(),
+                    reader: 1,
+                },
+                Rsp::NoKey,
+            ),
+            (
+                Op::ReleaseKey {
+                    key: b"alpha".to_vec(),
+                },
+                Rsp::Released { slot: Some(3) },
+            ),
+            (
+                Op::StoreKeys,
+                Rsp::StoreKeys {
+                    keys: vec![b"a".to_vec(), b"b".to_vec()],
+                },
+            ),
+            (
+                Op::SlotOfKey {
+                    key: b"alpha".to_vec(),
+                },
+                Rsp::Slot { slot: 5 },
+            ),
+            (Op::CrashShard { slot: 2, object: 4 }, Rsp::Crashed),
+            (
+                Op::ShardHistoryLens { slot: 2 },
+                Rsp::Lens { lens: vec![1, 2] },
+            ),
+            (
+                Op::StoreInfo,
+                Rsp::StoreInfo {
+                    capacity: 40,
+                    keys: 16,
+                    free_slots: 20,
+                },
+            ),
+            (
+                Op::StoreMetrics { cluster: Some(1) },
+                Rsp::StoreMetrics { registry },
+            ),
+        ];
+        for (i, (op, rsp)) in cases.into_iter().enumerate() {
+            let env = Envelope {
+                source: CLIENT_NODE,
+                epoch: 0,
+                seq: i as u64,
+                payload: Payload::Ctl(Ctl::Request { id: i as u64, op }),
+            };
+            let frame = encode_frame(&env);
+            assert_eq!(decode_body::<u64>(&frame[4..]).unwrap(), env);
+            let env = Envelope {
+                source: 0,
+                epoch: 0,
+                seq: i as u64,
+                payload: Payload::Ctl(Ctl::Response { id: i as u64, rsp }),
+            };
+            let frame = encode_frame(&env);
+            assert_eq!(decode_body::<u64>(&frame[4..]).unwrap(), env);
+        }
     }
 
     #[test]

@@ -66,10 +66,15 @@ pub mod client;
 pub mod frame;
 pub mod node;
 pub mod reactor;
+pub mod remote;
 pub mod transport;
 
-pub use client::{ClientError, NetClient, NetStore};
+pub use client::{ClientError, NetClient, NetStore, RetryPolicy};
 pub use frame::{Ctl, Envelope, FrameError, FrameReader, Op, Payload, Rsp, MAX_FRAME_LEN};
-pub use node::{free_addrs, ByzSpec, GroupPlacement, NetNode, NetNodeConfig, NodeTopology, Relay};
+pub use node::{
+    free_addrs, ByzSpec, GroupPlacement, NetNode, NetNodeConfig, NodeTopology, Relay, StoreByzSpec,
+    StoreSpec,
+};
 pub use reactor::{ConnId, NetCounters, NetEvent, ReactorHandle};
+pub use remote::{RemoteCluster, RemoteClusterConfig};
 pub use transport::{InProc, Inbound, TcpTransport, Transport};

@@ -33,7 +33,7 @@ use vrr_core::wire::Wire;
 use vrr_core::{Msg, ReadReport, StorageConfig, Value, WriteReport};
 use vrr_runtime::{
     blocking_read, blocking_write, group_span, spawn_group_with, Cluster, GroupPids, GroupRole,
-    NoDelay, ProtocolKind, ReaderTuning,
+    NoDelay, ProtocolKind, ReaderTuning, ShardedStore, StoreError,
 };
 use vrr_sim::{Automaton, Context, ProcessId};
 
@@ -140,6 +140,40 @@ pub struct ByzSpec<V> {
     pub forged: V,
 }
 
+/// One Byzantine substitution inside a hosted store: object `object` of
+/// **every** shard runs `kind`'s attacker forging `forged` — the
+/// worst-case layout the PR 7 rebalance drill drains through.
+#[derive(Clone, Debug)]
+pub struct StoreByzSpec<V> {
+    /// Base-object index within each shard.
+    pub object: usize,
+    /// Which attacker to run.
+    pub kind: AttackerKind,
+    /// The value the attacker forges.
+    pub forged: V,
+}
+
+/// Asks a node to host a [`ShardedStore`] — a whole router cluster in one
+/// OS process, served to remote `StoreRouter`s through the keyed
+/// [`Op`] vocabulary (`vrr_runtime`'s `RemoteCluster` is the client side).
+#[derive(Clone, Debug)]
+pub struct StoreSpec<V> {
+    /// Register shards to provision (the store's capacity contract).
+    pub capacity: usize,
+    /// Byzantine substitutions applied to every shard.
+    pub byzantine: Vec<StoreByzSpec<V>>,
+}
+
+impl<V> StoreSpec<V> {
+    /// A clean store of `capacity` shards.
+    pub fn new(capacity: usize) -> Self {
+        StoreSpec {
+            capacity,
+            byzantine: Vec::new(),
+        }
+    }
+}
+
 /// Per-node deployment parameters (the parts not fixed by the topology).
 #[derive(Clone, Debug)]
 pub struct NetNodeConfig<V> {
@@ -157,11 +191,17 @@ pub struct NetNodeConfig<V> {
     pub workers: usize,
     /// Byzantine substitutions for locally hosted objects.
     pub byzantine: Vec<ByzSpec<V>>,
+    /// Host a key-value store (router-member mode) alongside the slot
+    /// deployment.
+    pub store: Option<StoreSpec<V>>,
+    /// Serve `GET /metrics` (Prometheus text) on this address, off the
+    /// same epoll reactor as the frame protocol.
+    pub metrics_addr: Option<SocketAddr>,
 }
 
 impl<V> NetNodeConfig<V> {
     /// Defaults: keep-all retention, default tuning, epoch 0, one worker,
-    /// no Byzantine objects.
+    /// no Byzantine objects, no hosted store, no metrics endpoint.
     pub fn new(cfg: StorageConfig, kind: ProtocolKind) -> Self {
         NetNodeConfig {
             cfg,
@@ -171,6 +211,8 @@ impl<V> NetNodeConfig<V> {
             epoch: 0,
             workers: 1,
             byzantine: Vec::new(),
+            store: None,
+            metrics_addr: None,
         }
     }
 }
@@ -188,6 +230,8 @@ struct ServerCtx<V: Value + Wire> {
     placement: GroupPlacement,
     pid_node: Vec<u32>,
     transport: Arc<TcpTransport<V>>,
+    /// Hosted key-value store (router-member mode), if any.
+    store: Option<ShardedStore<Vec<u8>, V>>,
     /// Client-op rounds/latency histograms for the metrics snapshot.
     ops: Mutex<Registry>,
     shutdown: AtomicBool,
@@ -198,6 +242,7 @@ struct ServerCtx<V: Value + Wire> {
 pub struct NetNode<V: Value + Wire> {
     ctx: Arc<ServerCtx<V>>,
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     event_thread: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -206,7 +251,8 @@ impl<V: Value + Wire> NetNode<V> {
     /// address works — see [`NetNode::addr`] for what was actually bound),
     /// spawning the full global pid space, and launching the event loop.
     pub fn start(node: u32, topo: &NodeTopology, ncfg: NetNodeConfig<V>) -> io::Result<Self> {
-        let (handle, ev_rx, bound) = reactor::spawn(Some(topo.addrs[node as usize]))?;
+        let (handle, ev_rx, bound, metrics_addr) =
+            reactor::spawn_with_http(Some(topo.addrs[node as usize]), ncfg.metrics_addr)?;
         let addr = bound.expect("listening reactor reports its address");
         let pid_node = topo.pid_node(ncfg.cfg);
         let transport = TcpTransport::<V>::new(
@@ -260,6 +306,26 @@ impl<V: Value + Wire> NetNode<V> {
         }
         cluster.seal();
 
+        let store = ncfg.store.as_ref().map(|spec| {
+            ShardedStore::deploy_with_objects(
+                ncfg.cfg,
+                ncfg.kind,
+                Box::new(NoDelay),
+                spec.capacity,
+                |_shard, i| {
+                    spec.byzantine
+                        .iter()
+                        .find(|b| b.object == i)
+                        .map(|b| match ncfg.kind {
+                            ProtocolKind::Safe => b.kind.build_safe(ncfg.cfg, b.forged.clone()),
+                            ProtocolKind::Regular | ProtocolKind::RegularOptimized => {
+                                b.kind.build_regular(ncfg.cfg, b.forged.clone())
+                            }
+                        })
+                },
+            )
+        });
+
         let ctx = Arc::new(ServerCtx {
             node,
             cfg: ncfg.cfg,
@@ -269,6 +335,7 @@ impl<V: Value + Wire> NetNode<V> {
             placement: topo.placement.clone(),
             pid_node,
             transport,
+            store,
             ops: Mutex::new(Registry::new()),
             shutdown: AtomicBool::new(false),
         });
@@ -279,6 +346,7 @@ impl<V: Value + Wire> NetNode<V> {
         Ok(NetNode {
             ctx,
             addr,
+            metrics_addr,
             event_thread: Some(event_thread),
         })
     }
@@ -286,6 +354,17 @@ impl<V: Value + Wire> NetNode<V> {
     /// The actually-bound listen address.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The actually-bound `GET /metrics` address, if one was requested.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
+    }
+
+    /// The hosted key-value store, if this node runs in router-member
+    /// mode.
+    pub fn store(&self) -> Option<&ShardedStore<Vec<u8>, V>> {
+        self.ctx.store.as_ref()
     }
 
     /// This node's id.
@@ -390,6 +469,10 @@ fn event_loop<V: Value + Wire>(ctx: Arc<ServerCtx<V>>, ev_rx: Receiver<NetEvent>
             return;
         }
         match ev_rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(NetEvent::HttpRequest { conn, head }) => {
+                let rsp = ctx.http_response(&head);
+                ctx.transport.handle().finish(conn, rsp);
+            }
             Ok(ev) => match ctx.transport.handle_event(ev) {
                 Some(Inbound::Peer { from, to, msg }) => {
                     // Only inject at pids this node really hosts; a confused
@@ -452,7 +535,27 @@ impl<V: Value + Wire> ServerCtx<V> {
         reg.counter_add(names::EXECUTOR_WAKEUPS, &[], stats.wakeups);
         reg.counter_add(names::EXECUTOR_COMMANDS, &[], stats.commands);
         self.transport.record_metrics(&mut reg);
+        if let Some(store) = &self.store {
+            reg.merge(&store.metrics_snapshot());
+        }
         reg
+    }
+
+    /// Answers one HTTP request head: `GET /metrics` gets the Prometheus
+    /// snapshot, anything else a 404. Always `Connection: close` — the
+    /// reactor drops the connection after the flush.
+    fn http_response(&self, head: &[u8]) -> Vec<u8> {
+        let line = head.split(|&b| b == b'\r').next().unwrap_or(b"");
+        let (status, body) = if line.starts_with(b"GET /metrics") {
+            ("200 OK", self.metrics().to_prometheus())
+        } else {
+            ("404 Not Found", "try GET /metrics\n".to_string())
+        };
+        format!(
+            "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len(),
+        )
+        .into_bytes()
     }
 
     fn serve(self: Arc<Self>, conn: crate::reactor::ConnId, id: u64, op: Op<V>) {
@@ -530,6 +633,82 @@ impl<V: Value + Wire> ServerCtx<V> {
                 self.shutdown.store(true, Ordering::SeqCst);
                 Rsp::ShuttingDown
             }
+            Op::WriteKey { key, value } => self.with_store(|s| match s.try_write(key, value) {
+                Ok(report) => Rsp::Wrote {
+                    ts: report.ts,
+                    rounds: report.rounds,
+                },
+                Err(StoreError::OverCapacity { capacity }) => Rsp::OverCapacity {
+                    capacity: capacity as u32,
+                },
+                Err(e) => Rsp::Err {
+                    what: e.to_string(),
+                },
+            }),
+            Op::ReadKey { key, reader } => self.with_store(|s| {
+                if reader as usize >= s.config().readers {
+                    return Rsp::Err {
+                        what: format!("reader {reader} out of range"),
+                    };
+                }
+                match s.read(&key, reader as usize) {
+                    Some(report) => Rsp::ReadOk {
+                        value: report.value,
+                        ts: report.ts,
+                        rounds: report.rounds,
+                        fast: report.fast,
+                    },
+                    None => Rsp::NoKey,
+                }
+            }),
+            Op::ReleaseKey { key } => self.with_store(|s| Rsp::Released {
+                slot: s.release(&key).map(|slot| slot as u32),
+            }),
+            Op::StoreKeys => self.with_store(|s| Rsp::StoreKeys { keys: s.keys() }),
+            Op::SlotOfKey { key } => self.with_store(|s| match s.shard_of(&key) {
+                Some(slot) => Rsp::Slot { slot: slot as u32 },
+                None => Rsp::NoKey,
+            }),
+            Op::CrashShard { slot, object } => self.with_store(|s| {
+                let (slot, object) = (slot as usize, object as usize);
+                if slot >= s.capacity() || object >= s.config().s {
+                    return Rsp::Err {
+                        what: format!("shard {slot} / object {object} out of range"),
+                    };
+                }
+                s.crash_object(slot, object);
+                Rsp::Crashed
+            }),
+            Op::ShardHistoryLens { slot } => self.with_store(|s| {
+                let slot = slot as usize;
+                if slot >= s.capacity() {
+                    return Rsp::Err {
+                        what: format!("shard {slot} out of range"),
+                    };
+                }
+                Rsp::Lens {
+                    lens: s.history_lens(slot).into_iter().map(|l| l as u64).collect(),
+                }
+            }),
+            Op::StoreInfo => self.with_store(|s| Rsp::StoreInfo {
+                capacity: s.capacity() as u32,
+                keys: s.len() as u32,
+                free_slots: s.free_slots() as u32,
+            }),
+            Op::StoreMetrics { cluster } => self.with_store(|s| Rsp::StoreMetrics {
+                registry: s.metrics_snapshot_labelled(cluster.map(|c| c as usize)),
+            }),
+        }
+    }
+
+    /// Runs `f` against the hosted store, or answers the typed "no store"
+    /// error when this node was started without one.
+    fn with_store(&self, f: impl FnOnce(&ShardedStore<Vec<u8>, V>) -> Rsp<V>) -> Rsp<V> {
+        match &self.store {
+            Some(store) => f(store),
+            None => Rsp::Err {
+                what: "no store hosted here (start the node with a store spec)".into(),
+            },
         }
     }
 }

@@ -33,7 +33,12 @@ pub type ConnId = u64;
 
 const WAKER: Token = Token(0);
 const LISTENER: Token = Token(1);
-const CONN_BASE: usize = 2;
+const HTTP_LISTENER: Token = Token(2);
+const CONN_BASE: usize = 3;
+
+/// Largest HTTP request head the metrics listener buffers before giving
+/// up on the connection (a `GET /metrics` fits in a fraction of this).
+const MAX_HTTP_HEAD: usize = 8 * 1024;
 
 /// Monotonically-increasing transport counters, shared between the reactor
 /// thread and metric snapshots.
@@ -96,11 +101,22 @@ pub enum NetEvent {
         /// The dead connection.
         conn: ConnId,
     },
+    /// A complete HTTP request head arrived on the metrics listener.
+    /// HTTP connections are invisible to the frame protocol: they emit
+    /// only this event, and the consumer answers with
+    /// [`ReactorHandle::finish`].
+    HttpRequest {
+        /// The connection it arrived on.
+        conn: ConnId,
+        /// Raw head bytes up to and including the blank line.
+        head: Vec<u8>,
+    },
 }
 
 enum Cmd {
     Connect { conn: ConnId, addr: SocketAddr },
     Send { conn: ConnId, frame: Vec<u8> },
+    Finish { conn: ConnId, bytes: Vec<u8> },
     Close { conn: ConnId },
     Shutdown,
 }
@@ -128,6 +144,13 @@ impl ReactorHandle {
     /// the death via [`NetEvent::Closed`] and rebuffers at its own layer).
     pub fn send(&self, conn: ConnId, frame: Vec<u8>) {
         self.push(Cmd::Send { conn, frame });
+    }
+
+    /// Queues raw `bytes` (no framing) for `conn`, then closes it once
+    /// everything flushed — the HTTP response path, where a plain
+    /// [`ReactorHandle::close`] would drop the queued body.
+    pub fn finish(&self, conn: ConnId, bytes: Vec<u8>) {
+        self.push(Cmd::Finish { conn, bytes });
     }
 
     /// Closes `conn`, dropping anything still queued on it.
@@ -163,6 +186,30 @@ struct Conn {
     connected: bool,
     /// Current `WRITABLE` registration state, to avoid redundant syscalls.
     want_write: bool,
+    /// Accepted on the HTTP listener: bytes go to `http_buf` instead of
+    /// the frame reader, and the connection never surfaces to the frame
+    /// protocol's consumer.
+    http: bool,
+    /// Raw bytes buffered while waiting for a complete HTTP head.
+    http_buf: Vec<u8>,
+    /// Drop the connection once `outq` drains ([`ReactorHandle::finish`]).
+    close_on_flush: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, connected: bool, want_write: bool, http: bool) -> Self {
+        Conn {
+            stream,
+            reader: FrameReader::new(),
+            outq: VecDeque::new(),
+            out_pos: 0,
+            connected,
+            want_write,
+            http,
+            http_buf: Vec::new(),
+            close_on_flush: false,
+        }
+    }
 }
 
 /// Spawns a reactor thread. With `listen = Some(addr)` the reactor also
@@ -171,6 +218,28 @@ struct Conn {
 pub fn spawn(
     listen: Option<SocketAddr>,
 ) -> io::Result<(ReactorHandle, Receiver<NetEvent>, Option<SocketAddr>)> {
+    let (handle, ev_rx, bound, _) = spawn_with_http(listen, None)?;
+    Ok((handle, ev_rx, bound))
+}
+
+/// Everything [`spawn_with_http`] hands back: the command handle, the
+/// event stream, and the actually-bound frame and HTTP listener addresses
+/// (in that order; `None` where no listener was requested).
+pub type SpawnedReactor = (
+    ReactorHandle,
+    Receiver<NetEvent>,
+    Option<SocketAddr>,
+    Option<SocketAddr>,
+);
+
+/// Like [`spawn`], but additionally binds `http_listen` as a raw-byte HTTP
+/// listener on the same epoll loop: connections accepted there emit
+/// [`NetEvent::HttpRequest`] instead of frames, and are answered with
+/// [`ReactorHandle::finish`]. Returns both actually-bound addresses.
+pub fn spawn_with_http(
+    listen: Option<SocketAddr>,
+    http_listen: Option<SocketAddr>,
+) -> io::Result<SpawnedReactor> {
     let poll = Poll::new()?;
     let waker = Arc::new(Waker::new(poll.registry(), WAKER)?);
     let mut listener = match listen {
@@ -183,6 +252,18 @@ pub fn spawn(
     };
     if let Some(l) = listener.as_mut() {
         poll.registry().register(l, LISTENER, Interest::READABLE)?;
+    }
+    let mut http_listener = match http_listen {
+        Some(addr) => Some(TcpListener::bind(addr)?),
+        None => None,
+    };
+    let http_bound = match &http_listener {
+        Some(l) => Some(l.local_addr()?),
+        None => None,
+    };
+    if let Some(l) = http_listener.as_mut() {
+        poll.registry()
+            .register(l, HTTP_LISTENER, Interest::READABLE)?;
     }
 
     let (cmd_tx, cmd_rx) = unbounded();
@@ -198,6 +279,7 @@ pub fn spawn(
         poll,
         waker,
         listener,
+        http_listener,
         conns: HashMap::new(),
         cmd_rx,
         ev_tx,
@@ -207,13 +289,14 @@ pub fn spawn(
     std::thread::Builder::new()
         .name("vrr-net-reactor".into())
         .spawn(move || reactor.run())?;
-    Ok((handle, ev_rx, bound))
+    Ok((handle, ev_rx, bound, http_bound))
 }
 
 struct Reactor {
     poll: Poll,
     waker: Arc<Waker>,
     listener: Option<TcpListener>,
+    http_listener: Option<TcpListener>,
     conns: HashMap<ConnId, Conn>,
     cmd_rx: Receiver<Cmd>,
     ev_tx: Sender<NetEvent>,
@@ -236,7 +319,8 @@ impl Reactor {
             for ev in &events {
                 match ev.token() {
                     WAKER => self.waker.drain(),
-                    LISTENER => self.accept_all(),
+                    LISTENER => self.accept_all(false),
+                    HTTP_LISTENER => self.accept_all(true),
                     Token(t) => ready.push((
                         (t - CONN_BASE) as ConnId,
                         ev.is_readable(),
@@ -258,6 +342,12 @@ impl Reactor {
                 match cmd {
                     Cmd::Connect { conn, addr } => self.start_connect(conn, addr),
                     Cmd::Send { conn, frame } => self.queue_frame(conn, frame),
+                    Cmd::Finish { conn, bytes } => {
+                        if let Some(c) = self.conns.get_mut(&conn) {
+                            c.close_on_flush = true;
+                        }
+                        self.queue_frame(conn, bytes);
+                    }
                     Cmd::Close { conn } => self.drop_conn(conn, true),
                     Cmd::Shutdown => return,
                 }
@@ -269,23 +359,20 @@ impl Reactor {
         let _ = self.ev_tx.send(ev);
     }
 
-    fn accept_all(&mut self) {
+    fn accept_all(&mut self, http: bool) {
         loop {
-            let listener = match &self.listener {
+            let listener = match if http {
+                &self.http_listener
+            } else {
+                &self.listener
+            } {
                 Some(l) => l,
                 None => return,
             };
             match listener.accept() {
                 Ok((stream, peer)) => {
                     let conn = self.next_conn.fetch_add(1, Ordering::Relaxed);
-                    let mut c = Conn {
-                        stream,
-                        reader: FrameReader::new(),
-                        outq: VecDeque::new(),
-                        out_pos: 0,
-                        connected: true,
-                        want_write: false,
-                    };
+                    let mut c = Conn::new(stream, true, false, http);
                     if self
                         .poll
                         .registry()
@@ -297,7 +384,9 @@ impl Reactor {
                         .is_ok()
                     {
                         self.conns.insert(conn, c);
-                        self.emit(NetEvent::Accepted { conn, peer });
+                        if !http {
+                            self.emit(NetEvent::Accepted { conn, peer });
+                        }
                     }
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
@@ -310,14 +399,7 @@ impl Reactor {
     fn start_connect(&mut self, conn: ConnId, addr: SocketAddr) {
         match TcpStream::connect(addr) {
             Ok(stream) => {
-                let mut c = Conn {
-                    stream,
-                    reader: FrameReader::new(),
-                    outq: VecDeque::new(),
-                    out_pos: 0,
-                    connected: false,
-                    want_write: true,
-                };
+                let mut c = Conn::new(stream, false, true, false);
                 // READABLE | WRITABLE: the first writable event completes
                 // (or fails) the connect.
                 match self.poll.registry().register(
@@ -401,7 +483,9 @@ impl Reactor {
                     if c.out_pos == front.len() {
                         c.outq.pop_front();
                         c.out_pos = 0;
-                        self.counters.frames_sent.fetch_add(1, Ordering::Relaxed);
+                        if !c.http {
+                            self.counters.frames_sent.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
@@ -412,7 +496,12 @@ impl Reactor {
                 }
             }
         }
-        let want = !self.conns[&conn].outq.is_empty();
+        let c = &self.conns[&conn];
+        if c.outq.is_empty() && c.close_on_flush {
+            self.drop_conn(conn, false);
+            return;
+        }
+        let want = !c.outq.is_empty();
         self.set_write_interest(conn, want);
     }
 
@@ -453,7 +542,11 @@ impl Reactor {
                     break;
                 }
                 Ok(n) => {
-                    c.reader.extend(&buf[..n]);
+                    if c.http {
+                        c.http_buf.extend_from_slice(&buf[..n]);
+                    } else {
+                        c.reader.extend(&buf[..n]);
+                    }
                     self.counters
                         .bytes_received
                         .fetch_add(n as u64, Ordering::Relaxed);
@@ -465,6 +558,10 @@ impl Reactor {
                     break;
                 }
             }
+        }
+        if self.conns.get(&conn).is_some_and(|c| c.http) {
+            self.drain_http(conn, peer_gone);
+            return;
         }
         // Surface every complete frame buffered so far, even when the peer
         // vanished right after sending them.
@@ -494,10 +591,34 @@ impl Reactor {
         }
     }
 
+    /// Emits one [`NetEvent::HttpRequest`] per complete head buffered on
+    /// an HTTP connection; a connection whose head never completes (peer
+    /// gone, or oversized) is dropped silently.
+    fn drain_http(&mut self, conn: ConnId, peer_gone: bool) {
+        let c = match self.conns.get_mut(&conn) {
+            Some(c) => c,
+            None => return,
+        };
+        if let Some(end) = c
+            .http_buf
+            .windows(4)
+            .position(|w| w == b"\r\n\r\n")
+            .map(|p| p + 4)
+        {
+            let head = c.http_buf[..end].to_vec();
+            c.http_buf.clear();
+            self.emit(NetEvent::HttpRequest { conn, head });
+            return;
+        }
+        if peer_gone || c.http_buf.len() > MAX_HTTP_HEAD {
+            self.drop_conn(conn, false);
+        }
+    }
+
     fn drop_conn(&mut self, conn: ConnId, announce: bool) {
         if let Some(mut c) = self.conns.remove(&conn) {
             let _ = self.poll.registry().deregister(&mut c.stream);
-            if announce {
+            if announce && !c.http {
                 self.emit(NetEvent::Closed { conn });
             }
         }

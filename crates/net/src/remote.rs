@@ -1,0 +1,290 @@
+//! [`RemoteCluster`]: a [`ClusterBackend`] whose automata live in another
+//! OS process.
+//!
+//! The client side of router-member mode: a `vrr-server` started with a
+//! store spec hosts a full `ShardedStore<Vec<u8>, V>` (writer + objects +
+//! readers per shard), and a `RemoteCluster` drives it through the keyed
+//! [`Op`] vocabulary over a small pool of blocking [`NetClient`]
+//! connections. A [`vrr_runtime::StoreRouter`] built over
+//! `Arc<dyn ClusterBackend<K, V>>` cannot tell the difference — the same
+//! seeded-hash ring spans in-proc worker pools and remote processes, and
+//! the never-expose-intermediate-state rebalance (regular-`READ` copy,
+//! write into the destination, release the source, repoint the ring) works
+//! unchanged across process boundaries.
+//!
+//! Keys cross the wire in the client's own [`Wire`] encoding as opaque
+//! bytes; the server never interprets them beyond equality and hashing, so
+//! a heterogeneous ring does not need the key type compiled into the
+//! server binary.
+//!
+//! ## Failure semantics
+//!
+//! Every request runs under the cluster's [`RetryPolicy`] (bounded
+//! exponential backoff, seeded jitter; retries surface in the
+//! `vrr_net_wire_retry_total` counter of
+//! [`RemoteCluster::metrics_snapshot_labelled`]). A request that exhausts
+//! the budget on [`ClusterBackend::try_write`] returns the typed
+//! [`StoreError::Backend`]; on the inspection and read paths it panics,
+//! mirroring the in-process contract where a wedged operation is a
+//! wait-freedom violation rather than an operational condition.
+
+use std::marker::PhantomData;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use vrr_core::metrics::{names, MetricsSink, Registry};
+use vrr_core::wire::{decode_exact, Wire};
+use vrr_core::{ReadReport, Value, WriteReport};
+use vrr_runtime::{ClusterBackend, StoreError};
+
+use crate::client::{ClientError, NetClient, RetryPolicy};
+use crate::frame::{Op, Rsp};
+
+/// Connection-pool sizing and retry budget for a [`RemoteCluster`].
+#[derive(Clone, Debug)]
+pub struct RemoteClusterConfig {
+    /// TCP connections in the pool (round-robin; each operation holds one
+    /// for its blocking round-trip, so this bounds per-cluster request
+    /// concurrency).
+    pub connections: usize,
+    /// Retry/backoff budget applied to every request and to the initial
+    /// dials.
+    pub retry: RetryPolicy,
+}
+
+impl RemoteClusterConfig {
+    /// `connections` connections, retrying under `retry`.
+    pub fn new(connections: usize, retry: RetryPolicy) -> Self {
+        RemoteClusterConfig { connections, retry }
+    }
+}
+
+impl Default for RemoteClusterConfig {
+    /// Two connections, default backoff seeded deterministically.
+    fn default() -> Self {
+        RemoteClusterConfig::new(2, RetryPolicy::with_seed(0xC0FFEE))
+    }
+}
+
+/// One remote shard-cluster: a [`ClusterBackend`] implementation that
+/// forwards every operation to a store-hosting `vrr-server` over TCP.
+///
+/// ```no_run
+/// use vrr_net::{RemoteCluster, RemoteClusterConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cluster: RemoteCluster<String, u64> =
+///     RemoteCluster::connect("127.0.0.1:7200".parse()?, RemoteClusterConfig::default())?;
+/// # Ok(())
+/// # }
+/// ```
+pub struct RemoteCluster<K, V> {
+    addr: SocketAddr,
+    pool: Vec<Mutex<NetClient<V>>>,
+    next: AtomicUsize,
+    retry: RetryPolicy,
+    _marker: PhantomData<fn(K) -> K>,
+}
+
+impl<K, V: Value + Wire> RemoteCluster<K, V> {
+    /// Dials `cfg.connections` connections to the store-hosting server at
+    /// `addr` (each dial itself under `cfg.retry`).
+    pub fn connect(addr: SocketAddr, cfg: RemoteClusterConfig) -> Result<Self, ClientError> {
+        let connections = cfg.connections.max(1);
+        let pool = (0..connections)
+            .map(|_| NetClient::connect_with_retry(addr, &cfg.retry).map(Mutex::new))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(RemoteCluster {
+            addr,
+            pool,
+            next: AtomicUsize::new(0),
+            retry: cfg.retry,
+            _marker: PhantomData,
+        })
+    }
+
+    /// The server this cluster forwards to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Total wire-level retries burned across the pool so far.
+    pub fn retries(&self) -> u64 {
+        self.pool
+            .iter()
+            .map(|c| c.lock().expect("client lock").retry_count())
+            .sum()
+    }
+
+    /// Round-robin request through the pool under the retry budget.
+    fn request(&self, op: Op<V>) -> Result<Rsp<V>, ClientError>
+    where
+        V: Clone,
+    {
+        let pick = self.next.fetch_add(1, Ordering::Relaxed) % self.pool.len();
+        let mut client = self.pool[pick].lock().expect("client lock");
+        client.request_with_retry(op, &self.retry)
+    }
+
+    /// Like [`RemoteCluster::request`], but panicking on transport failure
+    /// and server-side errors — the inspection/read paths, where the
+    /// in-process backend would also panic rather than report.
+    fn demand(&self, op: Op<V>) -> Rsp<V>
+    where
+        V: Clone,
+    {
+        let what = format!("{op:?}");
+        match self.request(op) {
+            Ok(Rsp::Err { what: server }) => {
+                panic!("remote cluster {}: {what}: {server}", self.addr)
+            }
+            Ok(rsp) => rsp,
+            Err(e) => panic!("remote cluster {}: {what}: {e}", self.addr),
+        }
+    }
+}
+
+fn key_bytes<K: Wire>(key: &K) -> Vec<u8> {
+    let mut buf = Vec::new();
+    key.encode(&mut buf);
+    buf
+}
+
+impl<K, V> ClusterBackend<K, V> for RemoteCluster<K, V>
+where
+    K: Wire + Eq + std::hash::Hash + Clone + Send + Sync,
+    V: Value + Wire,
+{
+    fn try_write(&self, key: K, value: V) -> Result<WriteReport, StoreError> {
+        let op = Op::WriteKey {
+            key: key_bytes(&key),
+            value,
+        };
+        match self.request(op) {
+            Ok(Rsp::Wrote { ts, rounds }) => Ok(WriteReport { ts, rounds }),
+            Ok(Rsp::OverCapacity { capacity }) => Err(StoreError::OverCapacity {
+                capacity: capacity as usize,
+            }),
+            Ok(Rsp::Err { what }) => Err(StoreError::Backend { what }),
+            Ok(other) => Err(StoreError::Backend {
+                what: format!("unexpected response {other:?}"),
+            }),
+            Err(e) => Err(StoreError::Backend {
+                what: e.to_string(),
+            }),
+        }
+    }
+
+    fn read(&self, key: &K, reader: usize) -> Option<ReadReport<V>> {
+        match self.demand(Op::ReadKey {
+            key: key_bytes(key),
+            reader: reader as u32,
+        }) {
+            Rsp::ReadOk {
+                value,
+                ts,
+                rounds,
+                fast,
+            } => Some(ReadReport {
+                value,
+                ts,
+                rounds,
+                fast,
+            }),
+            Rsp::NoKey => None,
+            other => panic!("remote cluster {}: unexpected {other:?}", self.addr),
+        }
+    }
+
+    fn release(&self, key: &K) -> Option<usize> {
+        match self.demand(Op::ReleaseKey {
+            key: key_bytes(key),
+        }) {
+            Rsp::Released { slot } => slot.map(|s| s as usize),
+            other => panic!("remote cluster {}: unexpected {other:?}", self.addr),
+        }
+    }
+
+    fn keys(&self) -> Vec<K> {
+        match self.demand(Op::StoreKeys) {
+            Rsp::StoreKeys { keys } => keys
+                .iter()
+                .map(|bytes| decode_exact::<K>(bytes).expect("server echoes our own key encoding"))
+                .collect(),
+            other => panic!("remote cluster {}: unexpected {other:?}", self.addr),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self.demand(Op::StoreInfo) {
+            Rsp::StoreInfo { keys, .. } => keys as usize,
+            other => panic!("remote cluster {}: unexpected {other:?}", self.addr),
+        }
+    }
+
+    fn contains_key(&self, key: &K) -> bool {
+        self.shard_of(key).is_some()
+    }
+
+    fn shard_of(&self, key: &K) -> Option<usize> {
+        match self.demand(Op::SlotOfKey {
+            key: key_bytes(key),
+        }) {
+            Rsp::Slot { slot } => Some(slot as usize),
+            Rsp::NoKey => None,
+            other => panic!("remote cluster {}: unexpected {other:?}", self.addr),
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        match self.demand(Op::StoreInfo) {
+            Rsp::StoreInfo { capacity, .. } => capacity as usize,
+            other => panic!("remote cluster {}: unexpected {other:?}", self.addr),
+        }
+    }
+
+    fn free_slots(&self) -> usize {
+        match self.demand(Op::StoreInfo) {
+            Rsp::StoreInfo { free_slots, .. } => free_slots as usize,
+            other => panic!("remote cluster {}: unexpected {other:?}", self.addr),
+        }
+    }
+
+    fn crash_object(&self, slot: usize, object: usize) {
+        match self.demand(Op::CrashShard {
+            slot: slot as u32,
+            object: object as u32,
+        }) {
+            Rsp::Crashed => {}
+            other => panic!("remote cluster {}: unexpected {other:?}", self.addr),
+        }
+    }
+
+    fn history_lens(&self, slot: usize) -> Vec<usize> {
+        match self.demand(Op::ShardHistoryLens { slot: slot as u32 }) {
+            Rsp::Lens { lens } => lens.into_iter().map(|l| l as usize).collect(),
+            other => panic!("remote cluster {}: unexpected {other:?}", self.addr),
+        }
+    }
+
+    fn metrics_snapshot_labelled(&self, cluster: Option<usize>) -> Registry {
+        let mut registry = match self.demand(Op::StoreMetrics {
+            cluster: cluster.map(|c| c as u32),
+        }) {
+            Rsp::StoreMetrics { registry } => registry,
+            other => panic!("remote cluster {}: unexpected {other:?}", self.addr),
+        };
+        // The server cannot see client-side wire retries; fold the pool's
+        // cumulative count into the snapshot here.
+        let retries = self.retries();
+        if retries > 0 {
+            registry.counter_add(names::WIRE_RETRIES, &[("scheme", "tcp")], retries);
+        }
+        registry
+    }
+
+    fn scheme(&self) -> &'static str {
+        "tcp"
+    }
+}

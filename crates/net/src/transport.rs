@@ -323,6 +323,10 @@ impl<V: Wire> TcpTransport<V> {
                 self.forget_conn(conn);
                 None
             }
+            // HTTP requests are the node's business (metrics endpoint),
+            // not the frame transport's; the event loop intercepts them
+            // before this point.
+            NetEvent::HttpRequest { .. } => None,
             NetEvent::Closed { conn } | NetEvent::FrameError { conn, .. } => {
                 self.forget_conn(conn);
                 None

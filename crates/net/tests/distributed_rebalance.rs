@@ -1,0 +1,518 @@
+//! The distributed acceptance drill: a `StoreRouter` whose ring spans
+//! `RemoteCluster`s in separate `vrr-server` OS processes.
+//!
+//! Four families:
+//!
+//! * **Rebalance under faults, distributed** — the PR 7 drill rerun with
+//!   the faulty cluster in another OS process: add a cluster, then drain a
+//!   remote cluster whose every register group hosts a Truncator suffix
+//!   liar plus a crashed object, under concurrent writers and readers.
+//!   Every per-key history must stay checker-verified regular.
+//! * **Trace differential** — the same seeded sequential schedule driven
+//!   through an all-in-proc router and a remote-backed one must produce
+//!   byte-identical per-key histories and checker reports.
+//! * **`remove_cluster` vs in-flight writes** — a writer hammering a key
+//!   on the draining cluster races the drain; no write may be lost and
+//!   none may error.
+//! * **Retry + `/metrics`** — `request_with_retry` survives a connection
+//!   reset against a byte-level fake server, and a store-mode server
+//!   answers `GET /metrics` with its Prometheus snapshot over plain HTTP.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use vrr_checker::{check_regularity, OpHistory};
+use vrr_core::StorageConfig;
+use vrr_net::frame::{decode_body, encode_frame, Envelope, Payload};
+use vrr_net::{
+    free_addrs, Ctl, FrameReader, NetClient, Op, RemoteCluster, RemoteClusterConfig, RetryPolicy,
+    Rsp,
+};
+use vrr_runtime::{ClusterBackend, NoDelay, ProtocolKind, RouterConfig, ShardedStore, StoreRouter};
+
+/// Value forged by the Byzantine objects — never written by any client.
+const FORGED: u64 = 0xBAD_F00D;
+/// Distinct keys in the drill.
+const KEYS: u64 = 16;
+/// Write rounds per key.
+const ROUNDS: u64 = 5;
+/// Read passes over the whole key space per reader thread.
+const PASSES: u64 = 6;
+/// Per-cluster shard capacity (generous: rebalances consume slots).
+const CAPACITY: usize = 40;
+
+fn value_of(key: u64, r: u64) -> u64 {
+    key * 1000 + r
+}
+
+/// One store-mode `vrr-server` process: a single-node topology hosting a
+/// `ShardedStore<Vec<u8>, u64>` of [`CAPACITY`] shards sized
+/// `(t, b) = (2, 1)`.
+struct StoreServer {
+    child: Child,
+    addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
+}
+
+impl StoreServer {
+    /// Spawns the server. With `byzantine`, the last object of **every**
+    /// store shard runs a Truncator forging [`FORGED`]; with `metrics`,
+    /// the process also serves `GET /metrics` on an OS-assigned port.
+    fn spawn(addr: SocketAddr, byzantine: bool, metrics: bool) -> StoreServer {
+        let cfg = StorageConfig::optimal(2, 1, 1);
+        let mut args = vec![
+            "--node".to_string(),
+            "0".into(),
+            "--addrs".into(),
+            addr.to_string(),
+            "--t".into(),
+            "2".into(),
+            "--b".into(),
+            "1".into(),
+            "--readers".into(),
+            "1".into(),
+            "--kind".into(),
+            "regular-opt".into(),
+            "--store".into(),
+            CAPACITY.to_string(),
+        ];
+        if byzantine {
+            args.push("--store-byzantine".into());
+            args.push(format!("{}:truncator:{FORGED}", cfg.s - 1));
+        }
+        if metrics {
+            args.push("--metrics-addr".into());
+            args.push("127.0.0.1:0".into());
+        }
+        let mut child = Command::new(env!("CARGO_BIN_EXE_vrr-server"))
+            .args(&args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn vrr-server");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut lines = BufReader::new(stdout).lines();
+        let ready = lines.next().expect("READY line").expect("read READY");
+        let addr = ready
+            .trim()
+            .strip_prefix("READY ")
+            .unwrap_or_else(|| panic!("unexpected server banner: {ready:?}"))
+            .parse()
+            .expect("parse READY addr");
+        let metrics_addr = metrics.then(|| {
+            let line = lines.next().expect("METRICS line").expect("read METRICS");
+            line.trim()
+                .strip_prefix("METRICS ")
+                .unwrap_or_else(|| panic!("unexpected metrics banner: {line:?}"))
+                .parse()
+                .expect("parse METRICS addr")
+        });
+        StoreServer {
+            child,
+            addr,
+            metrics_addr,
+        }
+    }
+
+    fn backend(&self) -> Arc<dyn ClusterBackend<u64, u64>> {
+        let remote: RemoteCluster<u64, u64> =
+            RemoteCluster::connect(self.addr, RemoteClusterConfig::default())
+                .expect("connect remote cluster");
+        Arc::new(remote)
+    }
+}
+
+impl Drop for StoreServer {
+    fn drop(&mut self) {
+        self.child.kill().ok();
+        self.child.wait().ok();
+    }
+}
+
+/// A router whose first `remotes.len()` clusters are the given backends
+/// and whose later (added) clusters are in-proc pools.
+fn router_over(remotes: Vec<Arc<dyn ClusterBackend<u64, u64>>>) -> Arc<StoreRouter<u64, u64>> {
+    let cfg = StorageConfig::optimal(2, 1, 1);
+    let rc = RouterConfig::new(remotes.len(), CAPACITY)
+        .with_ring_slots(16)
+        .with_seed(2006);
+    let mut remotes: Vec<Option<Arc<dyn ClusterBackend<u64, u64>>>> =
+        remotes.into_iter().map(Some).collect();
+    Arc::new(StoreRouter::deploy_with_backends(
+        rc,
+        move |cluster| match remotes.get_mut(cluster).and_then(Option::take) {
+            Some(remote) => remote,
+            None => Arc::new(ShardedStore::deploy(
+                cfg,
+                ProtocolKind::RegularOptimized,
+                Box::new(NoDelay),
+                CAPACITY,
+            )),
+        },
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Family 1: the distributed rebalance drill (3 OS processes).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn distributed_rebalance_with_drained_remote_cluster_stays_regular() {
+    let addrs = free_addrs(2).expect("reserve ports");
+    // Cluster 0 (to be drained): every shard hosts a Truncator liar.
+    let faulty = StoreServer::spawn(addrs[0], true, false);
+    // Cluster 1: clean remote store. Test process + 2 servers = 3 OS
+    // processes.
+    let clean = StoreServer::spawn(addrs[1], false, false);
+    let router = router_over(vec![faulty.backend(), clean.backend()]);
+
+    // Bind every key (write round 1) before the storm.
+    for key in 0..KEYS {
+        router.write(key, value_of(key, 1));
+    }
+
+    // Crash one more object (beyond the liar) in a group of the remote
+    // faulty cluster — fault injection across the process boundary.
+    let victim = (0..KEYS)
+        .find(|k| router.cluster_of(k) == 0)
+        .expect("some key routes to cluster 0");
+    let store0 = router.cluster_store(0).expect("cluster 0 is live");
+    assert_eq!(store0.scheme(), "tcp");
+    let slot = store0.shard_of(&victim).expect("victim bound in cluster 0");
+    store0.crash_object(slot, 0);
+
+    // Shared logical clock + per-key histories. Round 1 is already in.
+    let clock = Arc::new(AtomicU64::new(0));
+    let histories: Arc<Vec<Mutex<OpHistory<u64>>>> = Arc::new(
+        (0..KEYS)
+            .map(|key| {
+                let mut h = OpHistory::new();
+                let t = clock.fetch_add(2, Ordering::SeqCst);
+                h.push_write(1, value_of(key, 1), t, Some(t + 1));
+                Mutex::new(h)
+            })
+            .collect(),
+    );
+
+    std::thread::scope(|scope| {
+        // Two writers, disjoint key sets (SWMR per key is preserved).
+        for w in 0..2u64 {
+            let router = Arc::clone(&router);
+            let clock = Arc::clone(&clock);
+            let histories = Arc::clone(&histories);
+            scope.spawn(move || {
+                for r in 2..=ROUNDS {
+                    for key in (0..KEYS).filter(|k| k % 2 == w) {
+                        let t1 = clock.fetch_add(1, Ordering::SeqCst);
+                        router.write(key, value_of(key, r));
+                        let t2 = clock.fetch_add(1, Ordering::SeqCst);
+                        histories[key as usize].lock().unwrap().push_write(
+                            r,
+                            value_of(key, r),
+                            t1,
+                            Some(t2),
+                        );
+                    }
+                }
+            });
+        }
+        // Two readers sweeping the key space.
+        for reader in 0..2usize {
+            let router = Arc::clone(&router);
+            let clock = Arc::clone(&clock);
+            let histories = Arc::clone(&histories);
+            scope.spawn(move || {
+                for _ in 0..PASSES {
+                    for key in 0..KEYS {
+                        let t1 = clock.fetch_add(1, Ordering::SeqCst);
+                        let rep = router.read(&key, 0).expect("bound key readable");
+                        let t2 = clock.fetch_add(1, Ordering::SeqCst);
+                        let value = rep.value.expect("bound key has a value");
+                        let seq = value % 1000;
+                        histories[key as usize].lock().unwrap().push_read(
+                            reader,
+                            seq,
+                            Some(value),
+                            t1,
+                            Some(t2),
+                        );
+                    }
+                }
+            });
+        }
+        // Main thread: live topology changes while the storm runs — grow
+        // to 3 clusters (in-proc: the ring is now heterogeneous), then
+        // drain and retire the remote faulty cluster 0.
+        std::thread::sleep(Duration::from_millis(20));
+        let added = router.add_cluster();
+        assert_eq!(added, 2);
+        std::thread::sleep(Duration::from_millis(20));
+        let moved = router.remove_cluster(0);
+        assert!(moved > 0, "cluster 0 held keys to drain");
+    });
+
+    // Zero checker-verified regularity violations, per key.
+    for (key, h) in histories.iter().enumerate() {
+        let h = h.lock().unwrap();
+        assert!(h.validate().is_ok(), "key {key}: malformed history");
+        let verdict = check_regularity(&h);
+        assert!(
+            verdict.is_ok(),
+            "key {key}: regularity violated under distributed rebalance: {verdict:?}"
+        );
+    }
+
+    // Every key survived the drain, none still routes to the retired
+    // remote cluster, and no read ever saw the forged value.
+    for key in 0..KEYS {
+        let rep = router.read(&key, 0).expect("key survived rebalance");
+        assert_ne!(rep.value, Some(FORGED));
+        assert_ne!(router.cluster_of(&key), 0);
+    }
+
+    // The drained process is still alive and answers: its store is empty.
+    let mut probe = NetClient::<u64>::connect(faulty.addr).expect("probe drained server");
+    match probe.request(Op::StoreInfo).expect("store info") {
+        Rsp::StoreInfo { keys, .. } => assert_eq!(keys, 0, "drained store still holds keys"),
+        other => panic!("unexpected {other:?}"),
+    }
+    drop(clean);
+}
+
+// ---------------------------------------------------------------------------
+// Family 2: in-proc vs distributed trace differential.
+// ---------------------------------------------------------------------------
+
+/// Runs the deterministic sequential schedule — bind, three write/read
+/// rounds with a mid-schedule add+drain rebalance — and returns the
+/// per-key histories. Identical inputs must yield identical histories on
+/// any conforming backend.
+fn run_schedule(router: &StoreRouter<u64, u64>) -> Vec<OpHistory<u64>> {
+    const DKEYS: u64 = 8;
+    let mut clock = 0u64;
+    let mut tick = || {
+        let t = clock;
+        clock += 1;
+        t
+    };
+    let mut histories: Vec<OpHistory<u64>> = (0..DKEYS).map(|_| OpHistory::new()).collect();
+    for r in 1..=3u64 {
+        for key in 0..DKEYS {
+            let t1 = tick();
+            router.write(key, value_of(key, r));
+            let t2 = tick();
+            histories[key as usize].push_write(r, value_of(key, r), t1, Some(t2));
+        }
+        if r == 2 {
+            // The rebalance happens inside the schedule, so the copy +
+            // dst-write + release machinery itself is part of the trace.
+            assert_eq!(router.add_cluster(), 2);
+            assert!(router.remove_cluster(0) > 0);
+        }
+        for key in 0..DKEYS {
+            let t1 = tick();
+            let rep = router.read(&key, 0).expect("bound key readable");
+            let t2 = tick();
+            let value = rep.value.expect("bound key has a value");
+            histories[key as usize].push_read(0, value % 1000, Some(value), t1, Some(t2));
+        }
+    }
+    histories
+}
+
+#[test]
+fn in_proc_and_distributed_traces_are_byte_identical() {
+    let cfg = StorageConfig::optimal(2, 1, 1);
+    let local = router_over(vec![
+        Arc::new(ShardedStore::<u64, u64>::deploy(
+            cfg,
+            ProtocolKind::RegularOptimized,
+            Box::new(NoDelay),
+            CAPACITY,
+        )),
+        Arc::new(ShardedStore::<u64, u64>::deploy(
+            cfg,
+            ProtocolKind::RegularOptimized,
+            Box::new(NoDelay),
+            CAPACITY,
+        )),
+    ]);
+    let addrs = free_addrs(2).expect("reserve ports");
+    let servers: Vec<StoreServer> = addrs
+        .iter()
+        .map(|&a| StoreServer::spawn(a, false, false))
+        .collect();
+    let remote = router_over(servers.iter().map(|s| s.backend()).collect());
+
+    let local_traces = run_schedule(&local);
+    let remote_traces = run_schedule(&remote);
+    assert_eq!(local_traces.len(), remote_traces.len());
+    for (key, (l, r)) in local_traces.iter().zip(&remote_traces).enumerate() {
+        // Byte-identical histories AND byte-identical checker reports:
+        // the distributed deployment is observationally indistinguishable
+        // from the in-proc one under a deterministic schedule.
+        assert_eq!(
+            format!("{l:?}"),
+            format!("{r:?}"),
+            "key {key}: traces diverge between in-proc and distributed"
+        );
+        assert_eq!(
+            format!("{:?}", check_regularity(l)),
+            format!("{:?}", check_regularity(r)),
+            "key {key}: checker reports diverge"
+        );
+        assert!(check_regularity(l).is_ok(), "key {key}: trace not regular");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Family 3: remove_cluster racing in-flight remote writes.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn remove_cluster_racing_in_flight_remote_writes_loses_nothing() {
+    let addrs = free_addrs(2).expect("reserve ports");
+    let servers: Vec<StoreServer> = addrs
+        .iter()
+        .map(|&a| StoreServer::spawn(a, false, false))
+        .collect();
+    let router = router_over(servers.iter().map(|s| s.backend()).collect());
+
+    for key in 0..KEYS {
+        router.write(key, value_of(key, 1));
+    }
+    let victim = (0..KEYS)
+        .find(|k| router.cluster_of(k) == 0)
+        .expect("some key routes to cluster 0");
+
+    const BURST: u64 = 30;
+    std::thread::scope(|scope| {
+        let writer = Arc::clone(&router);
+        scope.spawn(move || {
+            // Writes to the moving key must never error and never be
+            // lost, whichever side of the slot move each one lands on.
+            for r in 2..=BURST {
+                writer
+                    .try_write(victim, value_of(victim, r))
+                    .expect("write during drain");
+            }
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(router.remove_cluster(0) > 0);
+    });
+
+    let rep = router.read(&victim, 0).expect("victim survived the drain");
+    assert_eq!(
+        rep.value,
+        Some(value_of(victim, BURST)),
+        "last in-flight write lost across remove_cluster"
+    );
+    assert_ne!(router.cluster_of(&victim), 0);
+    for key in (0..KEYS).filter(|k| *k != victim) {
+        let rep = router.read(&key, 0).expect("key survived the drain");
+        assert_eq!(rep.value, Some(value_of(key, 1)));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Family 4: bounded retry against resets, and the HTTP metrics endpoint.
+// ---------------------------------------------------------------------------
+
+/// A byte-level fake server: drops the first connection after accepting it
+/// (a reset mid-request), then serves one `Ping` correctly on the second.
+#[test]
+fn request_with_retry_survives_a_connection_reset() {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind fake server");
+    let addr = listener.local_addr().expect("local addr");
+    let server = std::thread::spawn(move || {
+        // Connection 1: accept, then slam the door.
+        let (stream, _) = listener.accept().expect("accept 1");
+        drop(stream);
+        // Connection 2: speak the real protocol for one request.
+        let (mut stream, _) = listener.accept().expect("accept 2");
+        let mut reader = FrameReader::new();
+        let mut buf = [0u8; 4096];
+        loop {
+            let n = stream.read(&mut buf).expect("read");
+            if n == 0 {
+                return;
+            }
+            reader.extend(&buf[..n]);
+            while let Some(body) = reader.next_frame().expect("frame") {
+                let env = decode_body::<u64>(&body).expect("envelope");
+                if let Payload::Ctl(Ctl::Request { id, op: Op::Ping }) = env.payload {
+                    let rsp = Envelope::<u64> {
+                        source: 0,
+                        epoch: 0,
+                        seq: 0,
+                        payload: Payload::Ctl(Ctl::Response { id, rsp: Rsp::Pong }),
+                    };
+                    stream.write_all(&encode_frame(&rsp)).expect("respond");
+                    return;
+                }
+            }
+        }
+    });
+
+    let policy = RetryPolicy::with_seed(42);
+    let mut client = NetClient::<u64>::connect_with_retry(addr, &policy).expect("connect");
+    let rsp = client
+        .request_with_retry(Op::Ping, &policy)
+        .expect("ping survives the reset");
+    assert_eq!(rsp, Rsp::Pong);
+    assert!(
+        client.retry_count() >= 1,
+        "the reset must have burned at least one retry"
+    );
+    server.join().expect("fake server");
+}
+
+#[test]
+fn metrics_endpoint_serves_prometheus_over_http() {
+    let addrs = free_addrs(1).expect("reserve port");
+    let server = StoreServer::spawn(addrs[0], false, true);
+    let metrics_addr = server.metrics_addr.expect("metrics address");
+
+    // Generate some signal first: one write through the hosted store.
+    let mut client = NetClient::<u64>::connect(server.addr).expect("connect");
+    let key = {
+        let mut buf = Vec::new();
+        vrr_core::wire::Wire::encode(&7u64, &mut buf);
+        buf
+    };
+    match client
+        .request(Op::WriteKey { key, value: 11 })
+        .expect("write")
+    {
+        Rsp::Wrote { .. } => {}
+        other => panic!("unexpected {other:?}"),
+    }
+
+    let get = |target: &str| -> String {
+        let mut stream = std::net::TcpStream::connect(metrics_addr).expect("connect http");
+        stream
+            .write_all(
+                format!("GET {target} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").as_bytes(),
+            )
+            .expect("send request");
+        let mut text = String::new();
+        stream.read_to_string(&mut text).expect("read response");
+        text
+    };
+
+    let ok = get("/metrics");
+    assert!(ok.starts_with("HTTP/1.1 200 OK"), "bad status: {ok:.100}");
+    assert!(
+        ok.contains("vrr_writer_rounds") || ok.contains("vrr_"),
+        "no metrics in body: {ok:.300}"
+    );
+    let missing = get("/nope");
+    assert!(
+        missing.starts_with("HTTP/1.1 404"),
+        "bad status: {missing:.100}"
+    );
+}

@@ -19,6 +19,10 @@
 //! clusters through a seeded-hash [`RingTable`] — deterministic,
 //! directory-free routing with live cluster add/remove (rebalance stays
 //! regular while absorbing crash + Byzantine faults per register group).
+//! A router's cluster is anything implementing [`ClusterBackend`]: the
+//! in-process [`ShardedStore`], or `vrr-net`'s `RemoteCluster` driving a
+//! store hosted by a `vrr-server` in another OS process — one ring spans
+//! heterogeneous backends.
 //!
 //! Long-running regular deployments should pair the §5.1 suffix transfers
 //! with reader-ack history GC —
@@ -46,6 +50,7 @@
 
 #![warn(missing_docs)]
 
+mod backend;
 mod cluster;
 mod executor;
 mod ring;
@@ -54,6 +59,7 @@ mod scaleout;
 mod shard;
 mod storage;
 
+pub use backend::ClusterBackend;
 pub use cluster::{Cluster, NodeGone};
 pub use executor::ExecutorStats;
 pub use ring::{stable_hash_64, RingTable, StableHasher};

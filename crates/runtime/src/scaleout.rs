@@ -15,10 +15,12 @@
 //!   loads. The per-operation routing step is hash + one atomic load: no
 //!   global lock, no shared mutable map, and the same key routes to the
 //!   same cluster in every process and every replay of the same seed.
-//! * **Independent clusters.** Each shard-cluster is a full
-//!   [`ShardedStore`] — its own worker pool, register groups and fault
-//!   budget `(t, b)`. A crash or Byzantine object in one cluster is
-//!   invisible to every other.
+//! * **Independent clusters.** Each shard-cluster is a
+//!   [`ClusterBackend`] — its own register groups and fault budget
+//!   `(t, b)`, whether that is an in-process worker-pool
+//!   [`ShardedStore`] or a `RemoteCluster` speaking TCP to a
+//!   `vrr-server` in another OS process. A crash or Byzantine object in
+//!   one cluster is invisible to every other.
 //! * **Live rebalance.** [`StoreRouter::add_cluster`] /
 //!   [`StoreRouter::remove_cluster`] move whole ring slots between
 //!   clusters while operations keep flowing. A per-slot reader–writer
@@ -44,6 +46,7 @@ use parking_lot::{Mutex, RwLock};
 use vrr_core::metrics::{names, MetricsSink, Registry};
 use vrr_core::{ReadReport, StorageConfig, Value, WriteReport};
 
+use crate::backend::ClusterBackend;
 use crate::ring::RingTable;
 use crate::router::NoDelay;
 use crate::shard::{ShardedStore, StoreError};
@@ -90,14 +93,22 @@ impl RouterConfig {
 
 /// The factory a router keeps so [`StoreRouter::add_cluster`] can deploy
 /// new shard-clusters after construction.
-type StoreFactory<K, V> = Mutex<Box<dyn FnMut(usize) -> ShardedStore<K, V> + Send>>;
+type StoreFactory<K, V> = Mutex<Box<dyn FnMut(usize) -> Arc<dyn ClusterBackend<K, V>> + Send>>;
 
 /// Shard-clusters by index; retired slots hold `None` (indices are never
 /// reused — the ring stores indices).
-type ClusterList<K, V> = Vec<Option<Arc<ShardedStore<K, V>>>>;
+type ClusterList<K, V> = Vec<Option<Arc<dyn ClusterBackend<K, V>>>>;
 
 /// A multi-cluster key-value store: deterministic seeded routing over `C`
-/// independent [`ShardedStore`] clusters, with live add/remove rebalance.
+/// independent [`ClusterBackend`] clusters, with live add/remove
+/// rebalance.
+///
+/// A cluster is anything implementing [`ClusterBackend`]: the in-process
+/// worker-pool [`ShardedStore`], or `vrr-net`'s `RemoteCluster` driving a
+/// store hosted by a `vrr-server` in another OS process — one seeded ring
+/// can span both at once, and the rebalance path (regular-`READ` copy,
+/// destination write, source release, ring republish) is identical either
+/// way.
 ///
 /// # Examples
 ///
@@ -134,7 +145,11 @@ pub struct StoreRouter<K: Eq + Hash + Clone, V: Value> {
     ops: Mutex<Registry>,
 }
 
-impl<K: Eq + Hash + Clone, V: Value> StoreRouter<K, V> {
+impl<K, V> StoreRouter<K, V>
+where
+    K: Eq + Hash + Clone + Send + Sync + 'static,
+    V: Value,
+{
     /// Deploys `rc.clusters` shard-clusters, each a [`ShardedStore`] of
     /// `rc.capacity_per_cluster` register shards running `kind` under
     /// `cfg`, with no artificial link delay.
@@ -162,10 +177,25 @@ impl<K: Eq + Hash + Clone, V: Value> StoreRouter<K, V> {
         rc: RouterConfig,
         mut factory: impl FnMut(usize) -> ShardedStore<K, V> + Send + 'static,
     ) -> Self {
+        Self::deploy_with_backends(rc, move |cluster| {
+            Arc::new(factory(cluster)) as Arc<dyn ClusterBackend<K, V>>
+        })
+    }
+
+    /// The fully general deployment: every cluster is whatever
+    /// [`ClusterBackend`] `factory(cluster_index)` returns — in-process
+    /// stores, `RemoteCluster`s speaking to other OS processes, or a mix.
+    /// The factory is retained and reused by [`StoreRouter::add_cluster`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rc.clusters` or `rc.ring_slots` is zero.
+    pub fn deploy_with_backends(
+        rc: RouterConfig,
+        mut factory: impl FnMut(usize) -> Arc<dyn ClusterBackend<K, V>> + Send + 'static,
+    ) -> Self {
         assert!(rc.clusters > 0, "a router needs at least one cluster");
-        let clusters: Vec<Option<Arc<ShardedStore<K, V>>>> = (0..rc.clusters)
-            .map(|c| Some(Arc::new(factory(c))))
-            .collect();
+        let clusters: ClusterList<K, V> = (0..rc.clusters).map(|c| Some(factory(c))).collect();
         StoreRouter {
             ring: RingTable::new(rc.seed, rc.ring_slots, rc.clusters),
             slot_guards: (0..rc.ring_slots).map(|_| RwLock::new(())).collect(),
@@ -223,12 +253,14 @@ impl<K: Eq + Hash + Clone, V: Value> StoreRouter<K, V> {
     }
 
     /// The live shard-cluster at `index`, if any — the escape hatch for
-    /// fault injection and per-cluster inspection in tests.
-    pub fn cluster_store(&self, index: usize) -> Option<Arc<ShardedStore<K, V>>> {
+    /// fault injection and per-cluster inspection in tests. The returned
+    /// backend may execute in this process or in another one; callers see
+    /// only the [`ClusterBackend`] surface either way.
+    pub fn cluster_store(&self, index: usize) -> Option<Arc<dyn ClusterBackend<K, V>>> {
         self.clusters.read().get(index)?.clone()
     }
 
-    fn store(&self, index: usize) -> Arc<ShardedStore<K, V>> {
+    fn store(&self, index: usize) -> Arc<dyn ClusterBackend<K, V>> {
         self.clusters.read()[index]
             .as_ref()
             .expect("ring slot routed to a retired cluster")
@@ -302,7 +334,7 @@ impl<K: Eq + Hash + Clone, V: Value> StoreRouter<K, V> {
         let index = {
             let mut clusters = self.clusters.write();
             let index = clusters.len();
-            let store = Arc::new((self.factory.lock())(index));
+            let store = (self.factory.lock())(index);
             clusters.push(Some(store));
             index
         };
@@ -399,7 +431,7 @@ impl<K: Eq + Hash + Clone, V: Value> StoreRouter<K, V> {
     /// clusters).
     pub fn metrics_snapshot(&self) -> Registry {
         let mut reg = self.ops.lock().clone();
-        let live: Vec<(usize, Arc<ShardedStore<K, V>>)> = self
+        let live: Vec<(usize, Arc<dyn ClusterBackend<K, V>>)> = self
             .clusters
             .read()
             .iter()
@@ -425,7 +457,11 @@ impl<K: Eq + Hash + Clone, V: Value> StoreRouter<K, V> {
     }
 }
 
-impl<K: Eq + Hash + Clone, V: Value> std::fmt::Debug for StoreRouter<K, V> {
+impl<K, V> std::fmt::Debug for StoreRouter<K, V>
+where
+    K: Eq + Hash + Clone + Send + Sync + 'static,
+    V: Value,
+{
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("StoreRouter")
             .field("clusters", &self.cluster_count())
@@ -575,7 +611,7 @@ mod tests {
         router.write(2, 2);
         match router.try_write(3, 3) {
             Err(StoreError::OverCapacity { capacity }) => assert_eq!(capacity, 2),
-            Ok(_) => panic!("expected over-capacity"),
+            other => panic!("expected over-capacity, got {other:?}"),
         }
     }
 }

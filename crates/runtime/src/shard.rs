@@ -41,11 +41,14 @@ struct Shard {
 
 /// A typed error from the non-panicking store operations.
 ///
-/// The only runtime-recoverable failure today is capacity exhaustion; a
-/// wedged cluster (an operation outliving the generous internal timeout)
-/// stays a panic, because with at most `t` faults per group it is a
-/// wait-freedom violation, not an operational condition.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+/// For the in-process store the only runtime-recoverable failure is
+/// capacity exhaustion; a wedged cluster (an operation outliving the
+/// generous internal timeout) stays a panic, because with at most `t`
+/// faults per group it is a wait-freedom violation, not an operational
+/// condition. Remote backends (`vrr-net`'s `RemoteCluster`) additionally
+/// surface unrecoverable transport failure — a request that kept failing
+/// through the bounded retry/backoff budget — as [`StoreError::Backend`].
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum StoreError {
     /// Every provisioned register shard is already bound (or was bound and
     /// later retired); the new key cannot be served. See the capacity
@@ -53,6 +56,12 @@ pub enum StoreError {
     OverCapacity {
         /// The store's provisioned shard count.
         capacity: usize,
+    },
+    /// A remote cluster backend failed to serve the operation after
+    /// exhausting its retry budget.
+    Backend {
+        /// What failed, in the backend's own words.
+        what: String,
     },
 }
 
@@ -62,6 +71,7 @@ impl fmt::Display for StoreError {
             StoreError::OverCapacity { capacity } => {
                 write!(f, "ShardedStore over capacity: all {capacity} shards bound")
             }
+            StoreError::Backend { what } => write!(f, "cluster backend failed: {what}"),
         }
     }
 }
@@ -454,9 +464,10 @@ impl<K: Eq + Hash, V: Value> ShardedStore<K, V> {
 
     /// [`ShardedStore::metrics_snapshot`] with every history-length gauge
     /// additionally labelled `cluster="<cluster>"` — used by the
-    /// multi-cluster router so snapshots of its clusters merge without
-    /// colliding on identical `{object, shard}` label sets.
-    pub(crate) fn metrics_snapshot_labelled(&self, cluster: Option<usize>) -> Registry {
+    /// multi-cluster router (and, via `Op::StoreMetrics`, by `vrr-server`
+    /// hosting a router member) so snapshots of different clusters merge
+    /// without colliding on identical `{object, shard}` label sets.
+    pub fn metrics_snapshot_labelled(&self, cluster: Option<usize>) -> Registry {
         let mut reg = self.ops.lock().clone();
         record_executor_stats(&mut reg, &self.cluster.stats());
         metrics::record_fast_path(&mut reg, &self.fast_path_stats());

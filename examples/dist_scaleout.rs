@@ -1,0 +1,286 @@
+//! Distributed scale-out demo: one `StoreRouter` ring spanning **two
+//! store-hosting `vrr-server` OS processes** plus an in-proc pool — the
+//! multi-process companion to `scaleout.rs`.
+//!
+//! The drill mirrors the distributed acceptance test in miniature:
+//!
+//! 1. Two store-mode `vrr-server`s come up; every register group of the
+//!    first hosts a Byzantine Truncator (a suffix liar), and it also
+//!    serves `GET /metrics` over plain HTTP.
+//! 2. A `StoreRouter` spans both as [`RemoteCluster`] backends; after the
+//!    keys are bound we crash one more object in the faulty cluster —
+//!    fault injection across the process boundary.
+//! 3. A third, in-proc cluster joins the ring (`add_cluster`), then the
+//!    faulty remote cluster is drained and retired (`remove_cluster`)
+//!    while a seeded write/read schedule runs.
+//! 4. Every per-key history is checker-verified regular, the drained
+//!    process is probed to confirm its store is empty, and the metrics
+//!    endpoint is scraped once.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo build --release -p vrr-net --bin vrr-server
+//! cargo run --release --example dist_scaleout
+//! ```
+//!
+//! The example finds `vrr-server` next to its own executable (both land
+//! in `target/<profile>/`); set `VRR_SERVER_BIN` to override.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::{exit, Child, Command, Stdio};
+use std::sync::Arc;
+
+use vrr::checker::{check_regularity, OpHistory};
+use vrr::core::StorageConfig;
+use vrr::net::{free_addrs, NetClient, Op, RemoteCluster, RemoteClusterConfig, Rsp};
+use vrr::runtime::{
+    ClusterBackend, NoDelay, ProtocolKind, RouterConfig, ShardedStore, StoreRouter,
+};
+
+/// Value forged by the Byzantine objects — never written by any client.
+const FORGED: u64 = 0xBAD_F00D;
+/// Distinct keys in the drill.
+const KEYS: u64 = 12;
+/// Write rounds per key.
+const ROUNDS: u64 = 4;
+/// Per-cluster shard capacity (generous: rebalances consume slots).
+const CAPACITY: usize = 40;
+
+fn value_of(key: u64, r: u64) -> u64 {
+    key * 1000 + r
+}
+
+fn server_bin() -> PathBuf {
+    if let Ok(path) = std::env::var("VRR_SERVER_BIN") {
+        return PathBuf::from(path);
+    }
+    let mut path = std::env::current_exe().expect("own path");
+    path.pop(); // dist_scaleout
+    path.pop(); // examples/
+    path.push("vrr-server");
+    if !path.exists() {
+        eprintln!(
+            "vrr-server not found at {} — build it first:\n    \
+             cargo build --release -p vrr-net --bin vrr-server\n\
+             (or set VRR_SERVER_BIN)",
+            path.display()
+        );
+        exit(2);
+    }
+    path
+}
+
+/// Spawns one store-mode `vrr-server` hosting [`CAPACITY`] register shards
+/// sized `(t, b) = (2, 1)`. Returns the child, its wire address and — when
+/// `metrics` — the bound HTTP metrics address.
+fn spawn_store(
+    addr: SocketAddr,
+    byzantine: bool,
+    metrics: bool,
+) -> (Child, SocketAddr, Option<SocketAddr>) {
+    let cfg = StorageConfig::optimal(2, 1, 1);
+    let mut args = vec![
+        "--node".to_string(),
+        "0".into(),
+        "--addrs".into(),
+        addr.to_string(),
+        "--t".into(),
+        "2".into(),
+        "--b".into(),
+        "1".into(),
+        "--readers".into(),
+        "1".into(),
+        "--kind".into(),
+        "regular-opt".into(),
+        "--store".into(),
+        CAPACITY.to_string(),
+    ];
+    if byzantine {
+        args.push("--store-byzantine".into());
+        args.push(format!("{}:truncator:{FORGED}", cfg.s - 1));
+    }
+    if metrics {
+        args.push("--metrics-addr".into());
+        args.push("127.0.0.1:0".into());
+    }
+    let mut child = Command::new(server_bin())
+        .args(&args)
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn vrr-server");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let ready = lines.next().expect("READY line").expect("read READY");
+    let wire = ready
+        .trim()
+        .strip_prefix("READY ")
+        .unwrap_or_else(|| panic!("unexpected server banner: {ready:?}"))
+        .parse()
+        .expect("parse READY addr");
+    let metrics_addr = metrics.then(|| {
+        let line = lines.next().expect("METRICS line").expect("read METRICS");
+        line.trim()
+            .strip_prefix("METRICS ")
+            .unwrap_or_else(|| panic!("unexpected metrics banner: {line:?}"))
+            .parse()
+            .expect("parse METRICS addr")
+    });
+    (child, wire, metrics_addr)
+}
+
+fn remote_backend(addr: SocketAddr) -> Arc<dyn ClusterBackend<u64, u64>> {
+    let remote: RemoteCluster<u64, u64> =
+        RemoteCluster::connect(addr, RemoteClusterConfig::default())
+            .expect("connect remote cluster");
+    Arc::new(remote)
+}
+
+fn main() {
+    let cfg = StorageConfig::optimal(2, 1, 1);
+    let addrs = free_addrs(2).expect("reserve two localhost ports");
+    println!("deploying 2 store-mode vrr-server processes on {addrs:?}");
+    let (faulty_child, faulty_addr, metrics_addr) = spawn_store(addrs[0], true, true);
+    let (clean_child, clean_addr, _) = spawn_store(addrs[1], false, false);
+    let mut children = vec![faulty_child, clean_child];
+    println!(
+        "  cluster 0 (Byzantine Truncator per group): {faulty_addr}, metrics {}",
+        metrics_addr.expect("metrics bound")
+    );
+    println!("  cluster 1 (clean): {clean_addr}");
+
+    // One ring over both remote processes; added clusters are in-proc.
+    let mut remotes = [
+        Some(remote_backend(faulty_addr)),
+        Some(remote_backend(clean_addr)),
+    ];
+    let router: StoreRouter<u64, u64> = StoreRouter::deploy_with_backends(
+        RouterConfig::new(2, CAPACITY)
+            .with_ring_slots(16)
+            .with_seed(2006),
+        move |cluster| match remotes.get_mut(cluster).and_then(Option::take) {
+            Some(remote) => remote,
+            None => Arc::new(ShardedStore::deploy(
+                cfg,
+                ProtocolKind::RegularOptimized,
+                Box::new(NoDelay),
+                CAPACITY,
+            )),
+        },
+    );
+
+    // Bind every key, then crash one extra object (beyond the standing
+    // liar) in a group of the remote faulty cluster.
+    for key in 0..KEYS {
+        router.write(key, value_of(key, 1));
+    }
+    let victim = (0..KEYS)
+        .find(|k| router.cluster_of(k) == 0)
+        .expect("some key routes to cluster 0");
+    let store0 = router.cluster_store(0).expect("cluster 0 is live");
+    let slot = store0.shard_of(&victim).expect("victim bound in cluster 0");
+    store0.crash_object(slot, 0);
+    println!("crashed object 0 of remote shard {slot} (cluster 0 now liar + crash)");
+
+    // Deterministic schedule with a mid-run rebalance: grow the ring by an
+    // in-proc cluster, then drain and retire the faulty remote one.
+    let mut clock = 0u64;
+    let mut tick = || {
+        let t = clock;
+        clock += 1;
+        t
+    };
+    let mut histories: Vec<OpHistory<u64>> = (0..KEYS)
+        .map(|key| {
+            let mut h = OpHistory::new();
+            let t1 = tick();
+            let t2 = tick();
+            h.push_write(1, value_of(key, 1), t1, Some(t2));
+            h
+        })
+        .collect();
+    for r in 2..=ROUNDS {
+        for key in 0..KEYS {
+            let t1 = tick();
+            router.write(key, value_of(key, r));
+            let t2 = tick();
+            histories[key as usize].push_write(r, value_of(key, r), t1, Some(t2));
+        }
+        if r == 2 {
+            let added = router.add_cluster();
+            println!("added in-proc cluster {added} (ring now spans tcp + inproc)");
+            let moved = router.remove_cluster(0);
+            println!("drained faulty remote cluster 0: {moved} keys moved");
+        }
+        for key in 0..KEYS {
+            let t1 = tick();
+            let rep = router.read(&key, 0).expect("bound key readable");
+            let t2 = tick();
+            let value = rep.value.expect("bound key has a value");
+            histories[key as usize].push_read(0, value % 1000, Some(value), t1, Some(t2));
+        }
+    }
+
+    // Verdicts: every per-key history regular, no forged value surfaced,
+    // nothing still routed at the retired cluster.
+    let mut violations = 0;
+    for (key, history) in histories.iter().enumerate() {
+        history.validate().expect("well-formed history");
+        let result = check_regularity(history);
+        if result.is_err() {
+            eprintln!("key {key}: VIOLATION: {result:?}");
+            violations += 1;
+        }
+    }
+    println!("{KEYS} keys x {ROUNDS} rounds checker-verified, {violations} violation(s)");
+    for key in 0..KEYS {
+        let rep = router.read(&key, 0).expect("key survived rebalance");
+        assert_ne!(rep.value, Some(FORGED), "forged value escaped");
+        assert_ne!(router.cluster_of(&key), 0, "key routed to retired cluster");
+    }
+
+    // The drained process is still alive and answers: its store is empty.
+    let mut probe = NetClient::<u64>::connect(faulty_addr).expect("probe drained server");
+    match probe.request(Op::StoreInfo).expect("store info") {
+        Rsp::StoreInfo { keys, capacity, .. } => {
+            println!("drained server store: {keys} keys of {capacity} capacity");
+            assert_eq!(keys, 0, "drained store still holds keys");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Scrape the drained server's Prometheus endpoint once.
+    let metrics_addr = metrics_addr.expect("metrics bound");
+    let mut stream = std::net::TcpStream::connect(metrics_addr).expect("connect http");
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+        .expect("send GET /metrics");
+    let mut text = String::new();
+    stream.read_to_string(&mut text).expect("read response");
+    let series = text.lines().filter(|l| l.starts_with("vrr_")).count();
+    println!(
+        "GET /metrics: {} — {series} vrr_* series",
+        text.lines().next().unwrap_or("")
+    );
+    assert!(
+        text.starts_with("HTTP/1.1 200 OK"),
+        "metrics endpoint failed"
+    );
+
+    for addr in [faulty_addr, clean_addr] {
+        if let Ok(mut c) = NetClient::<u64>::connect(addr) {
+            c.shutdown_server().ok();
+        }
+    }
+    for child in &mut children {
+        child.wait().ok();
+    }
+
+    if violations > 0 {
+        eprintln!("dist_scaleout: {violations} consistency violation(s)");
+        exit(1);
+    }
+    println!("dist_scaleout: regular across 3 OS processes, drain + retire verified");
+}

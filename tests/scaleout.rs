@@ -256,3 +256,50 @@ fn rebalance_under_crash_and_byzantine_faults_stays_regular() {
     assert!(snap.counter(names::ROUTER_REBALANCED_KEYS, &[]) >= 1);
     assert!(snap.counter(names::ROUTER_SLOT_MOVES, &[]) > 0);
 }
+
+/// `remove_cluster` racing a writer hammering a key on the draining
+/// cluster: every write must succeed and the last one must be the value a
+/// post-drain read returns — the never-expose-intermediate-state move
+/// protocol may delay a write, never lose or fail one. (The distributed
+/// twin of this race lives in `crates/net/tests/distributed_rebalance.rs`.)
+#[test]
+fn remove_cluster_racing_in_flight_writes_loses_nothing() {
+    let cfg = StorageConfig::optimal(1, 1, 1);
+    let router: Arc<StoreRouter<u64, u64>> = Arc::new(StoreRouter::deploy(
+        cfg,
+        ProtocolKind::RegularOptimized,
+        RouterConfig::new(2, 40).with_ring_slots(16).with_seed(2006),
+    ));
+    for key in 0..KEYS {
+        router.write(key, value_of(key, 1));
+    }
+    let victim = (0..KEYS)
+        .find(|k| router.cluster_of(k) == 0)
+        .expect("some key routes to cluster 0");
+
+    const BURST: u64 = 60;
+    std::thread::scope(|scope| {
+        let writer = Arc::clone(&router);
+        scope.spawn(move || {
+            for r in 2..=BURST {
+                writer
+                    .try_write(victim, value_of(victim, r))
+                    .expect("write during drain");
+            }
+        });
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(router.remove_cluster(0) > 0, "cluster 0 held keys to drain");
+    });
+
+    let rep = router.read(&victim, 0).expect("victim survived the drain");
+    assert_eq!(
+        rep.value,
+        Some(value_of(victim, BURST)),
+        "last in-flight write lost across remove_cluster"
+    );
+    assert_ne!(router.cluster_of(&victim), 0);
+    for key in (0..KEYS).filter(|k| *k != victim) {
+        let rep = router.read(&key, 0).expect("key survived the drain");
+        assert_eq!(rep.value, Some(value_of(key, 1)));
+    }
+}
